@@ -1,0 +1,21 @@
+"""Benchmark A2 (ablation): naive round-repetition baselines vs Robust FASTBC.
+
+Regenerates the A2 table from DESIGN.md section 4 / EXPERIMENTS.md.
+The benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate the
+EXPERIMENTS.md scale. The table itself is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_ablation_repetition(benchmark, repro_scale):
+    experiment = get_experiment("A2")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "A2"
+    benchmark.extra_info["claim"] = "ablation"
+    benchmark.extra_info["table"] = table.to_csv()

@@ -1,0 +1,21 @@
+"""Benchmark E4 (Lemma 10): FASTBC's Theta(p/(1-p) D log n + D/(1-p)) degradation on a path.
+
+Regenerates the E4 table from DESIGN.md section 4 / EXPERIMENTS.md.
+The benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate the
+EXPERIMENTS.md scale. The table itself is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fastbc_noisy_path(benchmark, repro_scale):
+    experiment = get_experiment("E4")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "E4"
+    benchmark.extra_info["claim"] = "Lemma 10"
+    benchmark.extra_info["table"] = table.to_csv()

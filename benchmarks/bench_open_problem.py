@@ -1,0 +1,17 @@
+"""Benchmark X1 (exploration): the dense-wave RLNC candidate for the
+paper's open O(D + k log n + polylog n) problem.
+
+Regenerates the X1 table from DESIGN.md section 4 / EXPERIMENTS.md.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_open_problem(benchmark, repro_scale):
+    experiment = get_experiment("X1")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "X1"
+    benchmark.extra_info["table"] = table.to_csv()

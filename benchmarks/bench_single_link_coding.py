@@ -1,0 +1,21 @@
+"""Benchmark E18 (Lemmas 30/32): single-link coding and adaptive routing at Theta(k) rounds.
+
+Regenerates the E18 table from DESIGN.md section 4 / EXPERIMENTS.md.
+The benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate the
+EXPERIMENTS.md scale. The table itself is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_single_link_coding(benchmark, repro_scale):
+    experiment = get_experiment("E18")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "E18"
+    benchmark.extra_info["claim"] = "Lemmas 30/32"
+    benchmark.extra_info["table"] = table.to_csv()

@@ -1,0 +1,21 @@
+"""Benchmark E10 (Theorem 17): the star's Theta(log n) receiver-fault coding gap.
+
+Regenerates the E10 table from DESIGN.md section 4 / EXPERIMENTS.md.
+The benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate the
+EXPERIMENTS.md scale. The table itself is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_star_gap(benchmark, repro_scale):
+    experiment = get_experiment("E10")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "E10"
+    benchmark.extra_info["claim"] = "Theorem 17"
+    benchmark.extra_info["table"] = table.to_csv()

@@ -1,0 +1,21 @@
+"""Benchmark E15 (Lemma 26): the coding transformation's (1-p) throughput overhead.
+
+Regenerates the E15 table from DESIGN.md section 4 / EXPERIMENTS.md.
+The benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate the
+EXPERIMENTS.md scale. The table itself is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_transform_coding(benchmark, repro_scale):
+    experiment = get_experiment("E15")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "E15"
+    benchmark.extra_info["claim"] = "Lemma 26"
+    benchmark.extra_info["table"] = table.to_csv()

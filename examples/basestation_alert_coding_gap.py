@@ -1,0 +1,62 @@
+"""Scenario: a base station pushing alert bulletins to noisy handsets.
+
+One transmitter (the star hub) must deliver k alert bulletins to n
+handsets whose receivers independently drop packets (receiver faults).
+This is the paper's star topology (Section 5.1.1), and the example
+replays the Theorem 17 story end to end:
+
+* plain retransmission (adaptive routing, Lemma 15) pays a last-straggler
+  penalty of ~log2(n) transmissions per bulletin at p = 1/2;
+* Reed-Solomon coding (Lemma 16) makes every successful reception count
+  — ~2 transmissions per bulletin, independent of n.
+
+The coding gap grows like log n: with enough handsets, coding is an
+order of magnitude better, which is the paper's answer to "does coding
+help in practice?".
+
+Run with::
+
+    python examples/basestation_alert_coding_gap.py
+"""
+
+from repro import star_adaptive_routing, star_rs_coding
+
+
+def main() -> None:
+    k = 32
+    p = 0.5
+    print(f"delivering {k} bulletins at receiver-fault rate p={p}\n")
+    print(f"{'handsets':>9} {'routing':>9} {'coding':>8} {'gap':>6}")
+    for n_handsets in (16, 64, 256, 1024):
+        routing = star_adaptive_routing(n_handsets, k, p, rng=1)
+        coding = star_rs_coding(n_handsets, k, p, rng=1)
+        assert routing.success and coding.success
+        gap = routing.rounds / coding.rounds
+        print(
+            f"{n_handsets:>9} {routing.rounds:>9} {coding.rounds:>8} "
+            f"{gap:>6.2f}"
+        )
+    print(
+        "\nthe routing column grows with log(handsets); the coding column "
+        "stays ~2k.\nThat ratio is the paper's Θ(log n) receiver-fault "
+        "coding gap (Theorem 17)."
+    )
+
+    # The asymmetry that motivates the whole paper: with *sender* faults
+    # the same comparison collapses to a constant gap (Theorem 28),
+    # because a sender fault silences every handset at once.
+    from repro.core.faults import FaultModel
+
+    routing = star_adaptive_routing(
+        1024, k, p, rng=2, fault_model=FaultModel.SENDER
+    )
+    coding = star_rs_coding(1024, k, p, rng=2, fault_model=FaultModel.SENDER)
+    print(
+        f"\nsender faults instead (n=1024): routing {routing.rounds}, "
+        f"coding {coding.rounds}, gap {routing.rounds / coding.rounds:.2f} "
+        "— Θ(1), as Theorem 28 predicts"
+    )
+
+
+if __name__ == "__main__":
+    main()

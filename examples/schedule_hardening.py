@@ -1,0 +1,69 @@
+"""Scenario: hardening an existing TDMA schedule against radio noise.
+
+You have a hand-built, collision-free pipeline schedule for a relay chain
+(designed assuming a clean channel) and your deployment turns out to have
+faulty radios. The paper's Lemma 25/26 transformations upgrade the
+schedule mechanically:
+
+* Lemma 25 (routing, sender faults): retransmit each sub-message until it
+  leaves the antenna cleanly;
+* Lemma 26 (coding, sender or receiver faults): Reed-Solomon across each
+  meta-round, no feedback needed at all.
+
+Both cost only a ~1/(1-p) throughput factor — the schedule's structure
+(and your engineering effort) survives.
+
+Run with::
+
+    python examples/schedule_hardening.py
+"""
+
+from repro.core.faults import FaultModel
+from repro.schedules import (
+    path_pipeline_schedule,
+    transform_coding_schedule,
+    transform_routing_schedule,
+)
+
+
+def main() -> None:
+    schedule = path_pipeline_schedule(n=10, k=6)
+    print(
+        f"original schedule: {schedule.k} messages in {schedule.length} "
+        f"rounds over a 10-relay chain "
+        f"(throughput {schedule.throughput:.3f} msg/round, faultless)"
+    )
+
+    p = 0.3
+    print(f"\nhardening for fault probability p={p}:")
+
+    routing = transform_routing_schedule(schedule, x=32, p=p, rng=1)
+    print(
+        f"  Lemma 25 (routing, sender faults): "
+        f"{routing.k_transformed} messages in {routing.transformed_rounds} "
+        f"rounds -> throughput ratio {routing.throughput_ratio:.2f} "
+        f"(success={routing.success})"
+    )
+
+    for model in (FaultModel.SENDER, FaultModel.RECEIVER):
+        coding = transform_coding_schedule(
+            schedule, x=32, p=p, fault_model=model, rng=1
+        )
+        print(
+            f"  Lemma 26 (coding, {model} faults):  "
+            f"{coding.k_transformed} messages in {coding.transformed_rounds} "
+            f"rounds -> throughput ratio {coding.throughput_ratio:.2f} "
+            f"(success={coding.success})"
+        )
+
+    eta = 0.5  # the transforms' default meta-round slack
+    predicted = (1 - p) / (1 + eta)
+    print(
+        f"\nboth land near the predicted (1-p)/(1+η) = {predicted:.2f} of "
+        "the faultless throughput; as x grows, η can shrink toward 0 and "
+        "the ratio approaches (1-p) — the Lemma 25/26 'constant overhead'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Scenario: firmware update dissemination over a noisy sensor grid.
+
+A 7x7 grid of battery-powered sensors must all receive a firmware image
+split into k chunks, pushed from the gateway at one corner. Radio
+reception is lossy (receiver faults). This is exactly the paper's
+multi-message broadcast problem, and the example contrasts:
+
+* naive routing ("send chunk i until everyone has it" — here approximated
+  by running Decay once per chunk), and
+* RLNC gossip (Lemma 12), where every transmission is a random
+  combination of known chunks and nothing is wasted.
+
+The payloads are real bytes; the script verifies every sensor decodes the
+exact image.
+
+Run with::
+
+    python examples/sensor_firmware_update.py
+"""
+
+from repro import FaultConfig, decay_broadcast, grid, rlnc_decay_broadcast
+from repro.util.rng import RandomSource
+
+
+def main() -> None:
+    network = grid(7, 7)
+    k = 8
+    chunk_bytes = 32
+    p = 0.3
+    faults = FaultConfig.receiver(p)
+
+    rng = RandomSource(42)
+    firmware = [bytes(rng.bytes_array(chunk_bytes).tobytes()) for _ in range(k)]
+    print(
+        f"pushing {k} x {chunk_bytes}B firmware chunks over {network.name} "
+        f"(n={network.n}) at receiver-fault rate p={p}"
+    )
+
+    # Baseline: one full single-message broadcast per chunk, sequentially.
+    sequential_rounds = 0
+    for chunk in range(k):
+        outcome = decay_broadcast(network, faults=faults, rng=100 + chunk)
+        assert outcome.success
+        sequential_rounds += outcome.rounds
+    print(f"\nsequential per-chunk Decay : {sequential_rounds:5d} rounds")
+
+    # RLNC gossip: all chunks in flight at once, every reception useful.
+    outcome = rlnc_decay_broadcast(
+        network,
+        k=k,
+        faults=faults,
+        rng=7,
+        payload_length=chunk_bytes,
+        messages=firmware,
+    )
+    assert outcome.success, "RLNC broadcast did not complete"
+    print(f"RLNC gossip (Lemma 12)     : {outcome.rounds:5d} rounds")
+    print(
+        f"speedup: {sequential_rounds / outcome.rounds:.1f}x "
+        f"({outcome.rounds_per_message:.1f} rounds/chunk)"
+    )
+    print("\nevery sensor decoded the exact firmware image "
+          "(verified by the RLNC layer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a full reproduction of *Broadcasting in Noisy Radio Networks*
+(Censor-Hillel, Haeupler, Hershkowitz, Zuzic; PODC 2017, arXiv:1705.07369).
+
+The library implements the noisy radio network model (sender/receiver
+faults over the classic collision channel), the paper's broadcast
+algorithms (Decay, FASTBC, Robust FASTBC, RLNC multi-message variants),
+the coding substrate (GF(2^8), Reed-Solomon, RLNC), every topology the
+arguments use (star, single link, WCT, layered networks, ...), the
+Lemma 25/26 fault-robustness transformations, and one experiment driver
+per reproduced statement.
+
+Quickstart::
+
+    from repro import decay_broadcast, FaultConfig, path
+
+    outcome = decay_broadcast(path(64), faults=FaultConfig.receiver(0.3), rng=1)
+    print(outcome.rounds, outcome.success)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+results; ``python -m repro list`` enumerates the experiments.
+"""
+
+from repro._version import __version__
+from repro.algorithms import (
+    decay_broadcast,
+    fastbc_broadcast,
+    robust_fastbc_broadcast,
+)
+from repro.algorithms.multi import (
+    rlnc_decay_broadcast,
+    rlnc_robust_fastbc_broadcast,
+    star_adaptive_routing,
+    star_rs_coding,
+)
+from repro.coding import GF256, ReedSolomonCode, RLNCDecoder, RLNCEncoder
+from repro.core import (
+    Channel,
+    FaultConfig,
+    FaultModel,
+    RadioNetwork,
+    Simulator,
+)
+from repro.gbst import build_gbst
+from repro.topologies import (
+    grid,
+    gnp,
+    path,
+    single_link,
+    star,
+    worst_case_topology,
+)
+
+__all__ = [
+    "__version__",
+    "Channel",
+    "FaultConfig",
+    "FaultModel",
+    "GF256",
+    "RadioNetwork",
+    "ReedSolomonCode",
+    "RLNCDecoder",
+    "RLNCEncoder",
+    "Simulator",
+    "build_gbst",
+    "decay_broadcast",
+    "fastbc_broadcast",
+    "gnp",
+    "grid",
+    "path",
+    "rlnc_decay_broadcast",
+    "rlnc_robust_fastbc_broadcast",
+    "robust_fastbc_broadcast",
+    "single_link",
+    "star",
+    "star_adaptive_routing",
+    "star_rs_coding",
+    "worst_case_topology",
+]

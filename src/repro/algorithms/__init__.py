@@ -1,0 +1,39 @@
+"""Broadcast algorithms: Decay, FASTBC, Robust FASTBC, and baselines.
+
+Single-message algorithms (Section 4.1) are implemented as per-node
+:class:`~repro.core.protocol.NodeProtocol` subclasses driven by the
+distributed simulator; multi-message algorithms (Section 4.2, Section 5)
+live in :mod:`repro.algorithms.multi`.
+"""
+
+from repro.algorithms.base import (
+    BroadcastOutcome,
+    broadcast_probe,
+    ilog2,
+    run_broadcast,
+)
+from repro.algorithms.decay import DecayProtocol, decay_broadcast
+from repro.algorithms.fastbc import FastBCProtocol, fastbc_broadcast
+from repro.algorithms.repetition import (
+    RepeatedFastBCProtocol,
+    repeated_fastbc_broadcast,
+)
+from repro.algorithms.robust_fastbc import (
+    RobustFastBCProtocol,
+    robust_fastbc_broadcast,
+)
+
+__all__ = [
+    "BroadcastOutcome",
+    "DecayProtocol",
+    "FastBCProtocol",
+    "RepeatedFastBCProtocol",
+    "RobustFastBCProtocol",
+    "broadcast_probe",
+    "decay_broadcast",
+    "fastbc_broadcast",
+    "ilog2",
+    "repeated_fastbc_broadcast",
+    "robust_fastbc_broadcast",
+    "run_broadcast",
+]

@@ -1,0 +1,84 @@
+"""Shared scaffolding for single-message broadcast algorithms.
+
+Every single-message algorithm in this package is packaged the same way: a
+protocol class plus a ``<name>_broadcast`` convenience function that builds
+protocols for every node, runs the simulator until all nodes are informed
+(or the round budget runs out), and returns a :class:`BroadcastOutcome`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.engine import Simulator
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+from repro.core.protocol import NodeProtocol
+from repro.core.trace import ChannelCounters
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = ["BroadcastOutcome", "run_broadcast", "broadcast_probe", "ilog2"]
+
+
+def ilog2(n: int) -> int:
+    """``ceil(log2 n)`` for n >= 1 (0 for n == 1) — the paper's log."""
+    if n < 1:
+        raise ValueError(f"ilog2 requires n >= 1, got {n}")
+    return max(0, math.ceil(math.log2(n)))
+
+
+@dataclass(frozen=True)
+class BroadcastOutcome:
+    """Result of one single-message broadcast run.
+
+    ``rounds`` is the number of rounds until the last node became informed
+    (== ``budget`` when the run timed out and ``success`` is False).
+    """
+
+    success: bool
+    rounds: int
+    informed: int
+    total: int
+    counters: ChannelCounters
+
+    @property
+    def informed_fraction(self) -> float:
+        return self.informed / self.total
+
+
+def run_broadcast(
+    network: RadioNetwork,
+    protocols: Sequence[NodeProtocol],
+    faults: FaultConfig,
+    rng: "int | RandomSource | None",
+    max_rounds: int,
+) -> BroadcastOutcome:
+    """Drive ``protocols`` until every node is done or the budget expires."""
+    sim = Simulator(network, protocols, faults, rng)
+    executed = sim.run(max_rounds)
+    success = sim.all_done()
+    return BroadcastOutcome(
+        success=success,
+        rounds=executed,
+        informed=sim.done_count(),
+        total=network.n,
+        counters=sim.counters,
+    )
+
+
+def broadcast_probe(
+    make_outcome: Callable[[int], BroadcastOutcome],
+    trials: int,
+    rng: "int | RandomSource | None" = None,
+) -> list[BroadcastOutcome]:
+    """Run ``make_outcome(seed)`` for ``trials`` independent seeds.
+
+    The per-trial seeds derive from ``rng`` so a whole sweep reproduces
+    from one top-level seed.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    source = spawn_rng(rng)
+    return [make_outcome(source.spawn().seed) for _ in range(trials)]

@@ -1,0 +1,326 @@
+"""Multi-message broadcast via random linear network coding (Lemmas 12-13).
+
+Following Haeupler [24] and Ghaffari et al. [21], a single-message
+algorithm whose broadcast *pattern* does not depend on what a node has
+received can carry k messages: whenever the pattern tells a node to
+broadcast, it transmits a fresh random GF(2^8) combination of every coded
+packet it currently holds. A reception is *innovative* unless the sender's
+knowledge subspace is contained in the receiver's, which over GF(2^8)
+happens with probability at most 1/256 per reception; each node decodes
+after k innovative receptions.
+
+* **RLNC-Decay** (Lemma 12): the pattern is the Decay coin schedule run by
+  every knowledge-holding node forever — `O(D log n + k log n + log^2 n)`
+  rounds, i.e. throughput `Ω(1/log n)`.
+* **RLNC-Robust-FASTBC** (Lemma 13): the pattern is Robust FASTBC's
+  fixed slow/fast schedule — `O(D + k log n log log n + log^2 n log log n)`
+  rounds, i.e. throughput `Ω(1/(log n log log n))`.
+
+The pattern is *static* (a function of round number, node identity and
+private coins only), satisfying the paper's "node cannot change its
+behavior based on whether it receives a message" requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.algorithms.base import ilog2
+from repro.algorithms.robust_fastbc import (
+    DEFAULT_ROUND_MULTIPLIER,
+    block_size,
+)
+from repro.coding.rlnc import CodedPacket, RLNCEncoder
+from repro.core.engine import Simulator
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+from repro.core.protocol import NodeProtocol
+from repro.core.trace import ChannelCounters
+from repro.gbst.gbst import build_gbst
+from repro.gbst.ranked_bfs import RankedBFSTree
+from repro.util.rng import RandomSource, spawn_rng
+from repro.util.validation import check_positive
+
+__all__ = [
+    "MultiMessageOutcome",
+    "RLNCGossipProtocol",
+    "rlnc_decay_broadcast",
+    "rlnc_dense_wave_broadcast",
+    "rlnc_robust_fastbc_broadcast",
+]
+
+
+@dataclass(frozen=True)
+class MultiMessageOutcome:
+    """Result of one k-message broadcast run."""
+
+    success: bool
+    rounds: int
+    k: int
+    completed_nodes: int
+    total_nodes: int
+    counters: ChannelCounters
+
+    @property
+    def rounds_per_message(self) -> float:
+        return self.rounds / self.k
+
+
+class RLNCGossipProtocol(NodeProtocol):
+    """A node that gossips RLNC combinations on a fixed broadcast pattern.
+
+    Parameters
+    ----------
+    pattern:
+        ``pattern(round_index, rng) -> bool``; True means "broadcast this
+        round if you hold anything". Must not depend on receptions.
+    encoder:
+        This node's RLNC state (pre-loaded with the k messages at the
+        source).
+    rng:
+        Private randomness (pattern coins and combination coefficients).
+    """
+
+    def __init__(
+        self,
+        pattern: Callable[[int, RandomSource], bool],
+        encoder: RLNCEncoder,
+        rng: RandomSource,
+    ) -> None:
+        self.pattern = pattern
+        self.encoder = encoder
+        self.rng = rng
+        self.active = encoder.can_transmit()
+
+    def act(self, round_index: int) -> Optional[CodedPacket]:
+        if not self.encoder.can_transmit():
+            return None
+        if not self.pattern(round_index, self.rng):
+            return None
+        return self.encoder.emit(self.rng)
+
+    def on_receive(self, round_index: int, packet, sender: int) -> None:
+        self.encoder.receive(packet)
+        self.active = True
+
+    def is_done(self) -> bool:
+        return self.encoder.is_complete()
+
+
+def _decay_pattern(n: int) -> Callable[[int, RandomSource], bool]:
+    phase_length = ilog2(n) + 1
+
+    def pattern(round_index: int, rng: RandomSource) -> bool:
+        i = round_index % phase_length
+        return rng.bernoulli(2.0 ** (-i))
+
+    return pattern
+
+
+def _robust_wave_pattern(
+    tree: RankedBFSTree,
+    node: int,
+    block: Optional[int],
+    round_multiplier: int,
+) -> Callable[[int, RandomSource], bool]:
+    n = tree.network.n
+    phase_length = ilog2(n) + 1
+    max_rank = max(1, ilog2(n))
+    s = block if block is not None else block_size(n)
+    level = tree.level[node]
+    rank = tree.rank[node]
+    is_fast = tree.is_fast(node)
+    superround_length = round_multiplier * s
+    modulus = 6 * max_rank
+    target = (level // s - 6 * rank) % modulus
+
+    def pattern(round_index: int, rng: RandomSource) -> bool:
+        if round_index % 2 == 1:
+            i = ((round_index - 1) // 2) % phase_length
+            return rng.bernoulli(2.0 ** (-i))
+        if not is_fast:
+            return False
+        t = round_index // 2
+        if (t // superround_length) % modulus != target:
+            return False
+        return level % 3 == t % 3
+
+    return pattern
+
+
+def _dense_wave_pattern(
+    tree: RankedBFSTree, node: int
+) -> Callable[[int, RandomSource], bool]:
+    """Exploratory pattern for the paper's open problem (Section 4.2).
+
+    The paper leaves open whether a fault-robust algorithm can broadcast k
+    messages in ``O(D + k log n + polylog n)`` rounds. This pattern drops
+    Robust FASTBC's superround gating entirely: every fast-set node fires
+    on *every* even round with ``t ≡ level (mod 3)``, so coded generations
+    pipeline down each stretch at full rate instead of one batch per
+    superround cycle; odd rounds keep the Decay step for slow edges. The
+    mod-3 gate still prevents adjacent-level collisions, but unlike the
+    GBST wave there is no rank/level separation between *distinct* fast
+    nodes of one level, so on general graphs same-level interference can
+    occur — experiment X1 measures where the candidate stands.
+    """
+    n = tree.network.n
+    phase_length = ilog2(n) + 1
+    level = tree.level[node]
+    is_fast = tree.is_fast(node)
+
+    def pattern(round_index: int, rng: RandomSource) -> bool:
+        if round_index % 2 == 1:
+            i = ((round_index - 1) // 2) % phase_length
+            return rng.bernoulli(2.0 ** (-i))
+        if not is_fast:
+            return False
+        t = round_index // 2
+        return level % 3 == t % 3
+
+    return pattern
+
+
+def _run_gossip(
+    network: RadioNetwork,
+    patterns: list[Callable[[int, RandomSource], bool]],
+    k: int,
+    payload_length: int,
+    messages: Optional[list[bytes]],
+    faults: FaultConfig,
+    rng: RandomSource,
+    max_rounds: int,
+) -> MultiMessageOutcome:
+    if messages is None:
+        if payload_length:
+            messages = [
+                bytes(rng.bytes_array(payload_length).tobytes())
+                for _ in range(k)
+            ]
+        else:
+            # rank-only mode: messages are empty, the coefficient vectors
+            # carry all the information the experiment measures
+            messages = [b""] * k
+    protocols = []
+    for v in network.nodes():
+        if v == network.source:
+            encoder = RLNCEncoder(k, payload_length, messages=messages)
+        else:
+            encoder = RLNCEncoder(k, payload_length)
+        protocols.append(
+            RLNCGossipProtocol(patterns[v], encoder, rng.spawn())
+        )
+    sim = Simulator(network, protocols, faults, rng.spawn())
+    executed = sim.run(max_rounds)
+    return MultiMessageOutcome(
+        success=sim.all_done(),
+        rounds=executed,
+        k=k,
+        completed_nodes=sim.done_count(),
+        total_nodes=network.n,
+        counters=sim.counters,
+    )
+
+
+def rlnc_decay_broadcast(
+    network: RadioNetwork,
+    k: int,
+    faults: FaultConfig = FaultConfig.faultless(),
+    rng: "int | RandomSource | None" = None,
+    payload_length: int = 0,
+    messages: Optional[list[bytes]] = None,
+    max_rounds: Optional[int] = None,
+) -> MultiMessageOutcome:
+    """Broadcast k messages with RLNC over the Decay pattern (Lemma 12)."""
+    check_positive(k, "k")
+    source = spawn_rng(rng)
+    n = network.n
+    if max_rounds is None:
+        log_n = ilog2(n) + 1
+        depth = max(1, network.source_eccentricity)
+        slowdown = 1.0 / (1.0 - faults.p)
+        max_rounds = int(
+            40 * slowdown * (depth * log_n + k * log_n + log_n * log_n)
+        ) + 200
+    pattern = _decay_pattern(n)
+    patterns = [pattern for _ in network.nodes()]
+    return _run_gossip(
+        network, patterns, k, payload_length, messages, faults, source, max_rounds
+    )
+
+
+def rlnc_robust_fastbc_broadcast(
+    network: RadioNetwork,
+    k: int,
+    faults: FaultConfig = FaultConfig.faultless(),
+    rng: "int | RandomSource | None" = None,
+    payload_length: int = 0,
+    messages: Optional[list[bytes]] = None,
+    max_rounds: Optional[int] = None,
+    tree: Optional[RankedBFSTree] = None,
+    block: Optional[int] = None,
+    round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
+) -> MultiMessageOutcome:
+    """Broadcast k messages with RLNC over Robust FASTBC (Lemma 13)."""
+    check_positive(k, "k")
+    source = spawn_rng(rng)
+    if tree is None:
+        tree = build_gbst(network).tree
+    n = network.n
+    if max_rounds is None:
+        log_n = ilog2(n) + 1
+        log_log_n = block_size(n)
+        depth = max(1, network.source_eccentricity)
+        slowdown = 1.0 / (1.0 - faults.p)
+        max_rounds = int(
+            slowdown
+            * (
+                40 * depth
+                + 40 * k * log_n * log_log_n
+                + 60 * round_multiplier * log_n * log_n * log_log_n
+            )
+        ) + 200
+    patterns = [
+        _robust_wave_pattern(tree, v, block, round_multiplier)
+        for v in network.nodes()
+    ]
+    return _run_gossip(
+        network, patterns, k, payload_length, messages, faults, source, max_rounds
+    )
+
+
+def rlnc_dense_wave_broadcast(
+    network: RadioNetwork,
+    k: int,
+    faults: FaultConfig = FaultConfig.faultless(),
+    rng: "int | RandomSource | None" = None,
+    payload_length: int = 0,
+    messages: Optional[list[bytes]] = None,
+    max_rounds: Optional[int] = None,
+    tree: Optional[RankedBFSTree] = None,
+) -> MultiMessageOutcome:
+    """Exploratory: RLNC over the dense-wave pattern (open problem).
+
+    Targets the paper's open ``O(D + k log n + polylog n)`` question; see
+    :func:`_dense_wave_pattern` for the construction and its caveats, and
+    experiment X1 for measurements.
+    """
+    check_positive(k, "k")
+    source = spawn_rng(rng)
+    if tree is None:
+        tree = build_gbst(network).tree
+    n = network.n
+    if max_rounds is None:
+        log_n = ilog2(n) + 1
+        depth = max(1, network.source_eccentricity)
+        slowdown = 1.0 / (1.0 - faults.p)
+        max_rounds = int(
+            40 * slowdown * (depth + k * log_n + log_n * log_n)
+        ) + 400
+    patterns = [
+        _dense_wave_pattern(tree, v) for v in network.nodes()
+    ]
+    return _run_gossip(
+        network, patterns, k, payload_length, messages, faults, source, max_rounds
+    )

@@ -1,0 +1,158 @@
+"""Single-link schedules (Appendix A: Lemmas 29, 30, 32).
+
+Two nodes s—t with fault probability p. On one edge there are no
+collisions, and sender and receiver faults are indistinguishable (one
+Bernoulli(p) coin per transmission either way), so the schedules are
+simulated directly on that coin:
+
+* **Non-adaptive routing** (Lemma 29): each message is broadcast a *fixed*
+  number R of times; a message is lost if all R copies fault. To push the
+  failure probability below 1/k one needs R = Θ(log k), hence Θ(k log k)
+  rounds — throughput Θ(1/log k).
+* **Adaptive routing** (Lemma 32): s repeats each message until it gets
+  through (the source sees receptions), a geometric variable with mean
+  1/(1-p) — Θ(k) rounds.
+* **Coding** (Lemma 30): s streams distinct coded packets; t needs any k —
+  a single negative-binomial wait, Θ(k) rounds.
+
+The coding gap is therefore Θ(log k) against non-adaptive routing
+(Lemma 31) and Θ(1) against adaptive routing (Lemma 33) — adaptivity alone
+closes the single-link gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.rng import RandomSource, spawn_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "SingleLinkOutcome",
+    "minimal_nonadaptive_repetitions",
+    "single_link_adaptive_routing",
+    "single_link_coding",
+    "single_link_nonadaptive_routing",
+]
+
+
+@dataclass(frozen=True)
+class SingleLinkOutcome:
+    """Result of a single-link schedule run."""
+
+    success: bool
+    rounds: int
+    k: int
+    #: number of the k messages t could reconstruct at the end
+    delivered: int
+
+    @property
+    def rounds_per_message(self) -> float:
+        return self.rounds / self.k
+
+
+def minimal_nonadaptive_repetitions(k: int, p: float) -> int:
+    """Smallest per-message repetition count R with union-bound failure
+    probability at most 1/k: k * p^R <= 1/k, i.e. R = ceil(2 ln k / ln(1/p)).
+
+    This is the Θ(log k) of Lemma 29. For p = 0 a single transmission
+    suffices; for k = 1 one fault-free transmission must still be forced
+    through, so R >= 1 always.
+    """
+    check_positive(k, "k")
+    check_probability(p, "p")
+    if p == 0.0:
+        return 1
+    if k == 1:
+        return max(1, math.ceil(math.log(2) / math.log(1.0 / p)))
+    return max(1, math.ceil(2.0 * math.log(k) / math.log(1.0 / p)))
+
+
+def single_link_nonadaptive_routing(
+    k: int,
+    p: float,
+    rng: "int | RandomSource | None" = None,
+    repetitions: "int | None" = None,
+) -> SingleLinkOutcome:
+    """Lemma 29's schedule: every message broadcast ``repetitions`` times,
+    deaf to outcomes. Defaults to :func:`minimal_nonadaptive_repetitions`.
+    """
+    check_positive(k, "k")
+    check_probability(p, "p")
+    source = spawn_rng(rng)
+    if repetitions is None:
+        repetitions = minimal_nonadaptive_repetitions(k, p)
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    delivered = 0
+    for _ in range(k):
+        got_it = any(
+            not source.bernoulli(p) for _ in range(repetitions)
+        )
+        delivered += got_it
+    return SingleLinkOutcome(
+        success=delivered == k,
+        rounds=k * repetitions,
+        k=k,
+        delivered=delivered,
+    )
+
+
+def single_link_adaptive_routing(
+    k: int,
+    p: float,
+    rng: "int | RandomSource | None" = None,
+    round_budget: "int | None" = None,
+) -> SingleLinkOutcome:
+    """Lemma 32's schedule: repeat each message until received, with the
+    paper's total budget of ``4k/(1-p)`` rounds (default)."""
+    check_positive(k, "k")
+    check_probability(p, "p")
+    source = spawn_rng(rng)
+    if round_budget is None:
+        round_budget = math.ceil(4.0 * k / (1.0 - p))
+    rounds = 0
+    delivered = 0
+    for _ in range(k):
+        while rounds < round_budget:
+            rounds += 1
+            if not source.bernoulli(p):
+                delivered += 1
+                break
+        else:
+            break
+    return SingleLinkOutcome(
+        success=delivered == k,
+        rounds=rounds,
+        k=k,
+        delivered=delivered,
+    )
+
+
+def single_link_coding(
+    k: int,
+    p: float,
+    rng: "int | RandomSource | None" = None,
+    max_rounds: "int | None" = None,
+) -> SingleLinkOutcome:
+    """Lemma 30's schedule: stream distinct coded packets until t holds k
+    of them (any k reconstruct, by the MDS property tested in
+    :mod:`repro.coding.reed_solomon`)."""
+    check_positive(k, "k")
+    check_probability(p, "p")
+    source = spawn_rng(rng)
+    if max_rounds is None:
+        max_rounds = math.ceil(8.0 * k / (1.0 - p)) + 50
+    received = 0
+    rounds = 0
+    while received < k and rounds < max_rounds:
+        rounds += 1
+        if not source.bernoulli(p):
+            received += 1
+    return SingleLinkOutcome(
+        success=received >= k,
+        rounds=rounds,
+        k=k,
+        delivered=k if received >= k else 0,
+    )

@@ -1,0 +1,93 @@
+"""Naive repetition baselines for fault-robust FASTBC (Section 4.1).
+
+The paper discusses two straw-man fixes before introducing Robust FASTBC:
+
+* repeat every FASTBC round ``Θ(log n)`` times — drives per-transmission
+  failure to ``1/poly(n)`` so a union bound over the run works, but costs
+  ``O(D log n)`` rounds, no better than Decay;
+* repeat every round ``Θ(log log n)`` times — the effective fault rate
+  drops to ``1/polylog(n)``, giving ``O(D log log n + polylog n)``.
+
+These are the A2 ablation baselines. Repetition is implemented as a round
+retimer over :class:`~repro.algorithms.fastbc.FastBCProtocol`: real round
+``t`` executes virtual FASTBC round ``t // repeat`` (Decay coin flips are
+re-drawn per repetition, which only helps the baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.algorithms.fastbc import FastBCProtocol
+from repro.algorithms.robust_fastbc import block_size
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+from repro.core.packets import Packet
+from repro.gbst.gbst import build_gbst
+from repro.gbst.ranked_bfs import RankedBFSTree
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = [
+    "RepeatedFastBCProtocol",
+    "repeated_fastbc_broadcast",
+    "repeat_factor_log",
+    "repeat_factor_loglog",
+]
+
+
+def repeat_factor_log(n: int) -> int:
+    """The Θ(log n) repetition factor."""
+    return ilog2(max(2, n)) + 1
+
+
+def repeat_factor_loglog(n: int) -> int:
+    """The Θ(log log n) repetition factor."""
+    return block_size(n) + 1
+
+
+class RepeatedFastBCProtocol(FastBCProtocol):
+    """FASTBC with every round repeated ``repeat`` times."""
+
+    def __init__(
+        self,
+        node: int,
+        tree: RankedBFSTree,
+        rng: RandomSource,
+        repeat: int,
+        informed: bool = False,
+    ) -> None:
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        super().__init__(node, tree, rng, informed=informed)
+        self.repeat = repeat
+
+    def act(self, round_index: int) -> Optional[Packet]:
+        return super().act(round_index // self.repeat)
+
+
+def repeated_fastbc_broadcast(
+    network: RadioNetwork,
+    repeat: int,
+    faults: FaultConfig = FaultConfig.faultless(),
+    rng: "int | RandomSource | None" = None,
+    max_rounds: Optional[int] = None,
+    tree: Optional[RankedBFSTree] = None,
+) -> BroadcastOutcome:
+    """Broadcast with the repetition baseline (factor ``repeat``)."""
+    source = spawn_rng(rng)
+    if tree is None:
+        tree = build_gbst(network).tree
+    n = network.n
+    if max_rounds is None:
+        log_n = ilog2(n) + 1
+        depth = max(1, network.source_eccentricity)
+        slowdown = 1.0 / (1.0 - faults.p)
+        max_rounds = int(60 * repeat * slowdown * (depth + log_n * log_n)) + 200
+    protocols = [
+        RepeatedFastBCProtocol(
+            v, tree, source.spawn(), repeat, informed=(v == network.source)
+        )
+        for v in network.nodes()
+    ]
+    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)

@@ -1,0 +1,217 @@
+"""Robust FASTBC: the paper's new fault-tolerant diameter-linear algorithm.
+
+Section 4.1 / Theorem 11. As in FASTBC, odd rounds run Decay. Even rounds
+run the *block wave*: each fast stretch is partitioned into blocks of
+``S = Θ(log log n)`` consecutive levels, and a block broadcasts for
+``c·S`` consecutive even rounds (its *superround*) before the wave hands
+over to the next block. Within an active block, the node at level ``l``
+broadcasts in even round ``t`` iff ``l ≡ t (mod 3)`` — the mod-3 spacing
+prevents collisions between consecutive BFS levels.
+
+Formally (paper, "Formal Robust FASTBC Algorithm"): at even round ``t``, a
+fast-set node at level ``l`` with rank ``r`` broadcasts iff
+
+    floor(l / S) - 6r  ≡  floor((t/2) / (cS))   (mod 6 r_max)
+    and  l ≡ t (mod 3).
+
+The point of blocks: a single dropped transmission in plain FASTBC stalls
+the wave for Θ(log n) rounds (Lemma 10); here a message only goes
+*inactive* if it fails to cross a whole block — probability
+``1/polylog(n)`` for suitable ``c`` — so the expected number of
+Θ(log n·log log n)-round stalls is o(1) per stretch, and the total time is
+``O(D + log n·log log n·(log n + log 1/δ))`` with faults (Theorem 11).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+from repro.core.errors import ProtocolError
+from repro.core.packets import MessagePacket, Packet
+from repro.core.protocol import NodeProtocol
+from repro.gbst.gbst import build_gbst
+from repro.gbst.ranked_bfs import RankedBFSTree
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = [
+    "RobustFastBCProtocol",
+    "robust_fastbc_broadcast",
+    "block_size",
+    "make_robust_fastbc_protocols",
+]
+
+_MESSAGE = MessagePacket(0)
+
+#: default round multiplier c ("sufficiently large constant"); sized so a
+#: block crossing fails with probability well below 1/log^3 n at p <= 1/2
+DEFAULT_ROUND_MULTIPLIER = 15
+
+
+def block_size(n: int) -> int:
+    """The paper's S = Θ(log log n) block size (>= 1)."""
+    log_n = max(2.0, math.log2(max(2, n)))
+    return max(1, math.ceil(math.log2(log_n)))
+
+
+class RobustFastBCProtocol(NodeProtocol):
+    """Per-node Robust FASTBC over a shared GBST.
+
+    Parameters
+    ----------
+    node, tree, rng, informed:
+        As in :class:`~repro.algorithms.fastbc.FastBCProtocol`.
+    block:
+        Block size S; defaults to :func:`block_size` of n. Exposed for the
+        A1 ablation (S = 1 recovers plain-FASTBC-like fragility, large S
+        over-waits).
+    round_multiplier:
+        The constant c: a block broadcasts for c·S consecutive even rounds.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        tree: RankedBFSTree,
+        rng: RandomSource,
+        informed: bool = False,
+        block: Optional[int] = None,
+        round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
+        decay_interleave: bool = True,
+    ) -> None:
+        self.decay_interleave = decay_interleave
+        if round_multiplier < 1:
+            raise ValueError(
+                f"round_multiplier must be >= 1, got {round_multiplier}"
+            )
+        n = tree.network.n
+        self.node = node
+        self.rng = rng
+        self.informed = informed
+        self.active = informed
+        self.level = tree.level[node]
+        self.rank = tree.rank[node]
+        self.is_fast = tree.is_fast(node)
+        self.phase_length = ilog2(n) + 1
+        # Same convention as FastBCProtocol: the schedule period uses the
+        # Lemma 7 bound ceil(log2 n), matching the paper's Theta(log n)
+        # treatment of the inter-wave wait.
+        self.max_rank = max(1, ilog2(n))
+        self.block = block if block is not None else block_size(n)
+        if self.block < 1:
+            raise ValueError(f"block size must be >= 1, got {self.block}")
+        self.round_multiplier = round_multiplier
+        self.informed_round: Optional[int] = 0 if informed else None
+
+    def act(self, round_index: int) -> Optional[Packet]:
+        if not self.informed:
+            return None
+        if round_index % 2 == 1:
+            # odd: standard Decay step on all informed nodes (optional for
+            # wave-isolation experiments, as in FastBCProtocol)
+            if not self.decay_interleave:
+                return None
+            i = ((round_index - 1) // 2) % self.phase_length
+            if self.rng.bernoulli(2.0 ** (-i)):
+                return _MESSAGE
+            return None
+        # even: block wave on the fast set. t indexes even rounds; within
+        # its superround, the node at level l fires on every t = l (mod 3),
+        # so the wave crosses one hop per even round when transmissions
+        # succeed and retries a hop every 3 even rounds after a fault.
+        if not self.is_fast:
+            return None
+        t = round_index // 2
+        s = self.block
+        superround_length = self.round_multiplier * s
+        modulus = 6 * self.max_rank
+        target = (self.level // s - 6 * self.rank) % modulus
+        current = (t // superround_length) % modulus
+        if current != target:
+            return None
+        if self.level % 3 != t % 3:
+            return None
+        return _MESSAGE
+
+    def on_receive(self, round_index: int, packet: Packet, sender: int) -> None:
+        if not isinstance(packet, MessagePacket):
+            raise ProtocolError(
+                f"single-message protocol received {type(packet).__name__}; "
+                "the model's routing packets are MessagePacket"
+            )
+        if not self.informed:
+            self.informed = True
+            self.active = True
+            self.informed_round = round_index
+
+    def is_done(self) -> bool:
+        return self.informed
+
+
+def make_robust_fastbc_protocols(
+    network: RadioNetwork,
+    rng: RandomSource,
+    tree: Optional[RankedBFSTree] = None,
+    block: Optional[int] = None,
+    round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
+    decay_interleave: bool = True,
+) -> list[RobustFastBCProtocol]:
+    """Build one Robust FASTBC protocol per node over a shared GBST."""
+    if tree is None:
+        tree = build_gbst(network).tree
+    return [
+        RobustFastBCProtocol(
+            v,
+            tree,
+            rng.spawn(),
+            informed=(v == network.source),
+            block=block,
+            round_multiplier=round_multiplier,
+            decay_interleave=decay_interleave,
+        )
+        for v in network.nodes()
+    ]
+
+
+def robust_fastbc_broadcast(
+    network: RadioNetwork,
+    faults: FaultConfig = FaultConfig.faultless(),
+    rng: "int | RandomSource | None" = None,
+    max_rounds: Optional[int] = None,
+    tree: Optional[RankedBFSTree] = None,
+    block: Optional[int] = None,
+    round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
+    decay_interleave: bool = True,
+) -> BroadcastOutcome:
+    """Broadcast one message from the source with Robust FASTBC."""
+    source = spawn_rng(rng)
+    n = network.n
+    if max_rounds is None:
+        log_n = ilog2(n) + 1
+        log_log_n = block_size(n)
+        depth = max(1, network.source_eccentricity)
+        slowdown = 1.0 / (1.0 - faults.p)
+        max_rounds = (
+            int(
+                slowdown
+                * (
+                    40 * depth
+                    + 60 * round_multiplier * log_n * log_log_n * log_n
+                )
+            )
+            + 200
+        )
+        if not decay_interleave:
+            max_rounds *= 4
+    protocols = make_robust_fastbc_protocols(
+        network,
+        source,
+        tree=tree,
+        block=block,
+        round_multiplier=round_multiplier,
+        decay_interleave=decay_interleave,
+    )
+    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)

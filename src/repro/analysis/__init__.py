@@ -1,0 +1,43 @@
+"""Theory-side tools: tail bounds, closed-form predictions, curve fitting."""
+
+from repro.analysis.bounds import (
+    chernoff_binomial_lower_tail,
+    chernoff_binomial_upper_tail,
+    chernoff_geometric_sum_tail,
+    union_bound,
+)
+from repro.analysis.fitting import growth_exponent, linear_fit, loglog_slope
+from repro.analysis.predictions import (
+    decay_rounds,
+    fastbc_faultless_rounds,
+    fastbc_noisy_path_rounds,
+    robust_fastbc_rounds,
+    single_link_adaptive_rounds,
+    single_link_coding_rounds,
+    single_link_nonadaptive_rounds,
+    star_coding_rounds,
+    star_routing_rounds,
+    wct_coding_rounds,
+    wct_routing_rounds,
+)
+
+__all__ = [
+    "chernoff_binomial_lower_tail",
+    "chernoff_binomial_upper_tail",
+    "chernoff_geometric_sum_tail",
+    "decay_rounds",
+    "fastbc_faultless_rounds",
+    "fastbc_noisy_path_rounds",
+    "growth_exponent",
+    "linear_fit",
+    "loglog_slope",
+    "robust_fastbc_rounds",
+    "single_link_adaptive_rounds",
+    "single_link_coding_rounds",
+    "single_link_nonadaptive_rounds",
+    "star_coding_rounds",
+    "star_routing_rounds",
+    "union_bound",
+    "wct_coding_rounds",
+    "wct_routing_rounds",
+]

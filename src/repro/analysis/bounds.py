@@ -1,0 +1,63 @@
+"""Concentration bounds used in the paper's proofs (Appendix B).
+
+These are the *analytic* counterparts of the simulations: experiments
+compare empirical failure rates against these bounds (which must upper
+bound them), and tests verify the bounds against exact tail computations
+on small instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = [
+    "chernoff_geometric_sum_tail",
+    "chernoff_binomial_upper_tail",
+    "chernoff_binomial_lower_tail",
+    "union_bound",
+]
+
+
+def chernoff_geometric_sum_tail(n: int, delta: float) -> float:
+    """Theorem 34 (Doerr): for X the sum of n independent geometric
+    variables with common success probability, and any delta > 0,
+
+        P(X >= (1 + delta) E[X]) <= exp(-delta^2 (n-1) / (2 (1 + delta))).
+
+    Notably independent of the success probability.
+    """
+    check_positive(n, "n")
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    exponent = -(delta**2) * (n - 1) / (2.0 * (1.0 + delta))
+    return math.exp(exponent)
+
+
+def chernoff_binomial_upper_tail(n: int, p: float, delta: float) -> float:
+    """P(Bin(n, p) >= (1+delta) np) <= exp(-delta^2 np / (2 + delta))."""
+    check_positive(n, "n")
+    check_fraction(p, "p")
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    return math.exp(-(delta**2) * n * p / (2.0 + delta))
+
+
+def chernoff_binomial_lower_tail(n: int, p: float, delta: float) -> float:
+    """P(Bin(n, p) <= (1-delta) np) <= exp(-delta^2 np / 2)."""
+    check_positive(n, "n")
+    check_fraction(p, "p")
+    if not 0 < delta <= 1:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    return math.exp(-(delta**2) * n * p / 2.0)
+
+
+def union_bound(*probabilities: float) -> float:
+    """min(1, sum of failure probabilities)."""
+    total = 0.0
+    for q in probabilities:
+        if q < 0:
+            raise ValueError(f"probability must be >= 0, got {q}")
+        total += q
+    return min(1.0, total)

@@ -1,0 +1,40 @@
+"""Growth-rate fitting for experiment tables.
+
+Experiments check *shapes*: does a measured quantity grow like log n, like
+n, like k log k? These helpers fit the simple models involved.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["linear_fit", "loglog_slope", "growth_exponent"]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit ``y = slope * x + intercept``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit a line")
+    slope, intercept = np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 1)
+    return float(slope), float(intercept)
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of log y against log x — the empirical polynomial degree."""
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("loglog_slope requires positive data")
+    slope, _ = linear_fit(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return slope
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Alias of :func:`loglog_slope`, named for experiment readability:
+    ``growth_exponent ~ 1`` means linear growth, ``~ 0`` means flat."""
+    return loglog_slope(xs, ys)

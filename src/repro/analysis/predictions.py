@@ -1,0 +1,95 @@
+"""Closed-form round-count predictions, one per reproduced statement.
+
+Each function evaluates the *functional form* a lemma/theorem bounds —
+with all constants set to 1 — so experiments can regress measured rounds
+against predicted shape (ratios across a sweep should be near-constant if
+the shape is right). These are shapes, not absolute predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "decay_rounds",
+    "fastbc_faultless_rounds",
+    "fastbc_noisy_path_rounds",
+    "robust_fastbc_rounds",
+    "star_routing_rounds",
+    "star_coding_rounds",
+    "wct_routing_rounds",
+    "wct_coding_rounds",
+    "single_link_nonadaptive_rounds",
+    "single_link_adaptive_rounds",
+    "single_link_coding_rounds",
+]
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(2.0, value))
+
+
+def decay_rounds(n: int, diameter: int, p: float = 0.0) -> float:
+    """Lemma 6 / Lemma 9: log n / (1-p) * (D + log n)."""
+    return _log2(n) / (1.0 - p) * (diameter + _log2(n))
+
+
+def fastbc_faultless_rounds(n: int, diameter: int) -> float:
+    """Lemma 8: D + log^2 n."""
+    return diameter + _log2(n) ** 2
+
+
+def fastbc_noisy_path_rounds(n: int, diameter: int, p: float) -> float:
+    """Lemma 10: p/(1-p) * D log n + D/(1-p)."""
+    return p / (1.0 - p) * diameter * _log2(n) + diameter / (1.0 - p)
+
+
+def robust_fastbc_rounds(n: int, diameter: int, p: float = 0.0) -> float:
+    """Theorem 11: D + log n * log log n * log n, with a 1/(1-p) factor on
+    the additive term (the D term's constant also depends on 1/(1-p)
+    through the block multiplier, folded into the shape constant)."""
+    log_n = _log2(n)
+    log_log_n = max(1.0, math.log2(max(2.0, log_n)))
+    return diameter + log_n * log_log_n * log_n / (1.0 - p)
+
+
+def star_routing_rounds(n_leaves: int, k: int, p: float) -> float:
+    """Lemma 15: k log n (the receiver-fault last-straggler cost).
+
+    The log base reflects per-transmission success 1-p: the expected
+    straggler tail is log_{1/p}(n) ~ log2(n)/log2(1/p)."""
+    if p == 0.0:
+        return float(k)
+    return k * _log2(n_leaves) / max(1e-9, math.log2(1.0 / p))
+
+
+def star_coding_rounds(k: int, p: float) -> float:
+    """Lemma 16: k/(1-p) rounds — constant per message."""
+    return k / (1.0 - p)
+
+
+def wct_routing_rounds(n: int, k: int, p: float = 0.5) -> float:
+    """Lemma 19: k log^2 n."""
+    return k * _log2(n) ** 2 / (1.0 - p)
+
+
+def wct_coding_rounds(n: int, k: int, p: float = 0.5) -> float:
+    """Lemma 23: k log n."""
+    return k * _log2(n) / (1.0 - p)
+
+
+def single_link_nonadaptive_rounds(k: int, p: float) -> float:
+    """Lemma 29: k log k."""
+    if p == 0.0:
+        return float(k)
+    return k * 2.0 * math.log(max(2, k)) / math.log(1.0 / p)
+
+
+def single_link_adaptive_rounds(k: int, p: float) -> float:
+    """Lemma 32: k/(1-p)."""
+    return k / (1.0 - p)
+
+
+def single_link_coding_rounds(k: int, p: float) -> float:
+    """Lemma 30: k/(1-p)."""
+    return k / (1.0 - p)

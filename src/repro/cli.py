@@ -1,0 +1,86 @@
+"""Command-line interface: list and run experiments, print result tables.
+
+Usage::
+
+    repro list
+    repro run E4 --scale full --seed 1
+    repro run all --scale smoke
+    repro run E10 --format csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import all_experiments, get_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Broadcasting in Noisy Radio Networks' "
+            "(PODC 2017): run any experiment from DESIGN.md section 4."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("id", help="experiment id (e.g. E4, A1) or 'all'")
+    run.add_argument(
+        "--scale",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="sweep size: smoke (seconds) or full (the EXPERIMENTS.md scale)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="top-level RNG seed")
+    run.add_argument(
+        "--format",
+        choices=("text", "csv", "markdown"),
+        default="text",
+        help="output format",
+    )
+    return parser
+
+
+def _render(table, fmt: str) -> str:
+    if fmt == "csv":
+        return table.to_csv()
+    if fmt == "markdown":
+        return table.to_markdown()
+    return table.to_text()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for experiment in all_experiments():
+            print(f"{experiment.id:>4}  {experiment.title}")
+            print(f"      {experiment.claim}")
+        return 0
+
+    if args.id.lower() == "all":
+        experiments = all_experiments()
+    else:
+        try:
+            experiments = [get_experiment(args.id)]
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+
+    for experiment in experiments:
+        table = experiment(scale=args.scale, seed=args.seed)
+        print(_render(table, args.format))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

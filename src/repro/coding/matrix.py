@@ -1,0 +1,188 @@
+"""Dense matrices over GF(2^8): rank, RREF, solving, inversion.
+
+This is the linear-algebra engine behind both Reed-Solomon decoding
+(Vandermonde system solves) and RLNC decoding (incremental Gaussian
+elimination over received coefficient vectors).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.gf256 import GF256
+
+__all__ = ["GFMatrix"]
+
+
+class GFMatrix:
+    """A dense matrix over GF(2^8) backed by a uint8 numpy array.
+
+    Instances are immutable from the caller's perspective: operations return
+    new matrices and never mutate their operands.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: "np.ndarray | Sequence[Sequence[int]]") -> None:
+        arr = np.array(data, dtype=np.uint8, copy=True)
+        if arr.ndim != 2:
+            raise ValueError(f"matrix data must be 2-D, got shape {arr.shape}")
+        self.data = arr
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "GFMatrix":
+        """All-zero rows x cols matrix."""
+        if rows < 0 or cols < 0:
+            raise ValueError("dimensions must be non-negative")
+        return cls(np.zeros((rows, cols), dtype=np.uint8))
+
+    @classmethod
+    def identity(cls, n: int) -> "GFMatrix":
+        """n x n identity (multiplicative identity is the byte 1)."""
+        return cls(np.eye(n, dtype=np.uint8))
+
+    @classmethod
+    def vandermonde(cls, points: Sequence[int], cols: int) -> "GFMatrix":
+        """Vandermonde matrix: row i is (1, x_i, x_i^2, ..., x_i^{cols-1}).
+
+        Any ``cols`` rows with distinct ``x_i`` are linearly independent,
+        which is exactly the MDS property Reed-Solomon relies on.
+        """
+        if cols <= 0:
+            raise ValueError("cols must be positive")
+        rows = np.zeros((len(points), cols), dtype=np.uint8)
+        for i, x in enumerate(points):
+            if not 0 <= x <= 255:
+                raise ValueError(f"evaluation point {x} outside GF(2^8)")
+            acc = 1
+            for j in range(cols):
+                rows[i, j] = acc
+                acc = GF256.mul(acc, x)
+        return cls(rows)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.data.shape  # type: ignore[return-value]
+
+    @property
+    def rows(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.data.shape[1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GFMatrix):
+            return NotImplemented
+        return self.shape == other.shape and bool(np.all(self.data == other.data))
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.data.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"GFMatrix({self.data.tolist()!r})"
+
+    def copy(self) -> "GFMatrix":
+        return GFMatrix(self.data)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "GFMatrix") -> "GFMatrix":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return GFMatrix(np.bitwise_xor(self.data, other.data))
+
+    # Subtraction equals addition in characteristic 2.
+    __sub__ = __add__
+
+    def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
+        return GFMatrix(GF256.matmul(self.data, other.data))
+
+    def scale(self, scalar: int) -> "GFMatrix":
+        """Multiply every entry by a field scalar."""
+        return GFMatrix(GF256.scale_vec(scalar, self.data))
+
+    def transpose(self) -> "GFMatrix":
+        return GFMatrix(self.data.T)
+
+    # -- elimination ------------------------------------------------------------
+
+    def rref(self) -> tuple["GFMatrix", list[int]]:
+        """Reduced row-echelon form and the list of pivot column indices."""
+        m = self.data.copy()
+        rows, cols = m.shape
+        pivots: list[int] = []
+        pivot_row = 0
+        for col in range(cols):
+            if pivot_row >= rows:
+                break
+            # find a row at or below pivot_row with a nonzero entry in col
+            nonzero = np.nonzero(m[pivot_row:, col])[0]
+            if nonzero.size == 0:
+                continue
+            chosen = pivot_row + int(nonzero[0])
+            if chosen != pivot_row:
+                m[[pivot_row, chosen]] = m[[chosen, pivot_row]]
+            # normalize the pivot row
+            inv = GF256.inv(int(m[pivot_row, col]))
+            m[pivot_row] = GF256.scale_vec(inv, m[pivot_row])
+            # eliminate the column from every other row
+            col_vals = m[:, col].copy()
+            col_vals[pivot_row] = 0
+            eliminate = np.nonzero(col_vals)[0]
+            for r in eliminate:
+                m[r] ^= GF256.scale_vec(int(col_vals[r]), m[pivot_row])
+            pivots.append(col)
+            pivot_row += 1
+        return GFMatrix(m), pivots
+
+    def rank(self) -> int:
+        """Rank of the matrix."""
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def is_invertible(self) -> bool:
+        """True iff the matrix is square and full-rank."""
+        return self.rows == self.cols and self.rank() == self.rows
+
+    def inverse(self) -> "GFMatrix":
+        """Matrix inverse; raises ValueError if singular or non-square."""
+        if self.rows != self.cols:
+            raise ValueError(f"cannot invert non-square matrix {self.shape}")
+        n = self.rows
+        augmented = np.concatenate(
+            [self.data, np.eye(n, dtype=np.uint8)], axis=1
+        )
+        reduced, pivots = GFMatrix(augmented).rref()
+        if pivots != list(range(n)):
+            raise ValueError("matrix is singular")
+        return GFMatrix(reduced.data[:, n:])
+
+    def solve(self, rhs: "GFMatrix") -> "GFMatrix":
+        """Solve A @ X = rhs for X; A must be square and invertible.
+
+        ``rhs`` may have any number of columns (each is solved
+        simultaneously).
+        """
+        if self.rows != self.cols:
+            raise ValueError(f"solve requires a square matrix, got {self.shape}")
+        if rhs.rows != self.rows:
+            raise ValueError(
+                f"rhs has {rhs.rows} rows but matrix has {self.rows}"
+            )
+        augmented = np.concatenate([self.data, rhs.data], axis=1)
+        reduced, pivots = GFMatrix(augmented).rref()
+        if pivots[: self.rows] != list(range(self.rows)):
+            raise ValueError("matrix is singular")
+        return GFMatrix(reduced.data[:, self.cols :])
+
+    def row(self, index: int) -> np.ndarray:
+        """Copy of one row as a uint8 vector."""
+        return self.data[index].copy()

@@ -1,0 +1,153 @@
+"""Systematic Reed-Solomon erasure codes over GF(2^8).
+
+The paper (Lemmas 16, 26, 30) uses Reed-Solomon as a black box with one
+property: from ``k`` message packets one can produce ``m >= k`` coded packets
+such that **any** ``k`` of the coded packets suffice to reconstruct the
+originals. This module implements exactly that as a systematic code:
+
+* the message is a ``k x symbol_count`` byte matrix (k packets, each a byte
+  string);
+* coded packet ``i`` is the evaluation of the message polynomial columns at
+  field point ``alpha_i`` (points 0..k-1 reproduce the message verbatim —
+  the systematic part — and points k..m-1 are parity);
+* decoding solves a k x k Vandermonde system over the surviving points.
+
+Because GF(2^8) has 256 elements, a single code supports ``m <= 256`` coded
+packets. The paper needs ``m = Theta(k + log n)`` with small constants in
+its schedules; for larger ``m`` the multi-message layer chunks messages into
+batches of at most 256 (see :mod:`repro.algorithms.multi`), which preserves
+every claimed bound since bounds are linear in k.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.matrix import GFMatrix
+
+__all__ = ["ReedSolomonCode"]
+
+
+class ReedSolomonCode:
+    """A systematic (m, k) Reed-Solomon erasure code over GF(2^8).
+
+    Parameters
+    ----------
+    k:
+        Number of message packets (1 <= k <= 256).
+    m:
+        Total number of coded packets produced (k <= m <= 256).
+    """
+
+    def __init__(self, k: int, m: int) -> None:
+        if not 1 <= k <= 256:
+            raise ValueError(f"k must be in [1, 256], got {k}")
+        if not k <= m <= 256:
+            raise ValueError(f"m must be in [k, 256] = [{k}, 256], got {m}")
+        self.k = k
+        self.m = m
+        # Evaluation points: the first k points are the "systematic" ones.
+        self._points = list(range(m))
+        self._encode_matrix = GFMatrix.vandermonde(self._points, k)
+
+    def __repr__(self) -> str:
+        return f"ReedSolomonCode(k={self.k}, m={self.m})"
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, packets: Sequence[bytes]) -> list[bytes]:
+        """Encode ``k`` equal-length byte packets into ``m`` coded packets.
+
+        Coded packet ``i`` equals the GF(2^8) combination
+        ``sum_j V[i, j] * packet_j`` where V is the Vandermonde encode
+        matrix. Note that with Vandermonde row 0 = (1, 0, ..., 0), coded
+        packet 0 is message packet 0; the code is *partially* systematic
+        (row i of a Vandermonde matrix is the evaluation at point i, so only
+        point 0 reproduces a message verbatim). Decoding never relies on
+        systematicity.
+        """
+        message = self._as_matrix(packets)
+        coded = self._encode_matrix @ message
+        return [bytes(coded.data[i].tobytes()) for i in range(self.m)]
+
+    def encode_array(self, message: np.ndarray) -> np.ndarray:
+        """Encode a ``(k, length)`` uint8 array into ``(m, length)``."""
+        if message.shape[0] != self.k:
+            raise ValueError(
+                f"message has {message.shape[0]} rows, code expects {self.k}"
+            )
+        coded = self._encode_matrix @ GFMatrix(message)
+        return coded.data
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(
+        self, received: Sequence[tuple[int, bytes]]
+    ) -> list[bytes]:
+        """Reconstruct the k message packets from any k received packets.
+
+        Parameters
+        ----------
+        received:
+            Pairs ``(index, payload)`` where ``index`` is the coded-packet
+            index in [0, m) and ``payload`` the received bytes. At least
+            ``k`` pairs with distinct indices are required.
+        """
+        by_index: dict[int, bytes] = {}
+        for index, payload in received:
+            if not 0 <= index < self.m:
+                raise ValueError(f"coded-packet index {index} out of range")
+            by_index.setdefault(index, payload)
+        if len(by_index) < self.k:
+            raise ValueError(
+                f"need at least k={self.k} distinct packets to decode, "
+                f"got {len(by_index)}"
+            )
+        chosen = sorted(by_index)[: self.k]
+        lengths = {len(by_index[i]) for i in chosen}
+        if len(lengths) != 1:
+            raise ValueError(f"received packets have mixed lengths {lengths}")
+        (length,) = lengths
+
+        system = GFMatrix.vandermonde(chosen, self.k)
+        rhs = np.zeros((self.k, length), dtype=np.uint8)
+        for row, i in enumerate(chosen):
+            rhs[row] = np.frombuffer(by_index[i], dtype=np.uint8)
+        # In this encoding the message packets are the polynomial
+        # coefficients themselves (coded packet i = evaluation at point i),
+        # so the Vandermonde solve recovers the message directly.
+        solution = system.solve(GFMatrix(rhs))
+        return [bytes(solution.data[j].tobytes()) for j in range(self.k)]
+
+    def decode_array(
+        self, indices: Sequence[int], payloads: np.ndarray
+    ) -> np.ndarray:
+        """Array variant of :meth:`decode` returning a ``(k, length)`` array."""
+        pairs = [
+            (int(i), payloads[row].tobytes())
+            for row, i in enumerate(indices)
+        ]
+        decoded = self.decode(pairs)
+        return np.stack(
+            [np.frombuffer(p, dtype=np.uint8) for p in decoded], axis=0
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _as_matrix(self, packets: Sequence[bytes]) -> GFMatrix:
+        if len(packets) != self.k:
+            raise ValueError(
+                f"expected {self.k} message packets, got {len(packets)}"
+            )
+        lengths = {len(p) for p in packets}
+        if len(lengths) != 1:
+            raise ValueError(f"message packets have mixed lengths {lengths}")
+        (length,) = lengths
+        if length == 0:
+            raise ValueError("message packets must be non-empty")
+        data = np.zeros((self.k, length), dtype=np.uint8)
+        for i, packet in enumerate(packets):
+            data[i] = np.frombuffer(packet, dtype=np.uint8)
+        return GFMatrix(data)

@@ -1,0 +1,256 @@
+"""Random linear network coding over GF(2^8), following Haeupler [24].
+
+In RLNC multi-message broadcast, every packet on the air is a pair
+``(coefficient vector, payload)`` where the payload is the corresponding
+GF-linear combination of the k original messages. A node's knowledge is the
+subspace spanned by the coefficient vectors it has received; it decodes once
+that subspace has full dimension k.
+
+Two objects implement this:
+
+* :class:`RLNCEncoder` — held by each node; accumulates received coded
+  packets and emits fresh *random* combinations of everything it knows.
+* :class:`RLNCDecoder` — incremental Gaussian elimination that tracks the
+  dimension of the known subspace and recovers the original messages at full
+  rank. (Encoder embeds a decoder; the split exists so lower-bound
+  experiments can count rank evolution without paying for re-encoding.)
+
+The innovation probability argument of the paper's Lemmas 12-13 needs a
+field large enough that a random combination from a strictly-more-knowing
+neighbor is non-innovative with at most constant probability; over GF(2^8)
+that probability is 1/256 per reception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coding.gf256 import GF256
+from repro.util.rng import RandomSource
+
+__all__ = ["CodedPacket", "RLNCDecoder", "RLNCEncoder", "random_coefficients"]
+
+
+@dataclass(frozen=True)
+class CodedPacket:
+    """A coded packet: coefficients over the k messages, plus the payload.
+
+    ``coefficients`` has length k; ``payload`` is the same GF-linear
+    combination applied to the message byte matrix (may be empty when an
+    experiment tracks rank only).
+    """
+
+    coefficients: bytes
+    payload: bytes
+
+    @property
+    def k(self) -> int:
+        return len(self.coefficients)
+
+    def coefficient_array(self) -> np.ndarray:
+        return np.frombuffer(self.coefficients, dtype=np.uint8)
+
+    def payload_array(self) -> np.ndarray:
+        return np.frombuffer(self.payload, dtype=np.uint8)
+
+    def is_zero(self) -> bool:
+        return all(c == 0 for c in self.coefficients)
+
+
+def random_coefficients(k: int, rng: RandomSource) -> np.ndarray:
+    """A uniformly random non-zero coefficient vector of length k."""
+    while True:
+        coeffs = rng.bytes_array(k)
+        if np.any(coeffs):
+            return coeffs
+
+
+class RLNCDecoder:
+    """Incremental Gaussian elimination over received coded packets.
+
+    Maintains a row-reduced basis of the received coefficient vectors with
+    payloads carried along, so that rank and decoding are both O(k) per
+    packet amortized.
+    """
+
+    def __init__(self, k: int, payload_length: int = 0) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if payload_length < 0:
+            raise ValueError("payload_length must be non-negative")
+        self.k = k
+        self.payload_length = payload_length
+        # basis rows: coefficient part (k) | payload part (payload_length)
+        self._basis = np.zeros((k, k + payload_length), dtype=np.uint8)
+        # pivot_of[c] = basis row index whose pivot is column c, or -1
+        self._pivot_of = np.full(k, -1, dtype=np.int32)
+        self._rank = 0
+        self.received_count = 0
+        self.innovative_count = 0
+
+    @property
+    def rank(self) -> int:
+        """Dimension of the subspace of coefficient space known so far."""
+        return self._rank
+
+    def is_complete(self) -> bool:
+        """True once k independent combinations have been received."""
+        return self._rank == self.k
+
+    def receive(self, packet: CodedPacket) -> bool:
+        """Absorb a coded packet; return True iff it was innovative."""
+        if packet.k != self.k:
+            raise ValueError(
+                f"packet is over {packet.k} messages, decoder expects {self.k}"
+            )
+        payload = packet.payload_array()
+        if payload.size != self.payload_length:
+            raise ValueError(
+                f"payload length {payload.size} != {self.payload_length}"
+            )
+        self.received_count += 1
+        row = np.concatenate([packet.coefficient_array(), payload])
+        innovative = self._reduce_and_insert(row)
+        if innovative:
+            self.innovative_count += 1
+        return innovative
+
+    def receive_raw(self, coefficients: np.ndarray, payload: np.ndarray) -> bool:
+        """Zero-copy variant of :meth:`receive` for simulator hot paths."""
+        self.received_count += 1
+        row = np.concatenate([coefficients, payload]).astype(np.uint8)
+        innovative = self._reduce_and_insert(row)
+        if innovative:
+            self.innovative_count += 1
+        return innovative
+
+    def _reduce_and_insert(self, row: np.ndarray) -> bool:
+        """Row-reduce against the basis; insert if a new pivot remains."""
+        for col in range(self.k):
+            coeff = int(row[col])
+            if coeff == 0:
+                continue
+            owner = int(self._pivot_of[col])
+            if owner < 0:
+                # new pivot: normalize and store
+                inv = GF256.inv(coeff)
+                row = GF256.scale_vec(inv, row)
+                self._basis[self._rank] = row
+                self._pivot_of[col] = self._rank
+                self._rank += 1
+                # Back-substitute into earlier rows lazily at decode time;
+                # keeping the basis merely in echelon form is enough for
+                # rank queries, which dominate simulation time.
+                return True
+            row = row ^ GF256.scale_vec(coeff, self._basis[owner])
+        return False
+
+    def basis_coefficients(self) -> np.ndarray:
+        """Copy of the current basis coefficient rows (rank x k)."""
+        rows = [
+            self._basis[int(self._pivot_of[c])][: self.k]
+            for c in range(self.k)
+            if self._pivot_of[c] >= 0
+        ]
+        if not rows:
+            return np.zeros((0, self.k), dtype=np.uint8)
+        return np.stack(rows, axis=0)
+
+    def decode(self) -> np.ndarray:
+        """Recover the (k, payload_length) message matrix at full rank."""
+        if not self.is_complete():
+            raise ValueError(
+                f"cannot decode at rank {self._rank} < k = {self.k}"
+            )
+        # Full back-substitution: eliminate above-pivot entries.
+        order = [int(self._pivot_of[c]) for c in range(self.k)]
+        m = self._basis[order].copy()  # rows now sorted by pivot column
+        for col in range(self.k - 1, -1, -1):
+            pivot_row = col
+            above = np.nonzero(m[:pivot_row, col])[0]
+            for r in above:
+                m[r] ^= GF256.scale_vec(int(m[r, col]), m[pivot_row])
+        return m[:, self.k :]
+
+    def decode_messages(self) -> list[bytes]:
+        """Recover the original messages as byte strings."""
+        matrix = self.decode()
+        return [bytes(matrix[i].tobytes()) for i in range(self.k)]
+
+
+class RLNCEncoder:
+    """Per-node RLNC state: receive coded packets, emit fresh combinations.
+
+    The source node is constructed with ``messages``; other nodes start
+    empty and learn via :meth:`receive`.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        payload_length: int = 0,
+        messages: Optional[Sequence[bytes]] = None,
+    ) -> None:
+        self.k = k
+        self.payload_length = payload_length
+        self.decoder = RLNCDecoder(k, payload_length)
+        if messages is not None:
+            if len(messages) != k:
+                raise ValueError(f"expected {k} messages, got {len(messages)}")
+            for index, message in enumerate(messages):
+                if len(message) != payload_length:
+                    raise ValueError(
+                        f"message {index} has length {len(message)}, "
+                        f"expected {payload_length}"
+                    )
+                unit = np.zeros(k, dtype=np.uint8)
+                unit[index] = 1
+                self.decoder.receive_raw(
+                    unit, np.frombuffer(message, dtype=np.uint8)
+                )
+
+    @property
+    def rank(self) -> int:
+        return self.decoder.rank
+
+    def is_complete(self) -> bool:
+        return self.decoder.is_complete()
+
+    def can_transmit(self) -> bool:
+        """A node with no knowledge has nothing (non-zero) to send."""
+        return self.decoder.rank > 0
+
+    def receive(self, packet: CodedPacket) -> bool:
+        """Absorb a packet from the channel; True iff innovative."""
+        return self.decoder.receive(packet)
+
+    def emit(self, rng: RandomSource) -> CodedPacket:
+        """Emit a uniformly random combination of everything known.
+
+        The combination is over the node's basis rows; a node that knows an
+        r-dimensional subspace emits a uniform random vector of that
+        subspace (excluding, with retry, the zero vector).
+        """
+        if not self.can_transmit():
+            raise ValueError("node has no coded information to transmit")
+        basis = self.decoder._basis[: self.decoder.rank]
+        while True:
+            weights = rng.bytes_array(self.decoder.rank)
+            if not np.any(weights):
+                continue
+            row = np.zeros(basis.shape[1], dtype=np.uint8)
+            for i, w in enumerate(weights):
+                if w:
+                    row ^= GF256.scale_vec(int(w), basis[i])
+            if np.any(row[: self.k]):
+                return CodedPacket(
+                    coefficients=bytes(row[: self.k].tobytes()),
+                    payload=bytes(row[self.k :].tobytes()),
+                )
+
+    def decode_messages(self) -> list[bytes]:
+        """Recover the original k messages (requires full rank)."""
+        return self.decoder.decode_messages()

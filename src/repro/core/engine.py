@@ -1,0 +1,258 @@
+"""The round-based simulation engine.
+
+Two layers:
+
+* :class:`Channel` — the physical layer. Given the set of broadcasts for one
+  round it resolves collisions and faults and reports who received what.
+  This is the single place where the model semantics of DESIGN.md §5 are
+  implemented; both the distributed simulator and the centralized schedule
+  executors (:mod:`repro.schedules`) are built on it.
+* :class:`Simulator` — drives per-node :class:`~repro.core.protocol.NodeProtocol`
+  instances against a channel until a stop predicate fires or a round budget
+  is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.errors import ProtocolError, SimulationError
+from repro.core.faults import FaultConfig, FaultModel
+from repro.core.network import RadioNetwork
+from repro.core.packets import Packet
+from repro.core.protocol import NodeProtocol
+from repro.core.trace import ChannelCounters, TraceRecorder
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = ["Channel", "Delivery", "RoundResult", "Simulator"]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A successful reception: ``receiver`` got ``packet`` from ``sender``."""
+
+    receiver: int
+    sender: int
+    packet: Packet
+
+
+@dataclass
+class RoundResult:
+    """Everything that happened on the channel in one round."""
+
+    round_index: int
+    deliveries: list[Delivery] = field(default_factory=list)
+    #: listeners whose unique reception was replaced by noise (either fault)
+    noise_receivers: list[int] = field(default_factory=list)
+    #: listeners that heard >= 2 broadcasters
+    collision_receivers: list[int] = field(default_factory=list)
+    #: broadcasters whose transmission was noise (sender faults only)
+    faulty_senders: list[int] = field(default_factory=list)
+
+
+class Channel:
+    """The noisy radio channel over a fixed network.
+
+    Parameters
+    ----------
+    network:
+        Topology to simulate on.
+    faults:
+        Fault model and probability.
+    rng:
+        Seed / source for fault sampling.
+    trace:
+        Optional event recorder.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        faults: FaultConfig = FaultConfig.faultless(),
+        rng: "int | RandomSource | None" = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.network = network
+        self.faults = faults
+        self.rng = spawn_rng(rng)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.counters = ChannelCounters()
+        self.round_index = 0
+        # scratch buffers reused across rounds
+        self._hear_count = [0] * network.n
+        self._hear_from = [0] * network.n
+        self._touched: list[int] = []
+
+    def transmit(self, actions: dict[int, Packet]) -> RoundResult:
+        """Resolve one round given ``{broadcaster: packet}`` actions.
+
+        Implements the model: a listener receives iff exactly one neighbor
+        broadcasts; sender faults silence a broadcaster toward *all* its
+        neighbors; receiver faults independently silence each unique
+        reception. Returns the full :class:`RoundResult` and advances the
+        round counter.
+        """
+        result = RoundResult(round_index=self.round_index)
+        n = self.network.n
+        for b in actions:
+            if not isinstance(b, int) or not 0 <= b < n:
+                raise SimulationError(
+                    f"broadcast action for invalid node {b!r} (n={n})"
+                )
+        counters = self.counters
+        counters.rounds += 1
+        counters.broadcasts += len(actions)
+        trace = self.trace
+        tracing = trace.enabled
+
+        if actions:
+            # sample sender faults: one Bernoulli per broadcaster
+            faulty: set[int] = set()
+            if self.faults.model is FaultModel.SENDER and self.faults.p > 0.0:
+                p = self.faults.p
+                for b in actions:
+                    if self.rng.bernoulli(p):
+                        faulty.add(b)
+                counters.sender_faults += len(faulty)
+                result.faulty_senders.extend(faulty)
+                if tracing:
+                    for b in faulty:
+                        trace.record(self.round_index, "sender_fault", b)
+
+            hear_count = self._hear_count
+            hear_from = self._hear_from
+            touched = self._touched
+            neighbors = self.network.neighbors
+
+            for b in actions:
+                if tracing:
+                    trace.record(self.round_index, "broadcast", b)
+                for v in neighbors[b]:
+                    if hear_count[v] == 0:
+                        touched.append(v)
+                    hear_count[v] += 1
+                    hear_from[v] = b
+
+            receiver_faults = (
+                self.faults.model is FaultModel.RECEIVER and self.faults.p > 0.0
+            )
+            for v in touched:
+                count = hear_count[v]
+                hear_count[v] = 0  # reset scratch as we go
+                if v in actions:
+                    continue  # a broadcasting node cannot receive
+                if count >= 2:
+                    counters.collisions += 1
+                    result.collision_receivers.append(v)
+                    if tracing:
+                        trace.record(self.round_index, "collision", v)
+                    continue
+                sender = hear_from[v]
+                if sender in faulty:
+                    result.noise_receivers.append(v)
+                    continue
+                if receiver_faults and self.rng.bernoulli(self.faults.p):
+                    counters.receiver_faults += 1
+                    result.noise_receivers.append(v)
+                    if tracing:
+                        trace.record(self.round_index, "receiver_fault", v, sender)
+                    continue
+                counters.deliveries += 1
+                result.deliveries.append(Delivery(v, sender, actions[sender]))
+                if tracing:
+                    trace.record(self.round_index, "deliver", v, sender)
+            touched.clear()
+
+        self.round_index += 1
+        return result
+
+
+class Simulator:
+    """Drives per-node protocols over a :class:`Channel`.
+
+    Parameters
+    ----------
+    network:
+        Topology.
+    protocols:
+        One :class:`NodeProtocol` per node, in internal index order.
+    faults:
+        Fault configuration.
+    rng:
+        Randomness for the channel (fault sampling). Protocols hold their
+        own sources so that channel noise and algorithmic randomness are
+        independent streams.
+    trace:
+        Optional event recorder.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        protocols: Sequence[NodeProtocol],
+        faults: FaultConfig = FaultConfig.faultless(),
+        rng: "int | RandomSource | None" = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if len(protocols) != network.n:
+            raise SimulationError(
+                f"got {len(protocols)} protocols for {network.n} nodes"
+            )
+        self.network = network
+        self.protocols = list(protocols)
+        self.channel = Channel(network, faults, rng, trace)
+
+    @property
+    def counters(self) -> ChannelCounters:
+        return self.channel.counters
+
+    @property
+    def round_index(self) -> int:
+        return self.channel.round_index
+
+    def step(self) -> RoundResult:
+        """Run one round: poll active protocols, transmit, deliver."""
+        actions: dict[int, Packet] = {}
+        for node, protocol in enumerate(self.protocols):
+            if not protocol.active:
+                continue
+            packet = protocol.act(self.channel.round_index)
+            if packet is not None:
+                actions[node] = packet
+        result = self.channel.transmit(actions)
+        for delivery in result.deliveries:
+            self.protocols[delivery.receiver].on_receive(
+                result.round_index, delivery.packet, delivery.sender
+            )
+        return result
+
+    def run(
+        self,
+        max_rounds: int,
+        stop: Optional[Callable[["Simulator"], bool]] = None,
+    ) -> int:
+        """Run until ``stop(self)`` is True or ``max_rounds`` elapse.
+
+        Returns the number of rounds executed in this call. The default
+        stop predicate is "every protocol reports is_done()".
+        """
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {max_rounds}")
+        if stop is None:
+            stop = lambda sim: all(p.is_done() for p in sim.protocols)
+        executed = 0
+        while executed < max_rounds:
+            if stop(self):
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def all_done(self) -> bool:
+        """True iff every protocol reports completion."""
+        return all(p.is_done() for p in self.protocols)
+
+    def done_count(self) -> int:
+        """Number of protocols reporting completion."""
+        return sum(1 for p in self.protocols if p.is_done())

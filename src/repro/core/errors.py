@@ -1,0 +1,50 @@
+"""Exception hierarchy for the library.
+
+All library-raised domain errors derive from :class:`ReproError`, so callers
+can catch one type at an experiment boundary. Programming errors (bad
+arguments) still raise the standard ``TypeError`` / ``ValueError``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "SimulationError",
+    "ProtocolError",
+    "BroadcastTimeout",
+]
+
+
+class ReproError(Exception):
+    """Base class for all domain errors raised by the library."""
+
+
+class TopologyError(ReproError):
+    """A topology violates a structural requirement (e.g. disconnected)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A node protocol violated the model contract (e.g. broadcast while
+    claiming to be idle, or emitted a packet of the wrong type)."""
+
+
+class BroadcastTimeout(ReproError):
+    """A broadcast did not complete within the allotted round budget.
+
+    Carries the progress made so far so experiments can distinguish "slow"
+    from "stuck".
+    """
+
+    def __init__(self, rounds: int, informed: int, total: int) -> None:
+        self.rounds = rounds
+        self.informed = informed
+        self.total = total
+        super().__init__(
+            f"broadcast incomplete after {rounds} rounds: "
+            f"{informed}/{total} nodes informed"
+        )

@@ -1,0 +1,81 @@
+"""Fault models: the paper's sender-fault and receiver-fault variants.
+
+The noisy radio network model augments the classic model with exactly one of
+two fault types (Section 3.1):
+
+* ``SENDER``  — each broadcasting node independently transmits noise with
+  probability ``p``; every neighbor that would have received its packet
+  receives noise instead.
+* ``RECEIVER`` — each listening node with exactly one broadcasting neighbor
+  independently receives noise with probability ``p``.
+
+``NONE`` recovers the classic (faultless) model of Chlamtac and Kutten.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.validation import check_probability
+
+__all__ = ["FaultModel", "FaultConfig"]
+
+
+class FaultModel(enum.Enum):
+    """Which of the two noise mechanisms is active (or neither)."""
+
+    NONE = "none"
+    SENDER = "sender"
+    RECEIVER = "receiver"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """A fault model together with its fault probability.
+
+    Parameters
+    ----------
+    model:
+        Which fault mechanism is active.
+    p:
+        Fault probability in [0, 1). Ignored (and required to be 0) when
+        ``model`` is ``NONE``.
+    """
+
+    model: FaultModel = FaultModel.NONE
+    p: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.p, "p")
+        if self.model is FaultModel.NONE and self.p != 0.0:
+            raise ValueError(
+                f"FaultModel.NONE requires p == 0, got p={self.p}"
+            )
+
+    @classmethod
+    def faultless(cls) -> "FaultConfig":
+        """The classic model: no faults."""
+        return cls(FaultModel.NONE, 0.0)
+
+    @classmethod
+    def sender(cls, p: float) -> "FaultConfig":
+        """Sender faults with probability ``p``."""
+        return cls(FaultModel.SENDER, p)
+
+    @classmethod
+    def receiver(cls, p: float) -> "FaultConfig":
+        """Receiver faults with probability ``p``."""
+        return cls(FaultModel.RECEIVER, p)
+
+    @property
+    def is_faultless(self) -> bool:
+        return self.model is FaultModel.NONE or self.p == 0.0
+
+    def __str__(self) -> str:
+        if self.is_faultless:
+            return "faultless"
+        return f"{self.model.value}-faults(p={self.p})"

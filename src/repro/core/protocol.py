@@ -1,0 +1,52 @@
+"""The per-node protocol interface used by the distributed simulator.
+
+A :class:`NodeProtocol` is the local algorithm running at one node. The
+engine drives it with a strict round contract:
+
+1. at the start of round ``r`` it calls :meth:`act` on every *active*
+   protocol; a return of ``None`` means listen, a packet means broadcast;
+2. after resolving collisions and faults it calls :meth:`on_receive` on each
+   node that received a legitimate packet (noise and silence deliver
+   nothing — the model guarantees nodes can't confuse noise with packets,
+   and protocols in this model gain no information from distinguishing
+   silence from noise).
+
+``active`` is a performance contract, not a semantic one: a protocol that
+reports ``active == False`` promises it would return ``None`` from ``act``
+until some reception wakes it, letting the engine skip it. Listening is
+unaffected — inactive nodes still receive.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.packets import Packet
+
+__all__ = ["NodeProtocol"]
+
+
+class NodeProtocol(abc.ABC):
+    """Local algorithm at a single node.
+
+    Subclasses receive their node id and network-wide public parameters via
+    their constructor (the paper's known-topology algorithms legitimately
+    use global structure; topology-oblivious ones like Decay take only n).
+    """
+
+    #: Performance hint: engine may skip act() while False (see module doc).
+    active: bool = True
+
+    @abc.abstractmethod
+    def act(self, round_index: int) -> Optional[Packet]:
+        """Decide this round's action: a packet to broadcast, or None."""
+
+    @abc.abstractmethod
+    def on_receive(self, round_index: int, packet: Packet, sender: int) -> None:
+        """Handle a legitimate packet received from neighbor ``sender``."""
+
+    def is_done(self) -> bool:
+        """True once this node has completed its task (e.g. holds the
+        message). Used by the engine's stop predicate. Default: False."""
+        return False

@@ -1,0 +1,103 @@
+"""Simulation instrumentation: cheap counters plus an optional event log.
+
+Counters are always maintained (a handful of integer increments per round).
+The full per-event log is opt-in because long multi-message simulations
+would otherwise accumulate millions of event records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["ChannelCounters", "TraceRecorder", "TraceEvent"]
+
+
+@dataclass
+class ChannelCounters:
+    """Aggregate channel statistics for one simulation run."""
+
+    rounds: int = 0
+    broadcasts: int = 0
+    deliveries: int = 0
+    collisions: int = 0  # listener-rounds lost to >= 2 broadcasting neighbors
+    sender_faults: int = 0  # broadcaster-rounds that transmitted noise
+    receiver_faults: int = 0  # deliveries replaced by noise at the receiver
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "broadcasts": self.broadcasts,
+            "deliveries": self.deliveries,
+            "collisions": self.collisions,
+            "sender_faults": self.sender_faults,
+            "receiver_faults": self.receiver_faults,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"rounds={self.rounds} broadcasts={self.broadcasts} "
+            f"deliveries={self.deliveries} collisions={self.collisions} "
+            f"sender_faults={self.sender_faults} "
+            f"receiver_faults={self.receiver_faults}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One channel event. ``kind`` is one of:
+
+    ``broadcast`` (node sent a packet), ``deliver`` (receiver got packet
+    from sender), ``collision`` (receiver heard >= 2 broadcasters),
+    ``sender_fault`` (broadcaster emitted noise), ``receiver_fault``
+    (receiver's sole reception was replaced by noise).
+    """
+
+    round_index: int
+    kind: str
+    node: int
+    peer: Optional[int] = None
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records when enabled.
+
+    Parameters
+    ----------
+    enabled:
+        When False (default) the recorder is a no-op and costs one branch
+        per call site.
+    max_events:
+        Safety cap; recording silently stops past the cap (the counters in
+        :class:`ChannelCounters` stay exact regardless).
+    """
+
+    def __init__(self, enabled: bool = False, max_events: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self,
+        round_index: int,
+        kind: str,
+        node: int,
+        peer: Optional[int] = None,
+        detail: Any = None,
+    ) -> None:
+        if not self.enabled or len(self.events) >= self.max_events:
+            return
+        self.events.append(TraceEvent(round_index, kind, node, peer, detail))
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def events_in_round(self, round_index: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.round_index == round_index]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,76 @@
+"""Experiment framework: registration, scales, and shared sweep helpers.
+
+Every experiment driver exposes ``run(scale, seed) -> Table`` and registers
+itself with :func:`register`. Two scales exist:
+
+* ``"smoke"`` — seconds; used by the test suite to validate shape and
+  well-formedness;
+* ``"full"`` — the EXPERIMENTS.md scale, used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.tables import Table
+
+__all__ = ["Experiment", "register", "get_experiment", "all_experiments"]
+
+_REGISTRY: dict[str, "Experiment"] = {}
+
+VALID_SCALES = ("smoke", "full")
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment driver."""
+
+    id: str
+    title: str
+    claim: str
+    run: Callable[[str, int], Table]
+
+    def __call__(self, scale: str = "smoke", seed: int = 0) -> Table:
+        if scale not in VALID_SCALES:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {VALID_SCALES}"
+            )
+        return self.run(scale, seed)
+
+
+def register(
+    id: str, title: str, claim: str
+) -> Callable[[Callable[[str, int], Table]], Experiment]:
+    """Decorator registering an experiment driver under ``id``."""
+
+    def decorator(fn: Callable[[str, int], Table]) -> Experiment:
+        if id in _REGISTRY:
+            raise ValueError(f"experiment id {id!r} already registered")
+        experiment = Experiment(id=id, title=title, claim=claim, run=fn)
+        _REGISTRY[id] = experiment
+        return experiment
+
+    return decorator
+
+
+def get_experiment(id: str) -> Experiment:
+    """Look up a registered experiment by id (e.g. ``"E4"``)."""
+    # importing the package registers every driver
+    import repro.experiments  # noqa: F401
+
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {id!r}; known: {known}") from None
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments in id order."""
+    import repro.experiments  # noqa: F401
+
+    return [
+        _REGISTRY[key]
+        for key in sorted(_REGISTRY, key=lambda k: (k[0], int(k[1:]) if k[1:].isdigit() else 0))
+    ]

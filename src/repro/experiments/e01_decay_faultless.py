@@ -1,0 +1,56 @@
+"""E1 (Lemma 6): faultless Decay completes in O(D log n + log^2 n) rounds."""
+
+from __future__ import annotations
+
+from repro.algorithms.decay import decay_broadcast
+from repro.analysis.predictions import decay_rounds
+from repro.experiments.common import register
+from repro.topologies.registry import make_topology
+from repro.util.rng import RandomSource
+from repro.util.stats import mean
+from repro.util.tables import Table
+
+
+@register(
+    "E1",
+    "Faultless Decay round complexity",
+    "Lemma 6: Decay spreads one message in O(D log n + log^2 n) rounds",
+)
+def run(scale: str, seed: int) -> Table:
+    if scale == "smoke":
+        sizes = [32, 64]
+        families = ["path", "star"]
+        trials = 2
+    else:
+        sizes = [64, 128, 256, 512, 1024]
+        families = ["path", "star", "grid", "gnp"]
+        trials = 5
+
+    rng = RandomSource(seed)
+    table = Table(
+        ["family", "n", "D", "rounds", "predicted", "ratio"],
+        title="E1: faultless Decay vs the Lemma 6 shape D log n + log^2 n",
+    )
+    for family in families:
+        for n in sizes:
+            network = make_topology(family, n, seed=seed)
+            rounds = []
+            for _ in range(trials):
+                outcome = decay_broadcast(network, rng=rng.spawn())
+                if not outcome.success:
+                    raise AssertionError(
+                        f"faultless Decay timed out on {network.name}"
+                    )
+                rounds.append(outcome.rounds)
+            depth = network.source_eccentricity
+            predicted = decay_rounds(network.n, depth)
+            measured = mean(rounds)
+            table.add_row(
+                family,
+                network.n,
+                depth,
+                measured,
+                predicted,
+                measured / predicted,
+            )
+    return table

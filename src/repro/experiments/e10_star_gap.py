@@ -1,0 +1,54 @@
+"""E10 (Theorem 17): the star's receiver-fault coding gap is Θ(log n)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.multi.star import star_adaptive_routing, star_rs_coding
+from repro.experiments.common import register
+from repro.throughput.gaps import coding_gap
+from repro.util.rng import RandomSource
+from repro.util.tables import Table
+
+
+@register(
+    "E10",
+    "Star coding gap (receiver faults)",
+    "Theorem 17: the star topology exhibits a Θ(log n) coding gap with "
+    "adaptive routing and receiver faults",
+)
+def run(scale: str, seed: int) -> Table:
+    p = 0.5
+    if scale == "smoke":
+        leaf_counts = [16, 64]
+        k = 16
+        trials = 2
+    else:
+        leaf_counts = [16, 64, 256, 1024]
+        k = 64
+        trials = 5
+
+    rng = RandomSource(seed)
+    table = Table(
+        ["n_leaves", "k", "gap", "log2_n_over_2", "gap_over_shape"],
+        title=f"E10: star coding gap at p={p} vs the Θ(log n) shape",
+    )
+    for n_leaves in leaf_counts:
+
+        def routing_runner(k_: int, seed_: int) -> tuple[int, bool]:
+            o = star_adaptive_routing(n_leaves, k_, p, rng=seed_)
+            return o.rounds, o.success
+
+        def coding_runner(k_: int, seed_: int) -> tuple[int, bool]:
+            o = star_rs_coding(n_leaves, k_, p, rng=seed_)
+            return o.rounds, o.success
+
+        estimate = coding_gap(
+            coding_runner, routing_runner, k=k, trials=trials, rng=rng.spawn()
+        )
+        # at p = 1/2 routing pays ~log2(n) rounds/message, coding ~2
+        shape = math.log2(n_leaves) / 2.0
+        table.add_row(
+            n_leaves, k, estimate.gap, shape, estimate.gap / shape
+        )
+    return table

@@ -1,0 +1,53 @@
+"""E11 (Lemma 18): at most O(1/log n) of WCT clusters hear per round."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import register
+from repro.topologies.wct import worst_case_topology
+from repro.util.rng import RandomSource
+from repro.util.tables import Table
+
+
+@register(
+    "E11",
+    "WCT per-round informed-cluster fraction",
+    "Lemma 18: in any round at most an O(1/log n) fraction of WCT "
+    "clusters receives a packet collision-free",
+)
+def run(scale: str, seed: int) -> Table:
+    if scale == "smoke":
+        sizes = [256, 1024]
+        trials = 8
+    else:
+        sizes = [256, 1024, 4096, 16384]
+        trials = 30
+
+    rng = RandomSource(seed)
+    table = Table(
+        [
+            "n",
+            "senders",
+            "clusters",
+            "max_fraction",
+            "one_over_log2n",
+            "fraction_times_logn",
+        ],
+        title="E11: worst observed informed-cluster fraction vs 1/log n",
+    )
+    for n in sizes:
+        wct = worst_case_topology(n, rng=rng.spawn())
+        fraction = wct.max_singleton_fraction(
+            trials_per_size=trials, rng=rng.spawn()
+        )
+        log_n = math.log2(n)
+        table.add_row(
+            n,
+            wct.num_senders,
+            wct.num_clusters,
+            fraction,
+            1.0 / log_n,
+            fraction * log_n,
+        )
+    return table

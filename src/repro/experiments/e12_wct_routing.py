@@ -1,0 +1,93 @@
+"""E12 (Lemmas 19-22): adaptive routing with receiver faults.
+
+Two halves:
+
+* the *impossibility* side (Lemma 19): on WCT, adaptive routing needs
+  Θ(k log^2 n) rounds;
+* the *possibility* side (Lemmas 20-21): the pipelined Decay schedule
+  routes k messages through any layered network in O(k log^2 n) rounds,
+  so Θ(1/log^2 n) is exactly the worst-case routing throughput (Lemma 22).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.multi.pipelined import pipelined_routing_broadcast
+from repro.algorithms.multi.wct_sim import WCTBroadcastSimulator
+from repro.analysis.predictions import wct_routing_rounds
+from repro.core.faults import FaultConfig
+from repro.experiments.common import register
+from repro.topologies.layered import layered_network
+from repro.topologies.wct import worst_case_topology
+from repro.util.rng import RandomSource
+from repro.util.stats import mean
+from repro.util.tables import Table
+
+
+@register(
+    "E12",
+    "WCT adaptive routing rounds + pipelined upper bound",
+    "Lemmas 19-22: adaptive routing on the worst case topology needs "
+    "Θ(k log^2 n) rounds, and pipelined Decay achieves O(k log^2 n) on "
+    "any layered network — worst-case routing throughput Θ(1/log^2 n)",
+)
+def run(scale: str, seed: int) -> Table:
+    p = 0.5
+    if scale == "smoke":
+        sizes = [256]
+        ks = [4]
+        layered_cases = [(3, 4, 4)]
+        trials = 2
+    else:
+        sizes = [256, 1024, 4096]
+        ks = [8, 16, 32]
+        layered_cases = [(3, 6, 12), (5, 6, 12)]
+        trials = 3
+
+    rng = RandomSource(seed)
+    table = Table(
+        ["topology", "n", "k", "rounds", "rounds_per_msg", "predicted", "ratio"],
+        title=f"E12: adaptive routing at p={p} vs the k log^2 n shape",
+    )
+    for n in sizes:
+        wct = worst_case_topology(n, rng=rng.spawn())
+        for k in ks:
+            rounds = []
+            for _ in range(trials):
+                sim = WCTBroadcastSimulator(wct, p=p, rng=rng.spawn())
+                outcome = sim.run_routing(k=k)
+                if not outcome.success:
+                    raise AssertionError(f"WCT routing timed out at n={n}")
+                rounds.append(outcome.rounds)
+            predicted = wct_routing_rounds(n, k, p)
+            table.add_row(
+                "wct",
+                n,
+                k,
+                mean(rounds),
+                mean(rounds) / k,
+                predicted,
+                mean(rounds) / predicted,
+            )
+    for layers, width, k in layered_cases:
+        network = layered_network(layers, width, rng=seed)
+        rounds = []
+        for _ in range(trials):
+            outcome = pipelined_routing_broadcast(
+                network, k=k, faults=FaultConfig.receiver(p), rng=rng.spawn()
+            )
+            if not outcome.success:
+                raise AssertionError(
+                    f"pipelined routing failed on {network.name}"
+                )
+            rounds.append(outcome.rounds)
+        predicted = wct_routing_rounds(network.n, k, p)
+        table.add_row(
+            "layered",
+            network.n,
+            k,
+            mean(rounds),
+            mean(rounds) / k,
+            predicted,
+            mean(rounds) / predicted,
+        )
+    return table

@@ -1,0 +1,68 @@
+"""E13 (Lemma 23, Theorem 24): the worst case topology gap is Θ(log n)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.multi.wct_sim import WCTBroadcastSimulator
+from repro.experiments.common import register
+from repro.topologies.wct import worst_case_topology
+from repro.util.rng import RandomSource
+from repro.util.stats import mean
+from repro.util.tables import Table
+
+
+@register(
+    "E13",
+    "WCT coding gap (worst case topology gap)",
+    "Lemma 23 + Theorem 24: coding on WCT needs Θ(k log n) rounds vs "
+    "routing's Θ(k log^2 n) — a Θ(log n) worst case topology gap",
+)
+def run(scale: str, seed: int) -> Table:
+    p = 0.5
+    if scale == "smoke":
+        sizes = [256]
+        k = 4
+        trials = 2
+    else:
+        sizes = [256, 1024, 4096]
+        k = 16
+        trials = 3
+
+    rng = RandomSource(seed)
+    table = Table(
+        [
+            "n",
+            "k",
+            "routing_rounds",
+            "coding_rounds",
+            "gap",
+            "log2_n",
+            "gap_over_logn",
+        ],
+        title=f"E13: WCT routing/coding round ratio at p={p} vs log n",
+    )
+    for n in sizes:
+        wct = worst_case_topology(n, rng=rng.spawn())
+        routing_rounds, coding_rounds = [], []
+        for _ in range(trials):
+            sim_r = WCTBroadcastSimulator(wct, p=p, rng=rng.spawn())
+            sim_c = WCTBroadcastSimulator(wct, p=p, rng=rng.spawn())
+            routing = sim_r.run_routing(k=k)
+            coding = sim_c.run_coding(k=k)
+            if not (routing.success and coding.success):
+                raise AssertionError(f"WCT schedule timed out at n={n}")
+            routing_rounds.append(routing.rounds)
+            coding_rounds.append(coding.rounds)
+        gap = mean(routing_rounds) / mean(coding_rounds)
+        log_n = math.log2(n)
+        table.add_row(
+            n,
+            k,
+            mean(routing_rounds),
+            mean(coding_rounds),
+            gap,
+            log_n,
+            gap / log_n,
+        )
+    return table

@@ -1,0 +1,60 @@
+"""E17 (Lemma 29): single-link non-adaptive routing costs Θ(k log k)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.algorithms.multi.single_link import (
+    minimal_nonadaptive_repetitions,
+    single_link_nonadaptive_routing,
+)
+from repro.experiments.common import register
+from repro.util.rng import RandomSource
+from repro.util.tables import Table
+
+
+@register(
+    "E17",
+    "Single-link non-adaptive routing",
+    "Lemma 29: non-adaptive routing on a single link needs Θ(k log k) "
+    "rounds for failure probability <= 1/k",
+)
+def run(scale: str, seed: int) -> Table:
+    p = 0.5
+    if scale == "smoke":
+        ks = [16, 256]
+        trials = 10
+    else:
+        ks = [16, 64, 256, 1024, 4096]
+        trials = 40
+
+    rng = RandomSource(seed)
+    table = Table(
+        [
+            "k",
+            "repetitions",
+            "rounds",
+            "rounds_per_msg",
+            "log2_k",
+            "success_rate",
+        ],
+        title=f"E17: single-link non-adaptive routing at p={p} — "
+        "rounds/message ~ log k",
+    )
+    for k in ks:
+        repetitions = minimal_nonadaptive_repetitions(k, p)
+        successes = 0
+        rounds = 0
+        for _ in range(trials):
+            outcome = single_link_nonadaptive_routing(k, p, rng=rng.spawn())
+            successes += outcome.success
+            rounds = outcome.rounds  # deterministic given k and p
+        table.add_row(
+            k,
+            repetitions,
+            rounds,
+            rounds / k,
+            math.log2(k),
+            successes / trials,
+        )
+    return table

@@ -1,0 +1,98 @@
+"""Fast-stretch decomposition of GBST paths (Section 3.4.2).
+
+A *fast edge* joins a fast node to its same-rank child; a *fast stretch* is
+a maximal chain of fast edges (all of one rank). Ranks are non-increasing
+from the root towards the leaves, so any root-to-node tree path decomposes
+into at most ``r_max = O(log n)`` fast stretches separated by non-fast
+edges — the structure both FASTBC analyses (Lemmas 8, 10 and Theorem 11)
+walk along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gbst.ranked_bfs import RankedBFSTree
+
+__all__ = ["FastStretch", "fast_stretches", "path_stretch_decomposition"]
+
+
+@dataclass(frozen=True)
+class FastStretch:
+    """A maximal chain of fast edges of one rank.
+
+    ``nodes`` runs root-side to leaf-side; ``len(nodes) >= 2``; every
+    consecutive pair is a fast edge.
+    """
+
+    nodes: tuple[int, ...]
+    rank: int
+
+    @property
+    def length(self) -> int:
+        """Number of fast edges in the stretch."""
+        return len(self.nodes) - 1
+
+    @property
+    def head(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def tail(self) -> int:
+        return self.nodes[-1]
+
+
+def fast_stretches(tree: RankedBFSTree) -> list[FastStretch]:
+    """All maximal fast stretches of the tree."""
+    in_stretch_continuation: set[int] = set()
+    for v in tree.fast_nodes():
+        child = tree.fast_child(v)
+        assert child is not None
+        in_stretch_continuation.add(child)
+
+    stretches: list[FastStretch] = []
+    for v in tree.fast_nodes():
+        if v in in_stretch_continuation:
+            continue  # not a stretch head: some fast parent feeds it
+        nodes = [v]
+        current = v
+        while True:
+            nxt = tree.fast_child(current)
+            if nxt is None:
+                break
+            nodes.append(nxt)
+            current = nxt
+        stretches.append(FastStretch(nodes=tuple(nodes), rank=tree.rank[v]))
+    return stretches
+
+
+def path_stretch_decomposition(
+    tree: RankedBFSTree, target: int
+) -> list[tuple[str, list[int]]]:
+    """Decompose the root-to-``target`` path into stretches and slow edges.
+
+    Returns segments in root-to-target order, each tagged ``"fast"`` (a
+    maximal run of fast edges, node list of length >= 2) or ``"slow"`` (a
+    single non-fast edge, node list of length exactly 2). The number of
+    fast segments is at most ``tree.max_rank`` because ranks along the
+    path are non-increasing.
+    """
+    path = tree.tree_path(target)
+    segments: list[tuple[str, list[int]]] = []
+    i = 0
+    while i < len(path) - 1:
+        u, v = path[i], path[i + 1]
+        if tree.rank[u] == tree.rank[v]:
+            run = [u, v]
+            j = i + 1
+            while (
+                j < len(path) - 1 and tree.rank[path[j]] == tree.rank[path[j + 1]]
+            ):
+                run.append(path[j + 1])
+                j += 1
+            segments.append(("fast", run))
+            i = j
+        else:
+            segments.append(("slow", [u, v]))
+            i += 1
+    return segments

@@ -1,0 +1,88 @@
+"""The GBST validity predicate (Figure 1's property).
+
+The paper states the condition as: *no two distinct nodes on the same level
+and of the same rank r have two distinct T-parents both with rank r*, and
+Figure 1 shows that a **graph** edge (the dashed yellow one) is what breaks
+the property. Read operationally — which is how the FASTBC analysis uses
+it — the condition guarantees that the simultaneous fast-round broadcasts
+of same-rank fast nodes at the same level never collide at a fast child:
+
+    For every fast edge (p, c) (p fast with rank r, c its same-rank child),
+    c has no G-neighbor q != p at p's level that is also a fast node of
+    rank r.
+
+This is exactly non-interference along fast stretches: during a fast round
+all broadcasting nodes at the same level share one rank, so the only way a
+wave can be interrupted is a *second* same-rank fast node adjacent (in G)
+to the wave's next hop. Nodes of different ranks transmit >= 6 levels apart
+and never interfere on a BFS tree (Section 3.4.2).
+
+The purely tree-structural reading of the sentence would declare even a
+two-bristle broom (where no interference is possible — every node has a
+single up-neighbor) invalid, so we implement the operational reading and
+document the discrepancy here; tests cover a Figure-1-style example where
+a single graph edge flips validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gbst.ranked_bfs import RankedBFSTree
+
+__all__ = ["GBSTViolation", "gbst_violations", "is_gbst"]
+
+
+@dataclass(frozen=True)
+class GBSTViolation:
+    """A fast child adjacent (in G) to a rival same-rank fast node.
+
+    ``child`` is the fast child of ``parent``; ``rival`` is a distinct fast
+    node of the same rank at the parent's level that is a graph neighbor of
+    ``child`` — so the rival's fast-round broadcast collides with the
+    parent's at the child.
+    """
+
+    child: int
+    parent: int
+    rival: int
+    rank: int
+    level: int
+
+
+def gbst_violations(tree: RankedBFSTree) -> list[GBSTViolation]:
+    """All interference violations of the GBST property (empty iff GBST)."""
+    network = tree.network
+    level = tree.level
+    rank = tree.rank
+
+    # fast nodes indexed by (level, rank) for O(1) rival lookups
+    fast_at: dict[tuple[int, int], set[int]] = {}
+    for v in tree.fast_nodes():
+        fast_at.setdefault((level[v], rank[v]), set()).add(v)
+
+    violations: list[GBSTViolation] = []
+    for key, fast_set in fast_at.items():
+        parent_level, r = key
+        for p in fast_set:
+            child = tree.fast_child(p)
+            assert child is not None  # p is fast
+            for q in network.neighbors[child]:
+                if q == p:
+                    continue
+                if level[q] == parent_level and q in fast_set:
+                    violations.append(
+                        GBSTViolation(
+                            child=child,
+                            parent=p,
+                            rival=q,
+                            rank=r,
+                            level=parent_level,
+                        )
+                    )
+    return violations
+
+
+def is_gbst(tree: RankedBFSTree) -> bool:
+    """True iff the ranked BFS tree satisfies the GBST property."""
+    return not gbst_violations(tree)

@@ -1,0 +1,33 @@
+"""Static schedules and the faultless-to-faulty transformations.
+
+Section 3.1 defines a *schedule* as a static assignment of per-round
+behaviour; Section 5.2 proves that faultless schedules transform into
+fault-robust ones at constant throughput cost (Lemma 25 for routing under
+sender faults, Lemma 26 for coding under either fault model). This package
+implements static routing schedules, a reference executor, and both
+transformations.
+"""
+
+from repro.schedules.schedule import (
+    ReferenceExecution,
+    StaticRoutingSchedule,
+    execute_reference,
+    path_pipeline_schedule,
+    star_schedule,
+)
+from repro.schedules.transforms import (
+    TransformOutcome,
+    transform_coding_schedule,
+    transform_routing_schedule,
+)
+
+__all__ = [
+    "ReferenceExecution",
+    "StaticRoutingSchedule",
+    "TransformOutcome",
+    "execute_reference",
+    "path_pipeline_schedule",
+    "star_schedule",
+    "transform_coding_schedule",
+    "transform_routing_schedule",
+]

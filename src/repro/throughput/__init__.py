@@ -1,0 +1,16 @@
+"""Throughput measurement and coding-gap computation (Definitions 1-3)."""
+
+from repro.throughput.estimator import (
+    ThroughputEstimate,
+    estimate_throughput,
+    throughput_curve,
+)
+from repro.throughput.gaps import GapEstimate, coding_gap
+
+__all__ = [
+    "GapEstimate",
+    "ThroughputEstimate",
+    "coding_gap",
+    "estimate_throughput",
+    "throughput_curve",
+]

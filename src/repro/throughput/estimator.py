@@ -1,0 +1,84 @@
+"""Empirical topology throughput (Definition 1).
+
+The paper defines throughput as ``limsup_{k→∞} k / min_S |S_k|`` over
+schedules succeeding with probability ``1 - 1/k``. Empirically we fix a
+schedule family (a *runner*: ``run(k, seed) -> (rounds, success)``),
+measure rounds at a large finite k over repeated trials, and report
+``k / median(rounds)`` together with the success rate. Experiments then
+compare estimates across k (convergence) and across n (scaling) — the
+quantities the lemmas bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.util.rng import RandomSource, spawn_rng
+from repro.util.stats import Summary, summarize
+from repro.util.validation import check_positive
+
+__all__ = ["ThroughputEstimate", "estimate_throughput", "throughput_curve"]
+
+#: a schedule family: run(k, seed) -> (rounds, success)
+Runner = Callable[[int, int], tuple[int, bool]]
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Empirical throughput of one runner at one k."""
+
+    k: int
+    trials: int
+    success_rate: float
+    rounds: Summary
+    throughput: float  # k / median rounds
+    rounds_per_message: float  # median rounds / k
+
+    def __str__(self) -> str:
+        return (
+            f"k={self.k}: throughput={self.throughput:.4f} "
+            f"({self.rounds_per_message:.2f} rounds/msg, "
+            f"success={self.success_rate:.0%}, {self.rounds})"
+        )
+
+
+def estimate_throughput(
+    runner: Runner,
+    k: int,
+    trials: int = 5,
+    rng: "int | RandomSource | None" = None,
+) -> ThroughputEstimate:
+    """Run ``runner`` ``trials`` times at message count ``k``."""
+    check_positive(k, "k")
+    check_positive(trials, "trials")
+    source = spawn_rng(rng)
+    rounds_list: list[float] = []
+    successes = 0
+    for _ in range(trials):
+        rounds, success = runner(k, source.spawn().seed)
+        rounds_list.append(float(rounds))
+        successes += bool(success)
+    summary = summarize(rounds_list)
+    return ThroughputEstimate(
+        k=k,
+        trials=trials,
+        success_rate=successes / trials,
+        rounds=summary,
+        throughput=k / summary.median if summary.median else float("inf"),
+        rounds_per_message=summary.median / k,
+    )
+
+
+def throughput_curve(
+    runner: Runner,
+    ks: Sequence[int],
+    trials: int = 5,
+    rng: "int | RandomSource | None" = None,
+) -> list[ThroughputEstimate]:
+    """Throughput estimates across a sweep of k values."""
+    source = spawn_rng(rng)
+    return [
+        estimate_throughput(runner, k, trials=trials, rng=source.spawn())
+        for k in ks
+    ]

@@ -1,0 +1,54 @@
+"""Coding-gap computation (Definitions 2-3, Lemma 4).
+
+The *coding gap* of a fixed topology is the ratio of its coding throughput
+to its routing throughput; the *shared topology gap* maximizes that ratio
+over topologies, and the *worst case topology gap* compares the two
+worst-case throughputs. Empirically we estimate the fixed-topology gap
+from paired runner measurements; the experiment drivers assemble the
+shared/worst-case tables from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.throughput.estimator import Runner, ThroughputEstimate, estimate_throughput
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = ["GapEstimate", "coding_gap"]
+
+
+@dataclass(frozen=True)
+class GapEstimate:
+    """Empirical coding gap of one topology at one k."""
+
+    coding: ThroughputEstimate
+    routing: ThroughputEstimate
+
+    @property
+    def gap(self) -> float:
+        """coding throughput / routing throughput (>= 1 when coding wins)."""
+        if self.routing.throughput == 0:
+            return float("inf")
+        return self.coding.throughput / self.routing.throughput
+
+    def __str__(self) -> str:
+        return (
+            f"gap={self.gap:.2f} "
+            f"(coding {self.coding.throughput:.4f} vs "
+            f"routing {self.routing.throughput:.4f} at k={self.coding.k})"
+        )
+
+
+def coding_gap(
+    coding_runner: Runner,
+    routing_runner: Runner,
+    k: int,
+    trials: int = 5,
+    rng: "int | RandomSource | None" = None,
+) -> GapEstimate:
+    """Estimate a topology's coding gap from paired runners."""
+    source = spawn_rng(rng)
+    coding = estimate_throughput(coding_runner, k, trials, source.spawn())
+    routing = estimate_throughput(routing_runner, k, trials, source.spawn())
+    return GapEstimate(coding=coding, routing=routing)

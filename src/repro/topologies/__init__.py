@@ -1,0 +1,44 @@
+"""Topology generators for all networks used in the paper's arguments.
+
+Basic families (paths, stars, grids, trees, ...) appear throughout the
+single-message analysis; the star is the Lemma 15/16 gap topology; the
+single link is Appendix A; layered networks support the pipelining schedule
+of Lemma 21; and :mod:`repro.topologies.wct` builds the worst case topology
+of Section 5.1.2 (Figure 2).
+"""
+
+from repro.topologies.basic import (
+    balanced_tree,
+    barbell,
+    bramble,
+    caterpillar,
+    cycle,
+    grid,
+    path,
+    single_link,
+    star,
+)
+from repro.topologies.layered import layered_network, bipartite_network
+from repro.topologies.random_graphs import gnp, random_tree
+from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
+from repro.topologies.wct import WCTNetwork, worst_case_topology
+
+__all__ = [
+    "balanced_tree",
+    "barbell",
+    "bipartite_network",
+    "bramble",
+    "caterpillar",
+    "cycle",
+    "gnp",
+    "grid",
+    "layered_network",
+    "make_topology",
+    "path",
+    "random_tree",
+    "single_link",
+    "star",
+    "TOPOLOGY_FAMILIES",
+    "WCTNetwork",
+    "worst_case_topology",
+]

@@ -1,0 +1,137 @@
+"""Deterministic topology families.
+
+Each generator returns a :class:`~repro.core.network.RadioNetwork` with the
+source placed where the corresponding experiment wants it (e.g. path and
+caterpillar sources sit at one end so the source eccentricity equals the
+diameter).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.network import RadioNetwork
+from repro.util.validation import check_positive
+
+__all__ = [
+    "single_link",
+    "path",
+    "star",
+    "cycle",
+    "grid",
+    "balanced_tree",
+    "caterpillar",
+    "barbell",
+]
+
+
+def single_link() -> RadioNetwork:
+    """The two-node topology of Appendix A: source s and receiver t."""
+    return RadioNetwork(nx.path_graph(2), source=0, name="single-link")
+
+
+def path(n: int) -> RadioNetwork:
+    """A path of n nodes with the source at the left end (diameter n-1)."""
+    check_positive(n, "n")
+    return RadioNetwork(nx.path_graph(n), source=0, name=f"path-{n}")
+
+
+def star(n_leaves: int) -> RadioNetwork:
+    """The Lemma 15/16 star: a source adjacent to ``n_leaves`` nodes.
+
+    The paper's star has the source at the hub and "n other adjacent
+    nodes"; the returned network has ``n_leaves + 1`` nodes total.
+    """
+    check_positive(n_leaves, "n_leaves")
+    return RadioNetwork(nx.star_graph(n_leaves), source=0, name=f"star-{n_leaves}")
+
+
+def cycle(n: int) -> RadioNetwork:
+    """A cycle of n >= 3 nodes."""
+    if n < 3:
+        raise ValueError(f"a cycle requires n >= 3 nodes, got {n}")
+    return RadioNetwork(nx.cycle_graph(n), source=0, name=f"cycle-{n}")
+
+
+def grid(rows: int, cols: int) -> RadioNetwork:
+    """A rows x cols 2-D grid, source at one corner."""
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    g = nx.grid_2d_graph(rows, cols)
+    return RadioNetwork(g, source=(0, 0), name=f"grid-{rows}x{cols}")
+
+
+def balanced_tree(branching: int, height: int) -> RadioNetwork:
+    """A complete ``branching``-ary tree of the given height, source at root."""
+    check_positive(branching, "branching")
+    if height < 0:
+        raise ValueError(f"height must be >= 0, got {height}")
+    g = nx.balanced_tree(branching, height)
+    return RadioNetwork(g, source=0, name=f"tree-{branching}-{height}")
+
+
+def caterpillar(spine: int, legs_per_node: int) -> RadioNetwork:
+    """A spine path with ``legs_per_node`` pendant leaves on each spine node.
+
+    Useful for FASTBC experiments: large diameter (the spine) with enough
+    extra nodes to drive up ``log n`` independently of ``D``.
+    """
+    check_positive(spine, "spine")
+    if legs_per_node < 0:
+        raise ValueError(f"legs_per_node must be >= 0, got {legs_per_node}")
+    g = nx.Graph()
+    for i in range(spine - 1):
+        g.add_edge(("s", i), ("s", i + 1))
+    if spine == 1:
+        g.add_node(("s", 0))
+    for i in range(spine):
+        for leg in range(legs_per_node):
+            g.add_edge(("s", i), ("l", i, leg))
+    return RadioNetwork(
+        g, source=("s", 0), name=f"caterpillar-{spine}x{legs_per_node}"
+    )
+
+
+def bramble(spine: int, bag_size: int) -> RadioNetwork:
+    """A path thickened by same-level bags of parallel relays.
+
+    Spine nodes v_0..v_{spine-1} form a path; around each interior node
+    v_i sits a *bag* of ``bag_size`` nodes adjacent to v_{i-1} and
+    v_{i+1} (skipping v_i). Each spine node therefore has
+    ``2(bag_size+1)``-dense collision neighborhoods — Decay must thread
+    the "exactly one broadcaster" needle through bag_size+1 informed
+    neighbors per hop — while the bags also offer parallel relay routes,
+    so the frontier advances through whichever route wins first. The
+    spine remains a clean fast stretch for FASTBC (bag nodes are never
+    fast), making this a denser-interference companion to ``path`` for
+    the Lemma 8 / Lemma 10 / Theorem 11 comparisons.
+    """
+    check_positive(spine, "spine")
+    if bag_size < 0:
+        raise ValueError(f"bag_size must be >= 0, got {bag_size}")
+    g = nx.Graph()
+    if spine == 1:
+        g.add_node(("v", 0))
+    for i in range(spine - 1):
+        g.add_edge(("v", i), ("v", i + 1))
+    for i in range(1, spine - 1):
+        for b in range(bag_size):
+            g.add_edge(("v", i - 1), ("b", i, b))
+            g.add_edge(("b", i, b), ("v", i + 1))
+    return RadioNetwork(g, source=("v", 0), name=f"bramble-{spine}x{bag_size}")
+
+
+def barbell(clique_size: int, bridge_length: int) -> RadioNetwork:
+    """Two cliques joined by a path; source in the first clique.
+
+    Exercises the interaction of dense collision domains with a long
+    bottleneck — a stress case for Decay-style backoff.
+    """
+    if clique_size < 2:
+        raise ValueError(f"clique_size must be >= 2, got {clique_size}")
+    if bridge_length < 0:
+        raise ValueError(f"bridge_length must be >= 0, got {bridge_length}")
+    g = nx.barbell_graph(clique_size, bridge_length)
+    return RadioNetwork(
+        g, source=0, name=f"barbell-{clique_size}-{bridge_length}"
+    )

@@ -1,0 +1,91 @@
+"""Layered networks for the pipelining arguments of Lemmas 20-21.
+
+A *layered network* is a chain of node layers where consecutive layers form
+a (complete or random) bipartite graph; the source forms layer 0. The
+pipelined routing schedule of Lemma 21 works on exactly this BFS-layer
+structure, and Lemma 20's bipartite sub-schedule broadcasts across one
+layer boundary.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.network import RadioNetwork
+from repro.util.rng import RandomSource, spawn_rng
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["layered_network", "bipartite_network"]
+
+
+def bipartite_network(
+    left: int,
+    right: int,
+    edge_probability: float = 1.0,
+    rng: "int | RandomSource | None" = None,
+) -> RadioNetwork:
+    """A two-layer network: source -> ``left`` relays -> ``right`` sinks.
+
+    The source is a single node adjacent to every left-layer node (so the
+    left layer can be loaded with messages); left and right layers are
+    connected by a bipartite graph where each edge appears independently
+    with ``edge_probability`` (1.0 = complete bipartite). Right-layer nodes
+    with no left neighbor are attached to one uniformly random left node to
+    keep the network connected.
+    """
+    check_positive(left, "left")
+    check_positive(right, "right")
+    check_fraction(edge_probability, "edge_probability")
+    source = spawn_rng(rng)
+    g = nx.Graph()
+    g.add_node("s")
+    for i in range(left):
+        g.add_edge("s", ("L", i))
+    for j in range(right):
+        g.add_node(("R", j))
+        attached = False
+        for i in range(left):
+            if edge_probability >= 1.0 or source.bernoulli(edge_probability):
+                g.add_edge(("L", i), ("R", j))
+                attached = True
+        if not attached:
+            g.add_edge(("L", source.randint(0, left - 1)), ("R", j))
+    return RadioNetwork(
+        g, source="s", name=f"bipartite-{left}x{right}-{edge_probability}"
+    )
+
+
+def layered_network(
+    layers: int,
+    width: int,
+    edge_probability: float = 1.0,
+    rng: "int | RandomSource | None" = None,
+) -> RadioNetwork:
+    """A source followed by ``layers`` layers of ``width`` nodes each.
+
+    Consecutive layers are joined by independent bipartite graphs (see
+    :func:`bipartite_network` for the edge rule); the source is adjacent to
+    all of layer 0. BFS levels of the result are exactly the layers, which
+    is the structure the Lemma 21 pipelining schedule needs.
+    """
+    check_positive(layers, "layers")
+    check_positive(width, "width")
+    check_fraction(edge_probability, "edge_probability")
+    source = spawn_rng(rng)
+    g = nx.Graph()
+    g.add_node("s")
+    for i in range(width):
+        g.add_edge("s", (0, i))
+    for layer in range(1, layers):
+        for j in range(width):
+            g.add_node((layer, j))
+            attached = False
+            for i in range(width):
+                if edge_probability >= 1.0 or source.bernoulli(edge_probability):
+                    g.add_edge((layer - 1, i), (layer, j))
+                    attached = True
+            if not attached:
+                g.add_edge((layer - 1, source.randint(0, width - 1)), (layer, j))
+    return RadioNetwork(
+        g, source="s", name=f"layered-{layers}x{width}-{edge_probability}"
+    )

@@ -1,0 +1,85 @@
+"""A small registry of named topology families for experiments and the CLI.
+
+Experiments sweep over families by name; the registry centralizes the
+mapping so the CLI, benchmarks, and tests agree on what e.g. ``"path"``
+means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.network import RadioNetwork
+from repro.topologies import basic, layered, random_graphs
+
+__all__ = ["TOPOLOGY_FAMILIES", "make_topology"]
+
+
+def _path(n: int, seed: int) -> RadioNetwork:
+    return basic.path(n)
+
+
+def _star(n: int, seed: int) -> RadioNetwork:
+    return basic.star(max(1, n - 1))
+
+
+def _cycle(n: int, seed: int) -> RadioNetwork:
+    return basic.cycle(max(3, n))
+
+
+def _grid(n: int, seed: int) -> RadioNetwork:
+    side = max(1, round(n**0.5))
+    return basic.grid(side, side)
+
+
+def _tree(n: int, seed: int) -> RadioNetwork:
+    return random_graphs.random_tree(n, rng=seed)
+
+
+def _gnp(n: int, seed: int) -> RadioNetwork:
+    # ~4 log n / n keeps G(n,p) connected w.h.p. while staying sparse
+    import math
+
+    p = min(1.0, 4.0 * math.log(max(2, n)) / max(2, n))
+    return random_graphs.gnp(n, p, rng=seed)
+
+
+def _layered(n: int, seed: int) -> RadioNetwork:
+    width = max(2, round(n**0.5))
+    layers = max(1, (n - 1) // width)
+    return layered.layered_network(layers, width, rng=seed)
+
+
+def _caterpillar(n: int, seed: int) -> RadioNetwork:
+    spine = max(1, n // 2)
+    return basic.caterpillar(spine, 1)
+
+
+def _bramble(n: int, seed: int) -> RadioNetwork:
+    # spine + (spine-2)*bags ~ n with 3-node bags
+    spine = max(3, (n + 6) // 4)
+    return basic.bramble(spine, 3)
+
+
+#: name -> builder(n, seed) for the families experiments sweep over
+TOPOLOGY_FAMILIES: dict[str, Callable[[int, int], RadioNetwork]] = {
+    "path": _path,
+    "star": _star,
+    "cycle": _cycle,
+    "grid": _grid,
+    "tree": _tree,
+    "gnp": _gnp,
+    "layered": _layered,
+    "caterpillar": _caterpillar,
+    "bramble": _bramble,
+}
+
+
+def make_topology(family: str, n: int, seed: int = 0) -> RadioNetwork:
+    """Build a named topology family at size ~n (deterministic per seed)."""
+    try:
+        builder = TOPOLOGY_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+        raise ValueError(f"unknown family {family!r}; known: {known}") from None
+    return builder(n, seed)

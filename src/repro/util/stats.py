@@ -1,0 +1,115 @@
+"""Small statistics helpers used by the throughput harness and experiments.
+
+These are deliberately dependency-light: experiments report means, medians,
+percentiles and simple concentration diagnostics over repeated simulation
+trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "Summary",
+    "mean",
+    "median",
+    "stddev",
+    "percentile",
+    "summarize",
+    "geometric_tail",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for sequences of length 1."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    var = sum((v - m) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(var)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample of simulation measurements."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} sd={self.stddev:.2f} "
+            f"min={self.minimum:.0f} p50={self.median:.0f} "
+            f"p95={self.p95:.0f} max={self.maximum:.0f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` of a non-empty sample."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        count=len(values),
+        mean=mean(values),
+        stddev=stddev(values),
+        minimum=float(min(values)),
+        p25=percentile(values, 25.0),
+        median=percentile(values, 50.0),
+        p75=percentile(values, 75.0),
+        p95=percentile(values, 95.0),
+        maximum=float(max(values)),
+    )
+
+
+def geometric_tail(p: float, t: int) -> float:
+    """P(X > t) for X geometric with success probability p (support 1, 2, ...).
+
+    Used in tests to compare empirical retransmission counts against the
+    exact tail the paper's Chernoff arguments bound.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    if t < 0:
+        return 1.0
+    return (1.0 - p) ** t

@@ -1,0 +1,63 @@
+"""Argument-validation helpers shared across the public API.
+
+The library is used interactively from notebooks and scripts; failing fast
+with a precise message at the API boundary is cheaper than debugging a
+simulation that silently mis-ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+    "check_type",
+]
+
+
+def check_probability(value: float, name: str = "p") -> float:
+    """Validate a fault probability: a float in [0, 1)."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"{name} must be in [0, 1), got {value}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str = "value") -> float:
+    """Validate a closed-interval fraction in [0, 1]."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_positive(value: int, name: str = "value") -> int:
+    """Validate a strictly positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: int, name: str = "value") -> int:
+    """Validate a non-negative integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_type(value: Any, expected: type, name: str = "value") -> Any:
+    """Validate ``isinstance(value, expected)`` with a readable error."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,72 @@
+"""Tests for the shared algorithm scaffolding."""
+
+import pytest
+
+from repro.algorithms.base import BroadcastOutcome, broadcast_probe
+from repro.algorithms.decay import decay_broadcast
+from repro.core.trace import ChannelCounters
+from repro.topologies.basic import path
+from repro.util.rng import RandomSource
+
+
+class TestBroadcastOutcome:
+    def test_informed_fraction(self):
+        outcome = BroadcastOutcome(
+            success=False,
+            rounds=10,
+            informed=3,
+            total=4,
+            counters=ChannelCounters(),
+        )
+        assert outcome.informed_fraction == 0.75
+
+    def test_frozen(self):
+        outcome = BroadcastOutcome(
+            success=True, rounds=1, informed=1, total=1,
+            counters=ChannelCounters(),
+        )
+        with pytest.raises(AttributeError):
+            outcome.rounds = 2  # type: ignore[misc]
+
+
+class TestBroadcastProbe:
+    def test_runs_requested_trials(self):
+        outcomes = broadcast_probe(
+            lambda seed: decay_broadcast(path(6), rng=seed),
+            trials=4,
+            rng=1,
+        )
+        assert len(outcomes) == 4
+        assert all(o.success for o in outcomes)
+
+    def test_trials_get_distinct_seeds(self):
+        seen = []
+        broadcast_probe(lambda seed: seen.append(seed) or decay_broadcast(
+            path(3), rng=seed), trials=5, rng=2)
+        assert len(set(seen)) == 5
+
+    def test_reproducible(self):
+        def collect(top_seed):
+            seeds = []
+            broadcast_probe(
+                lambda seed: seeds.append(seed) or decay_broadcast(
+                    path(3), rng=seed),
+                trials=3,
+                rng=top_seed,
+            )
+            return seeds
+
+        assert collect(7) == collect(7)
+        assert collect(7) != collect(8)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            broadcast_probe(lambda seed: None, trials=0)
+
+
+class TestIterBernoulli:
+    def test_stream(self):
+        rng = RandomSource(3)
+        stream = rng.iter_bernoulli(0.5)
+        draws = [next(stream) for _ in range(100)]
+        assert any(draws) and not all(draws)

@@ -1,0 +1,129 @@
+"""Tests for single-link schedules (Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.algorithms.multi.single_link import (
+    minimal_nonadaptive_repetitions,
+    single_link_adaptive_routing,
+    single_link_coding,
+    single_link_nonadaptive_routing,
+)
+
+
+class TestMinimalRepetitions:
+    def test_grows_logarithmically(self):
+        r64 = minimal_nonadaptive_repetitions(64, 0.5)
+        r4096 = minimal_nonadaptive_repetitions(4096, 0.5)
+        assert r4096 > r64
+        assert r4096 == pytest.approx(2 * math.log2(4096), abs=2)
+
+    def test_faultless_needs_one(self):
+        assert minimal_nonadaptive_repetitions(100, 0.0) == 1
+
+    def test_k_one(self):
+        assert minimal_nonadaptive_repetitions(1, 0.5) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimal_nonadaptive_repetitions(0, 0.5)
+        with pytest.raises(ValueError):
+            minimal_nonadaptive_repetitions(4, 1.0)
+
+
+class TestNonAdaptiveRouting:
+    def test_rounds_are_k_times_repetitions(self):
+        outcome = single_link_nonadaptive_routing(16, 0.5, rng=1)
+        r = minimal_nonadaptive_repetitions(16, 0.5)
+        assert outcome.rounds == 16 * r
+
+    def test_default_budget_succeeds_usually(self):
+        successes = sum(
+            single_link_nonadaptive_routing(32, 0.5, rng=seed).success
+            for seed in range(20)
+        )
+        assert successes >= 18  # failure probability is ~1/k
+
+    def test_underprovisioned_repetitions_fail_often(self):
+        """Lemma 29's lower-bound mechanism: with ~log(k)/2 repetitions a
+        constant fraction of messages is lost."""
+        failures = sum(
+            not single_link_nonadaptive_routing(
+                64, 0.5, rng=seed, repetitions=3
+            ).success
+            for seed in range(20)
+        )
+        assert failures >= 15
+
+    def test_faultless(self):
+        outcome = single_link_nonadaptive_routing(8, 0.0, rng=2)
+        assert outcome.success and outcome.rounds == 8
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError):
+            single_link_nonadaptive_routing(4, 0.2, repetitions=0)
+
+
+class TestAdaptiveRouting:
+    def test_faultless_is_k_rounds(self):
+        outcome = single_link_adaptive_routing(16, 0.0, rng=1)
+        assert outcome.success and outcome.rounds == 16
+
+    def test_rounds_near_k_over_1mp(self):
+        """Lemma 32: ~k/(1-p) rounds — constant per message."""
+        k, p = 500, 0.5
+        outcome = single_link_adaptive_routing(k, p, rng=2)
+        assert outcome.success
+        expected = k / (1 - p)
+        assert 0.8 * expected < outcome.rounds < 1.3 * expected
+
+    def test_budget_respected(self):
+        outcome = single_link_adaptive_routing(100, 0.5, rng=3, round_budget=10)
+        assert not outcome.success
+        assert outcome.rounds <= 10
+
+    def test_delivered_counts(self):
+        outcome = single_link_adaptive_routing(10, 0.3, rng=4)
+        assert outcome.delivered == 10
+
+
+class TestCoding:
+    def test_faultless_is_k_rounds(self):
+        outcome = single_link_coding(16, 0.0, rng=1)
+        assert outcome.success and outcome.rounds == 16
+
+    def test_rounds_near_k_over_1mp(self):
+        """Lemma 30: a single negative-binomial wait, ~k/(1-p) rounds."""
+        k, p = 500, 0.5
+        outcome = single_link_coding(k, p, rng=2)
+        assert outcome.success
+        expected = k / (1 - p)
+        assert 0.8 * expected < outcome.rounds < 1.3 * expected
+
+    def test_budget(self):
+        outcome = single_link_coding(1000, 0.5, rng=3, max_rounds=100)
+        assert not outcome.success
+
+
+class TestAppendixAGaps:
+    def test_lemma31_nonadaptive_gap_grows_with_k(self):
+        """Coding vs non-adaptive routing gap ~ Θ(log k)."""
+        p = 0.5
+        gaps = {}
+        for k in (16, 1024):
+            routing = single_link_nonadaptive_routing(k, p, rng=5)
+            coding = single_link_coding(k, p, rng=5)
+            assert coding.success
+            gaps[k] = routing.rounds / coding.rounds
+        assert gaps[1024] > gaps[16]
+
+    def test_lemma33_adaptive_gap_constant(self):
+        """Coding vs adaptive routing gap ~ Θ(1) for all k."""
+        p = 0.5
+        for k in (64, 1024):
+            routing = single_link_adaptive_routing(k, p, rng=6)
+            coding = single_link_coding(k, p, rng=6)
+            assert routing.success and coding.success
+            gap = routing.rounds / coding.rounds
+            assert 0.5 < gap < 2.0

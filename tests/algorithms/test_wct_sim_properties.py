@@ -1,0 +1,55 @@
+"""Property-based tests on the collapsed WCT simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.multi.wct_sim import WCTBroadcastSimulator
+from repro.topologies.wct import worst_case_topology
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=200),
+    subset_seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=25, deadline=None)
+def test_hearing_matches_bruteforce(seed, subset_seed):
+    """hearing_clusters == 'exactly one adjacent broadcaster' by definition."""
+    wct = worst_case_topology(100, rng=seed)
+    sim = WCTBroadcastSimulator(wct, p=0.2, rng=seed)
+    rng = np.random.default_rng(subset_seed)
+    mask = rng.random(wct.num_senders) < 0.4
+    hearing = sim.hearing_clusters(mask)
+    for j in range(wct.num_clusters):
+        count = int(np.sum(wct.adjacency[j] & mask))
+        assert hearing[j] == (count == 1)
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=10, deadline=None)
+def test_faultless_members_receive_together(seed):
+    """With p=0 every member of a hearing cluster receives — atomicity."""
+    wct = worst_case_topology(100, rng=seed)
+    sim = WCTBroadcastSimulator(wct, p=0.0, rng=seed)
+    mask = np.zeros(wct.num_senders, dtype=bool)
+    mask[0] = True
+    hearing = sim.hearing_clusters(mask)
+    successes = sim._member_successes(hearing)
+    for j in range(wct.num_clusters):
+        assert successes[j].all() == hearing[j]
+        assert successes[j].any() == hearing[j]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    k=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=8, deadline=None)
+def test_coding_never_slower_than_routing(seed, k):
+    """Per-reception usefulness dominates: coding rounds <= routing rounds
+    on the same topology and fault level (up to shared source phase)."""
+    wct = worst_case_topology(144, rng=seed)
+    routing = WCTBroadcastSimulator(wct, p=0.5, rng=seed).run_routing(k=k)
+    coding = WCTBroadcastSimulator(wct, p=0.5, rng=seed).run_coding(k=k)
+    assert routing.success and coding.success
+    assert coding.rounds <= routing.rounds * 1.2 + 50

@@ -1,0 +1,66 @@
+"""Tests for the closed-form shape predictions."""
+
+import pytest
+
+from repro.analysis.predictions import (
+    decay_rounds,
+    fastbc_faultless_rounds,
+    fastbc_noisy_path_rounds,
+    robust_fastbc_rounds,
+    single_link_adaptive_rounds,
+    single_link_coding_rounds,
+    single_link_nonadaptive_rounds,
+    star_coding_rounds,
+    star_routing_rounds,
+    wct_coding_rounds,
+    wct_routing_rounds,
+)
+
+
+class TestShapes:
+    def test_decay_grows_with_d_times_logn(self):
+        assert decay_rounds(1024, 200) > decay_rounds(1024, 100) * 1.8
+
+    def test_decay_fault_slowdown(self):
+        assert decay_rounds(256, 50, p=0.5) == pytest.approx(
+            2 * decay_rounds(256, 50, p=0.0)
+        )
+
+    def test_fastbc_faultless_diameter_dominated(self):
+        assert fastbc_faultless_rounds(256, 10_000) < 10_000 + 100
+
+    def test_fastbc_noisy_faultless_limit(self):
+        """p -> 0 leaves only the D/(1-p) term."""
+        assert fastbc_noisy_path_rounds(256, 100, 0.0) == pytest.approx(100.0)
+
+    def test_fastbc_noisy_log_factor(self):
+        noisy = fastbc_noisy_path_rounds(2**16, 100, 0.5)
+        assert noisy > 100 * 8  # ~ D log n at p = 1/2
+
+    def test_robust_fastbc_additive_polylog(self):
+        deep = robust_fastbc_rounds(256, 10_000, 0.3)
+        assert deep < 10_000 * 1.1  # D dominates; additive term is small
+
+    def test_star_routing_vs_coding_gap(self):
+        n, k, p = 1024, 100, 0.5
+        gap = star_routing_rounds(n, k, p) / star_coding_rounds(k, p)
+        assert 2 < gap < 10  # ~ log2(1024)/2 = 5
+
+    def test_star_routing_faultless(self):
+        assert star_routing_rounds(64, 10, 0.0) == 10.0
+
+    def test_wct_gap_is_logn(self):
+        n, k = 4096, 64
+        gap = wct_routing_rounds(n, k) / wct_coding_rounds(n, k)
+        assert gap == pytest.approx(12.0)  # log2(4096)
+
+    def test_single_link_shapes(self):
+        k, p = 1024, 0.5
+        nonadaptive = single_link_nonadaptive_rounds(k, p)
+        adaptive = single_link_adaptive_rounds(k, p)
+        coding = single_link_coding_rounds(k, p)
+        assert adaptive == coding  # Lemma 33: constant gap
+        assert nonadaptive / coding > 5  # Lemma 31: ~ log k gap
+
+    def test_single_link_faultless(self):
+        assert single_link_nonadaptive_rounds(16, 0.0) == 16.0

@@ -1,0 +1,104 @@
+"""Tests for trace-based progress analysis, including the Lemma 10 stall
+distribution itself."""
+
+import pytest
+
+from repro.algorithms.base import ilog2, run_broadcast
+from repro.algorithms.fastbc import make_fastbc_protocols
+from repro.analysis.progress import (
+    ProgressTimeline,
+    extract_progress,
+    stall_gaps,
+)
+from repro.core.faults import FaultConfig
+from repro.topologies.basic import path
+from repro.util.rng import RandomSource
+
+
+class TestTimeline:
+    def test_frontier_times_stop_at_uninformed(self):
+        timeline = ProgressTimeline(informed_round=(0, 3, -1, 9))
+        assert timeline.frontier_times([0, 1, 2, 3]) == [0, 3]
+
+    def test_hop_gaps(self):
+        timeline = ProgressTimeline(informed_round=(0, 2, 10))
+        assert timeline.hop_gaps([0, 1, 2]) == [2, 8]
+
+    def test_completion_round(self):
+        assert ProgressTimeline((0, 5, 3)).completion_round() == 5
+        assert ProgressTimeline((0, -1, 3)).completion_round() == -1
+
+    def test_extract_from_protocols(self):
+        class Stub:
+            def __init__(self, r):
+                self.informed_round = r
+
+        timeline = extract_progress([Stub(0), Stub(None), Stub(7)])
+        assert timeline.informed_round == (0, -1, 7)
+
+
+class TestStallGaps:
+    def test_requires_progress(self):
+        timeline = ProgressTimeline(informed_round=(-1,))
+        with pytest.raises(ValueError):
+            stall_gaps(timeline, [0], stall_threshold=4)
+
+    def test_separates_modes(self):
+        timeline = ProgressTimeline(informed_round=(0, 2, 4, 104, 106))
+        stalls, summary = stall_gaps(timeline, [0, 1, 2, 3, 4], 10)
+        assert stalls == [100]
+        assert summary.count == 4
+
+
+class TestLemma10StallDistribution:
+    """The microscopic mechanism of Lemma 10: under faults, the FASTBC
+    wave's inter-hop gaps are bimodal — the wave speed (2 rounds) or a
+    full wave period (2 * 6 * ilog2(n) rounds)."""
+
+    def test_wave_gaps_bimodal_under_faults(self):
+        n, p = 128, 0.4
+        network = path(n)
+        rng = RandomSource(3)
+        protocols = make_fastbc_protocols(
+            network, rng, decay_interleave=False
+        )
+        outcome = run_broadcast(
+            network, protocols, FaultConfig.receiver(p), rng.spawn(),
+            max_rounds=200_000,
+        )
+        assert outcome.success
+        timeline = extract_progress(protocols)
+        period = 2 * 6 * ilog2(n)  # full wave period in real rounds
+        # skip node 0->1: that first gap is the wave-alignment start-up
+        # (up to one period), not a fault stall
+        stalls, summary = stall_gaps(
+            timeline, list(range(1, n)), stall_threshold=period // 2
+        )
+        gaps = timeline.hop_gaps(list(range(1, n)))
+        fast_hops = [g for g in gaps if g <= 2]
+        # both modes are populated...
+        assert len(fast_hops) > 0.3 * len(gaps)
+        assert len(stalls) > 0.1 * len(gaps)
+        # ...and every stall is a whole number of wave periods plus the
+        # 2-round hop itself: the Lemma 10 mechanism, literally
+        for stall in stalls:
+            assert (stall - 2) % period == 0, (stall, period)
+
+    def test_faultless_wave_has_no_stalls(self):
+        n = 96
+        network = path(n)
+        rng = RandomSource(4)
+        protocols = make_fastbc_protocols(
+            network, rng, decay_interleave=False
+        )
+        outcome = run_broadcast(
+            network, protocols, FaultConfig.faultless(), rng.spawn(),
+            max_rounds=50_000,
+        )
+        assert outcome.success
+        timeline = extract_progress(protocols)
+        period = 2 * 6 * ilog2(n)
+        stalls, _ = stall_gaps(
+            timeline, list(range(1, n)), stall_threshold=period // 2
+        )
+        assert stalls == []

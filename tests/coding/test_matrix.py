@@ -1,0 +1,210 @@
+"""Tests for GF(2^8) matrices: RREF, rank, inversion, solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding.gf256 import GF256
+from repro.coding.matrix import GFMatrix
+
+small_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    ),
+)
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        m = GFMatrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            GFMatrix(np.zeros(3, dtype=np.uint8))
+
+    def test_data_is_copied(self):
+        src = np.zeros((2, 2), dtype=np.uint8)
+        m = GFMatrix(src)
+        src[0, 0] = 9
+        assert m.data[0, 0] == 0
+
+    def test_zeros_and_identity(self):
+        assert GFMatrix.zeros(2, 3).shape == (2, 3)
+        eye = GFMatrix.identity(3)
+        assert eye.rank() == 3
+
+    def test_zeros_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(-1, 2)
+
+    def test_equality_and_hash(self):
+        a = GFMatrix([[1, 2]])
+        b = GFMatrix([[1, 2]])
+        assert a == b and hash(a) == hash(b)
+        assert a != GFMatrix([[1, 3]])
+        assert a.__eq__(42) is NotImplemented
+
+
+class TestArithmetic:
+    def test_add_is_xor(self):
+        a = GFMatrix([[1, 2]])
+        assert (a + a) == GFMatrix.zeros(1, 2)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(1, 2) + GFMatrix.zeros(2, 1)
+
+    def test_sub_equals_add(self):
+        a = GFMatrix([[5, 6]])
+        b = GFMatrix([[1, 2]])
+        assert (a - b) == (a + b)
+
+    def test_matmul_identity(self):
+        m = GFMatrix([[9, 8], [7, 6]])
+        assert (GFMatrix.identity(2) @ m) == m
+
+    def test_scale(self):
+        m = GFMatrix([[1, 2]])
+        scaled = m.scale(3)
+        assert scaled.data[0, 0] == GF256.mul(3, 1)
+        assert scaled.data[0, 1] == GF256.mul(3, 2)
+
+    def test_transpose(self):
+        m = GFMatrix([[1, 2, 3]])
+        assert m.transpose().shape == (3, 1)
+
+
+class TestRREFAndRank:
+    def test_rank_of_zero_matrix(self):
+        assert GFMatrix.zeros(3, 3).rank() == 0
+
+    def test_rank_of_identity(self):
+        assert GFMatrix.identity(5).rank() == 5
+
+    def test_rank_of_duplicated_rows(self):
+        m = GFMatrix([[1, 2, 3], [1, 2, 3], [0, 0, 1]])
+        assert m.rank() == 2
+
+    def test_rref_idempotent(self):
+        m = GFMatrix([[3, 1, 4], [1, 5, 9], [2, 6, 5]])
+        r1, p1 = m.rref()
+        r2, p2 = r1.rref()
+        assert r1 == r2 and p1 == p2
+
+    def test_rref_pivot_columns_are_unit(self):
+        m = GFMatrix([[3, 1], [1, 5]])
+        reduced, pivots = m.rref()
+        for row, col in enumerate(pivots):
+            column = reduced.data[:, col]
+            assert column[row] == 1
+            assert np.count_nonzero(column) == 1
+
+    @given(small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_rank_bounded_by_dims(self, data):
+        m = GFMatrix(data)
+        assert 0 <= m.rank() <= min(m.shape)
+
+    @given(small_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_rank_invariant_under_transpose(self, data):
+        m = GFMatrix(data)
+        assert m.rank() == m.transpose().rank()
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self):
+        m = GFMatrix([[1, 2], [3, 5]])
+        assert (m @ m.inverse()) == GFMatrix.identity(2)
+        assert (m.inverse() @ m) == GFMatrix.identity(2)
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 2], [1, 2]]).inverse()
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(2, 3).inverse()
+
+    def test_is_invertible(self):
+        assert GFMatrix.identity(3).is_invertible()
+        assert not GFMatrix.zeros(3, 3).is_invertible()
+        assert not GFMatrix.zeros(2, 3).is_invertible()
+
+
+class TestSolve:
+    def test_solve_identity(self):
+        rhs = GFMatrix([[7], [9]])
+        x = GFMatrix.identity(2).solve(rhs)
+        assert x == rhs
+
+    def test_solve_roundtrip(self):
+        a = GFMatrix([[1, 2], [3, 5]])
+        rhs = GFMatrix([[10, 20], [30, 40]])
+        x = a.solve(rhs)
+        assert (a @ x) == rhs
+
+    def test_solve_singular_raises(self):
+        with pytest.raises(ValueError):
+            GFMatrix([[1, 1], [1, 1]]).solve(GFMatrix([[1], [2]]))
+
+    def test_solve_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GFMatrix.zeros(2, 3).solve(GFMatrix.zeros(2, 1))
+
+    def test_solve_rhs_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GFMatrix.identity(2).solve(GFMatrix.zeros(3, 1))
+
+
+class TestVandermonde:
+    def test_shape(self):
+        v = GFMatrix.vandermonde([0, 1, 2], 3)
+        assert v.shape == (3, 3)
+
+    def test_first_column_is_ones(self):
+        v = GFMatrix.vandermonde([5, 9, 200], 4)
+        assert np.all(v.data[:, 0] == 1)
+
+    def test_distinct_points_full_rank(self):
+        # the MDS property: any k rows with distinct points are independent
+        v = GFMatrix.vandermonde([3, 14, 15, 92, 65], 5)
+        assert v.rank() == 5
+
+    def test_repeated_points_rank_deficient(self):
+        v = GFMatrix.vandermonde([7, 7, 8], 3)
+        assert v.rank() == 2
+
+    def test_rejects_out_of_field_points(self):
+        with pytest.raises(ValueError):
+            GFMatrix.vandermonde([256], 2)
+
+    def test_rejects_non_positive_cols(self):
+        with pytest.raises(ValueError):
+            GFMatrix.vandermonde([1], 0)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=255),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_distinct_point_set_is_full_rank(self, points):
+        v = GFMatrix.vandermonde(points, len(points))
+        assert v.rank() == len(points)
+
+
+class TestRowAccess:
+    def test_row_returns_copy(self):
+        m = GFMatrix([[1, 2], [3, 4]])
+        r = m.row(0)
+        r[0] = 99
+        assert m.data[0, 0] == 1

@@ -1,0 +1,158 @@
+"""Tests for the Reed-Solomon erasure code, centered on the MDS property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.reed_solomon import ReedSolomonCode
+from repro.util.rng import RandomSource
+
+
+def make_packets(k: int, length: int, seed: int = 0) -> list[bytes]:
+    rng = RandomSource(seed)
+    return [bytes(rng.bytes_array(length).tobytes()) for _ in range(k)]
+
+
+class TestConstruction:
+    def test_valid_parameters(self):
+        code = ReedSolomonCode(k=4, m=10)
+        assert code.k == 4 and code.m == 10
+
+    def test_k_equals_m_allowed(self):
+        ReedSolomonCode(k=5, m=5)
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=0, m=5)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=257, m=257)
+
+    def test_rejects_m_below_k(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=5, m=4)
+
+    def test_rejects_m_above_field(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(k=5, m=257)
+
+    def test_repr(self):
+        assert "k=3" in repr(ReedSolomonCode(3, 6))
+
+
+class TestEncode:
+    def test_produces_m_packets(self):
+        code = ReedSolomonCode(k=3, m=7)
+        coded = code.encode(make_packets(3, 16))
+        assert len(coded) == 7
+        assert all(len(c) == 16 for c in coded)
+
+    def test_rejects_wrong_packet_count(self):
+        code = ReedSolomonCode(k=3, m=7)
+        with pytest.raises(ValueError):
+            code.encode(make_packets(2, 16))
+
+    def test_rejects_mixed_lengths(self):
+        code = ReedSolomonCode(k=2, m=4)
+        with pytest.raises(ValueError):
+            code.encode([b"abcd", b"ab"])
+
+    def test_rejects_empty_packets(self):
+        code = ReedSolomonCode(k=2, m=4)
+        with pytest.raises(ValueError):
+            code.encode([b"", b""])
+
+    def test_encode_array_shape(self):
+        code = ReedSolomonCode(k=2, m=5)
+        message = np.arange(2 * 8, dtype=np.uint8).reshape(2, 8)
+        coded = code.encode_array(message)
+        assert coded.shape == (5, 8)
+
+    def test_encode_array_rejects_bad_rows(self):
+        code = ReedSolomonCode(k=2, m=5)
+        with pytest.raises(ValueError):
+            code.encode_array(np.zeros((3, 4), dtype=np.uint8))
+
+
+class TestMDSProperty:
+    """Any k of the m coded packets reconstruct the message exactly."""
+
+    def test_first_k(self):
+        code = ReedSolomonCode(k=4, m=12)
+        packets = make_packets(4, 32, seed=1)
+        coded = code.encode(packets)
+        decoded = code.decode(list(enumerate(coded))[:4])
+        assert decoded == packets
+
+    def test_last_k(self):
+        code = ReedSolomonCode(k=4, m=12)
+        packets = make_packets(4, 32, seed=2)
+        coded = code.encode(packets)
+        received = [(i, coded[i]) for i in range(8, 12)]
+        assert code.decode(received) == packets
+
+    def test_scattered_subset(self):
+        code = ReedSolomonCode(k=5, m=20)
+        packets = make_packets(5, 8, seed=3)
+        coded = code.encode(packets)
+        received = [(i, coded[i]) for i in (0, 7, 11, 13, 19)]
+        assert code.decode(received) == packets
+
+    def test_extra_packets_ignored(self):
+        code = ReedSolomonCode(k=3, m=9)
+        packets = make_packets(3, 8, seed=4)
+        coded = code.encode(packets)
+        received = [(i, coded[i]) for i in range(9)]
+        assert code.decode(received) == packets
+
+    def test_duplicate_indices_do_not_count_twice(self):
+        code = ReedSolomonCode(k=3, m=9)
+        packets = make_packets(3, 8, seed=5)
+        coded = code.encode(packets)
+        received = [(0, coded[0]), (0, coded[0]), (1, coded[1])]
+        with pytest.raises(ValueError):
+            code.decode(received)
+
+    @given(
+        k=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=0, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_subsets_decode(self, k, extra, seed):
+        m = k + extra
+        code = ReedSolomonCode(k=k, m=m)
+        packets = make_packets(k, 8, seed=seed)
+        coded = code.encode(packets)
+        rng = RandomSource(seed)
+        chosen = rng.sample(range(m), k)
+        received = [(i, coded[i]) for i in chosen]
+        assert code.decode(received) == packets
+
+
+class TestDecodeErrors:
+    def test_too_few_packets(self):
+        code = ReedSolomonCode(k=4, m=10)
+        coded = code.encode(make_packets(4, 8))
+        with pytest.raises(ValueError):
+            code.decode(list(enumerate(coded))[:3])
+
+    def test_out_of_range_index(self):
+        code = ReedSolomonCode(k=2, m=4)
+        with pytest.raises(ValueError):
+            code.decode([(4, b"xxxx"), (0, b"yyyy")])
+
+    def test_mixed_length_payloads(self):
+        code = ReedSolomonCode(k=2, m=4)
+        with pytest.raises(ValueError):
+            code.decode([(0, b"abcd"), (1, b"ab")])
+
+
+class TestArrayRoundTrip:
+    def test_decode_array(self):
+        code = ReedSolomonCode(k=3, m=8)
+        message = RandomSource(7).bytes_array(3 * 16).reshape(3, 16)
+        coded = code.encode_array(message)
+        indices = [2, 5, 7]
+        decoded = code.decode_array(indices, coded[indices])
+        assert np.array_equal(decoded, message)

@@ -1,0 +1,201 @@
+"""Tests for random linear network coding: rank evolution and decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.rlnc import (
+    CodedPacket,
+    RLNCDecoder,
+    RLNCEncoder,
+    random_coefficients,
+)
+from repro.util.rng import RandomSource
+
+
+def unit_packet(k: int, index: int, payload: bytes = b"") -> CodedPacket:
+    coeffs = bytearray(k)
+    coeffs[index] = 1
+    return CodedPacket(coefficients=bytes(coeffs), payload=payload)
+
+
+class TestCodedPacket:
+    def test_k_property(self):
+        assert unit_packet(5, 0).k == 5
+
+    def test_is_zero(self):
+        assert CodedPacket(b"\x00\x00", b"").is_zero()
+        assert not unit_packet(2, 1).is_zero()
+
+    def test_arrays(self):
+        p = CodedPacket(b"\x01\x02", b"\xff")
+        assert np.array_equal(
+            p.coefficient_array(), np.array([1, 2], dtype=np.uint8)
+        )
+        assert np.array_equal(p.payload_array(), np.array([255], dtype=np.uint8))
+
+
+class TestRandomCoefficients:
+    def test_never_zero(self):
+        rng = RandomSource(0)
+        for _ in range(50):
+            assert np.any(random_coefficients(4, rng))
+
+    def test_length(self):
+        assert random_coefficients(7, RandomSource(1)).shape == (7,)
+
+
+class TestDecoderRank:
+    def test_initial_rank_zero(self):
+        d = RLNCDecoder(k=4)
+        assert d.rank == 0 and not d.is_complete()
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            RLNCDecoder(k=0)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            RLNCDecoder(k=1, payload_length=-1)
+
+    def test_unit_vectors_fill_rank(self):
+        d = RLNCDecoder(k=3)
+        for i in range(3):
+            assert d.receive(unit_packet(3, i))
+        assert d.is_complete()
+
+    def test_duplicate_not_innovative(self):
+        d = RLNCDecoder(k=3)
+        assert d.receive(unit_packet(3, 0))
+        assert not d.receive(unit_packet(3, 0))
+        assert d.rank == 1
+
+    def test_linear_combination_not_innovative(self):
+        d = RLNCDecoder(k=3)
+        d.receive(unit_packet(3, 0))
+        d.receive(unit_packet(3, 1))
+        combo = CodedPacket(b"\x01\x01\x00", b"")  # m0 + m1
+        assert not d.receive(combo)
+        assert d.rank == 2
+
+    def test_zero_packet_not_innovative(self):
+        d = RLNCDecoder(k=2)
+        assert not d.receive(CodedPacket(b"\x00\x00", b""))
+
+    def test_counts(self):
+        d = RLNCDecoder(k=2)
+        d.receive(unit_packet(2, 0))
+        d.receive(unit_packet(2, 0))
+        assert d.received_count == 2
+        assert d.innovative_count == 1
+
+    def test_packet_k_mismatch(self):
+        d = RLNCDecoder(k=3)
+        with pytest.raises(ValueError):
+            d.receive(unit_packet(2, 0))
+
+    def test_payload_length_mismatch(self):
+        d = RLNCDecoder(k=2, payload_length=4)
+        with pytest.raises(ValueError):
+            d.receive(unit_packet(2, 0, payload=b"xx"))
+
+    def test_basis_coefficients_shape(self):
+        d = RLNCDecoder(k=3)
+        assert d.basis_coefficients().shape == (0, 3)
+        d.receive(unit_packet(3, 1))
+        assert d.basis_coefficients().shape == (1, 3)
+
+
+class TestDecoding:
+    def test_decode_before_complete_raises(self):
+        d = RLNCDecoder(k=2, payload_length=1)
+        d.receive(unit_packet(2, 0, b"\x01"))
+        with pytest.raises(ValueError):
+            d.decode()
+
+    def test_decode_from_units(self):
+        messages = [b"hello!!!", b"world...", b"packets!"]
+        d = RLNCDecoder(k=3, payload_length=8)
+        for i, msg in enumerate(messages):
+            d.receive(unit_packet(3, i, msg))
+        assert d.decode_messages() == messages
+
+    def test_decode_from_random_combinations(self):
+        rng = RandomSource(42)
+        messages = [bytes(rng.bytes_array(16).tobytes()) for _ in range(5)]
+        source = RLNCEncoder(k=5, payload_length=16, messages=messages)
+        sink = RLNCDecoder(k=5, payload_length=16)
+        emit_rng = RandomSource(7)
+        while not sink.is_complete():
+            packet = source.emit(emit_rng)
+            sink.receive(packet)
+        assert sink.decode_messages() == messages
+
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        length=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, k, length, seed):
+        rng = RandomSource(seed)
+        messages = [bytes(rng.bytes_array(length).tobytes()) for _ in range(k)]
+        source = RLNCEncoder(k=k, payload_length=length, messages=messages)
+        sink = RLNCDecoder(k=k, payload_length=length)
+        emit_rng = rng.spawn()
+        for _ in range(20 * k):  # far more than enough w.h.p.
+            sink.receive(source.emit(emit_rng))
+            if sink.is_complete():
+                break
+        assert sink.is_complete()
+        assert sink.decode_messages() == messages
+
+
+class TestEncoder:
+    def test_source_starts_complete(self):
+        enc = RLNCEncoder(k=2, payload_length=1, messages=[b"a", b"b"])
+        assert enc.is_complete() and enc.rank == 2
+
+    def test_relay_starts_empty(self):
+        enc = RLNCEncoder(k=2, payload_length=1)
+        assert enc.rank == 0 and not enc.can_transmit()
+
+    def test_emit_without_knowledge_raises(self):
+        with pytest.raises(ValueError):
+            RLNCEncoder(k=2).emit(RandomSource(0))
+
+    def test_message_count_validation(self):
+        with pytest.raises(ValueError):
+            RLNCEncoder(k=2, payload_length=1, messages=[b"a"])
+
+    def test_message_length_validation(self):
+        with pytest.raises(ValueError):
+            RLNCEncoder(k=1, payload_length=2, messages=[b"a"])
+
+    def test_emitted_packets_in_known_subspace(self):
+        enc = RLNCEncoder(k=4, payload_length=0)
+        enc.receive(unit_packet(4, 0))
+        enc.receive(unit_packet(4, 2))
+        rng = RandomSource(3)
+        for _ in range(20):
+            packet = enc.emit(rng)
+            coeffs = packet.coefficient_array()
+            # components 1 and 3 must be zero: the node knows only e0, e2
+            assert coeffs[1] == 0 and coeffs[3] == 0
+            assert coeffs[0] != 0 or coeffs[2] != 0
+
+    def test_relay_innovation_rate(self):
+        """A relay that knows strictly more is innovative w.p. >= 1 - 1/256."""
+        rng = RandomSource(5)
+        messages = [bytes(rng.bytes_array(4).tobytes()) for _ in range(8)]
+        source = RLNCEncoder(k=8, payload_length=4, messages=messages)
+        sink = RLNCDecoder(k=8, payload_length=4)
+        emit_rng = RandomSource(6)
+        attempts = 0
+        while not sink.is_complete():
+            sink.receive(source.emit(emit_rng))
+            attempts += 1
+            assert attempts < 100  # would be ~8 w.h.p.
+        # decoding needs exactly k innovative receptions
+        assert sink.innovative_count == 8

@@ -1,0 +1,52 @@
+"""Tests for fault model configuration."""
+
+import pytest
+
+from repro.core.faults import FaultConfig, FaultModel
+
+
+class TestFaultModel:
+    def test_members(self):
+        assert {m.value for m in FaultModel} == {"none", "sender", "receiver"}
+
+    def test_str(self):
+        assert str(FaultModel.SENDER) == "sender"
+
+
+class TestFaultConfig:
+    def test_default_is_faultless(self):
+        cfg = FaultConfig()
+        assert cfg.is_faultless
+        assert cfg.model is FaultModel.NONE
+
+    def test_constructors(self):
+        assert FaultConfig.sender(0.3).model is FaultModel.SENDER
+        assert FaultConfig.receiver(0.5).model is FaultModel.RECEIVER
+        assert FaultConfig.faultless().is_faultless
+
+    def test_p_zero_counts_as_faultless(self):
+        assert FaultConfig.sender(0.0).is_faultless
+        assert not FaultConfig.sender(0.1).is_faultless
+
+    def test_rejects_p_one(self):
+        # the paper requires p in [0, 1): p = 1 would make progress impossible
+        with pytest.raises(ValueError):
+            FaultConfig.sender(1.0)
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(ValueError):
+            FaultConfig.receiver(-0.01)
+
+    def test_none_model_requires_zero_p(self):
+        with pytest.raises(ValueError):
+            FaultConfig(FaultModel.NONE, 0.5)
+
+    def test_frozen(self):
+        cfg = FaultConfig.sender(0.2)
+        with pytest.raises(AttributeError):
+            cfg.p = 0.3  # type: ignore[misc]
+
+    def test_str_rendering(self):
+        assert str(FaultConfig.faultless()) == "faultless"
+        assert "sender" in str(FaultConfig.sender(0.25))
+        assert "0.25" in str(FaultConfig.sender(0.25))

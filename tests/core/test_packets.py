@@ -1,0 +1,49 @@
+"""Tests for packet types and the noise sentinel."""
+
+import pytest
+
+from repro.core.packets import NOISE, MessagePacket, NoiseType, RSPacket
+
+
+class TestNoise:
+    def test_noise_is_falsy(self):
+        assert not NOISE
+
+    def test_noise_is_singleton(self):
+        assert NoiseType() is NOISE
+
+    def test_repr(self):
+        assert repr(NOISE) == "NOISE"
+
+
+class TestMessagePacket:
+    def test_fields(self):
+        p = MessagePacket(3, b"abc")
+        assert p.index == 3 and p.payload == b"abc"
+
+    def test_default_payload(self):
+        assert MessagePacket(0).payload == b""
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            MessagePacket(-1)
+
+    def test_frozen_and_hashable(self):
+        p = MessagePacket(1)
+        with pytest.raises(AttributeError):
+            p.index = 2  # type: ignore[misc]
+        assert hash(MessagePacket(1)) == hash(MessagePacket(1))
+
+    def test_equality(self):
+        assert MessagePacket(2, b"x") == MessagePacket(2, b"x")
+        assert MessagePacket(2) != MessagePacket(3)
+
+
+class TestRSPacket:
+    def test_fields(self):
+        p = RSPacket(7, b"pp")
+        assert p.coded_index == 7 and p.payload == b"pp"
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            RSPacket(-2)

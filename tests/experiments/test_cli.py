@@ -1,0 +1,41 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A3" in out
+
+
+class TestRun:
+    def test_run_smoke(self, capsys):
+        assert main(["run", "E18", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "single-link" in out
+
+    def test_run_csv_format(self, capsys):
+        assert main(["run", "E18", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "k,adaptive_rounds" in out
+
+    def test_run_markdown_format(self, capsys):
+        assert main(["run", "E18", "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| k |")
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_seed_flag(self, capsys):
+        assert main(["run", "E18", "--seed", "7"]) == 0
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E1", "--scale", "huge"])

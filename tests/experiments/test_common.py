@@ -1,0 +1,37 @@
+"""Tests for the experiment registration framework itself."""
+
+import pytest
+
+from repro.experiments.common import Experiment, register
+from repro.util.tables import Table
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self):
+        def driver(scale: str, seed: int) -> Table:
+            t = Table(["x"])
+            t.add_row(1)
+            return t
+
+        register("T-dup", "first", "claim")(driver)
+        with pytest.raises(ValueError, match="already registered"):
+            register("T-dup", "second", "claim")(driver)
+
+    def test_decorator_returns_experiment(self):
+        def driver(scale: str, seed: int) -> Table:
+            t = Table(["scale"])
+            t.add_row(scale)
+            return t
+
+        experiment = register("T-ret", "returns", "claim")(driver)
+        assert isinstance(experiment, Experiment)
+        table = experiment(scale="smoke", seed=0)
+        assert table.column("scale") == ["smoke"]
+
+    def test_experiment_is_frozen(self):
+        def driver(scale: str, seed: int) -> Table:
+            return Table(["x"])
+
+        experiment = register("T-frozen", "frozen", "claim")(driver)
+        with pytest.raises(AttributeError):
+            experiment.title = "other"  # type: ignore[misc]

@@ -1,0 +1,88 @@
+"""Smoke tests: every experiment driver runs at reduced scale, produces a
+well-formed table, and exhibits the claimed qualitative shape."""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.util.tables import Table
+
+ALL_IDS = [e.id for e in all_experiments()]
+
+
+class TestRegistry:
+    def test_expected_experiments_registered(self):
+        expected = {f"E{i}" for i in range(1, 20)} | {"A1", "A2", "A3", "X1"}
+        assert set(ALL_IDS) == expected
+
+    def test_get_experiment(self):
+        e4 = get_experiment("E4")
+        assert e4.id == "E4"
+        assert "Lemma 10" in e4.claim
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_experiment("E1")(scale="galactic")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_smoke_run_produces_table(experiment_id):
+    experiment = get_experiment(experiment_id)
+    table = experiment(scale="smoke", seed=0)
+    assert isinstance(table, Table)
+    assert len(table) > 0
+    assert table.title
+    # renders without error
+    assert table.to_text()
+    assert table.to_csv()
+
+
+class TestQualitativeShapes:
+    """Spot checks that smoke-scale outputs already show the right shape."""
+
+    def test_e2_noisy_slower_than_faultless(self):
+        table = get_experiment("E2")(scale="smoke", seed=1)
+        rows = list(table)
+        quiet = [r for r in rows if r["p"] == 0.0]
+        noisy = [r for r in rows if r["p"] == 0.5]
+        assert noisy[0]["rounds"] > quiet[0]["rounds"]
+        assert all(r["success_rate"] == 1.0 for r in rows)
+
+    def test_e4_noisy_wave_slower(self):
+        table = get_experiment("E4")(scale="smoke", seed=1)
+        rows = list(table)
+        by_p = {(r["n"], r["p"]): r["wave_rounds"] for r in rows}
+        assert by_p[(64, 0.5)] > by_p[(64, 0.0)]
+
+    def test_e10_gap_exceeds_one(self):
+        table = get_experiment("E10")(scale="smoke", seed=1)
+        for row in table:
+            assert row["gap"] > 1.0
+
+    def test_e16_receiver_gap_exceeds_sender_gap(self):
+        table = get_experiment("E16")(scale="smoke", seed=1)
+        rows = list(table)
+        sender = next(r for r in rows if r["model"] == "sender")
+        receiver = next(r for r in rows if r["model"] == "receiver")
+        assert receiver["gap"] > 1.5 * sender["gap"]
+
+    def test_e17_success_rate_high(self):
+        table = get_experiment("E17")(scale="smoke", seed=1)
+        for row in table:
+            assert row["success_rate"] >= 0.8
+
+    def test_e18_per_message_near_two(self):
+        table = get_experiment("E18")(scale="smoke", seed=1)
+        for row in table:
+            assert 1.5 < row["adaptive_per_msg"] < 2.6
+            assert 1.5 < row["coding_per_msg"] < 2.6
+
+    def test_a3_zero_margin_worse(self):
+        table = get_experiment("A3")(scale="smoke", seed=1)
+        rows = list(table)
+        zero = next(r for r in rows if r["margin_c"] == 0.0)
+        big = next(r for r in rows if r["margin_c"] == 2.0)
+        assert big["success_rate"] >= zero["success_rate"]

@@ -1,0 +1,109 @@
+"""Tests for fast-stretch decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gbst.ranked_bfs import build_ranked_bfs_tree
+from repro.gbst.stretches import fast_stretches, path_stretch_decomposition
+from repro.topologies.basic import balanced_tree, caterpillar, path, star
+from repro.topologies.random_graphs import random_tree
+
+
+class TestFastStretches:
+    def test_path_single_stretch(self):
+        tree = build_ranked_bfs_tree(path(8))
+        stretches = fast_stretches(tree)
+        assert len(stretches) == 1
+        s = stretches[0]
+        assert s.length == 7
+        assert s.head == 0 and s.tail == 7
+        assert s.rank == 1
+
+    def test_star_no_stretches(self):
+        tree = build_ranked_bfs_tree(star(6))
+        assert fast_stretches(tree) == []
+
+    def test_stretch_edges_are_fast(self):
+        tree = build_ranked_bfs_tree(caterpillar(8, 1))
+        for stretch in fast_stretches(tree):
+            for a, b in zip(stretch.nodes, stretch.nodes[1:]):
+                assert tree.parent[b] == a
+                assert tree.rank[a] == tree.rank[b] == stretch.rank
+
+    def test_stretches_are_maximal(self):
+        tree = build_ranked_bfs_tree(balanced_tree(2, 4))
+        for stretch in fast_stretches(tree):
+            head = stretch.head
+            p = tree.parent[head]
+            if p != -1:
+                # the head must not itself be a fast child of its parent
+                assert tree.rank[p] != tree.rank[head] or tree.fast_child(p) != head
+
+    def test_stretches_disjoint(self):
+        tree = build_ranked_bfs_tree(balanced_tree(3, 3))
+        seen = set()
+        for stretch in fast_stretches(tree):
+            for node in stretch.nodes:
+                assert node not in seen or node == stretch.head
+            seen.update(stretch.nodes)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_fast_edge_in_exactly_one_stretch(self, n, seed):
+        tree = build_ranked_bfs_tree(random_tree(n, rng=seed))
+        fast_edges = {
+            (v, tree.fast_child(v)) for v in tree.fast_nodes()
+        }
+        covered = set()
+        for stretch in fast_stretches(tree):
+            for a, b in zip(stretch.nodes, stretch.nodes[1:]):
+                assert (a, b) not in covered
+                covered.add((a, b))
+        assert covered == fast_edges
+
+
+class TestPathDecomposition:
+    def test_path_decomposition_single_fast(self):
+        tree = build_ranked_bfs_tree(path(6))
+        segments = path_stretch_decomposition(tree, 5)
+        assert len(segments) == 1
+        kind, nodes = segments[0]
+        assert kind == "fast" and nodes == [0, 1, 2, 3, 4, 5]
+
+    def test_star_decomposition_single_slow(self):
+        tree = build_ranked_bfs_tree(star(4))
+        leaf = 1
+        segments = path_stretch_decomposition(tree, leaf)
+        assert len(segments) == 1
+        assert segments[0][0] == "slow"
+
+    def test_segments_cover_path(self):
+        tree = build_ranked_bfs_tree(balanced_tree(2, 5))
+        deepest = max(tree.network.nodes(), key=lambda v: tree.level[v])
+        segments = path_stretch_decomposition(tree, deepest)
+        # reconstruct the path from segments
+        reconstructed = [segments[0][1][0]]
+        for kind, nodes in segments:
+            assert nodes[0] == reconstructed[-1]
+            reconstructed.extend(nodes[1:])
+        assert reconstructed == tree.tree_path(deepest)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fast_segment_count_bounded_by_max_rank(self, n, seed):
+        """At most r_max = O(log n) fast stretches per root-to-node path."""
+        tree = build_ranked_bfs_tree(random_tree(n, rng=seed))
+        for target in range(tree.network.n):
+            segments = path_stretch_decomposition(tree, target)
+            fast_count = sum(1 for kind, _ in segments if kind == "fast")
+            assert fast_count <= tree.max_rank
+
+    def test_source_target(self):
+        tree = build_ranked_bfs_tree(path(4))
+        assert path_stretch_decomposition(tree, 0) == []

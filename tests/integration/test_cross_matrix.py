@@ -1,0 +1,95 @@
+"""Integration: every broadcast algorithm completes on every topology
+family under every fault model, and the cross-algorithm orderings the
+paper proves hold at test scale."""
+
+import pytest
+
+from repro.algorithms.decay import decay_broadcast
+from repro.algorithms.fastbc import fastbc_broadcast
+from repro.algorithms.multi.rlnc_broadcast import rlnc_decay_broadcast
+from repro.algorithms.robust_fastbc import robust_fastbc_broadcast
+from repro.core.faults import FaultConfig
+from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
+
+ALGORITHMS = {
+    "decay": decay_broadcast,
+    "fastbc": fastbc_broadcast,
+    "robust_fastbc": robust_fastbc_broadcast,
+}
+
+FAULTS = [
+    FaultConfig.faultless(),
+    FaultConfig.sender(0.3),
+    FaultConfig.receiver(0.3),
+]
+
+
+@pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("faults", FAULTS, ids=str)
+def test_single_message_completes(family, algorithm, faults):
+    network = make_topology(family, 24, seed=3)
+    outcome = ALGORITHMS[algorithm](network, faults=faults, rng=11)
+    assert outcome.success, (
+        f"{algorithm} failed on {network.name} under {faults}: "
+        f"{outcome.informed}/{outcome.total} informed in {outcome.rounds}"
+    )
+
+
+@pytest.mark.parametrize("family", ["path", "star", "grid", "tree"])
+def test_rlnc_multi_message_completes(family):
+    network = make_topology(family, 20, seed=5)
+    outcome = rlnc_decay_broadcast(
+        network, k=4, faults=FaultConfig.receiver(0.3), rng=13
+    )
+    assert outcome.success
+
+
+class TestCrossAlgorithmOrderings:
+    def test_faultless_fastbc_fastest_on_deep_path(self):
+        """Lemma 8's point: known topology buys diameter linearity."""
+        network = make_topology("path", 128, seed=0)
+        fast = fastbc_broadcast(network, rng=3)
+        slow = decay_broadcast(network, rng=3)
+        assert fast.success and slow.success
+        assert fast.rounds < slow.rounds
+
+    def test_all_algorithms_agree_on_informed_set(self):
+        """Every algorithm must inform exactly the n nodes (no phantom
+        completions)."""
+        network = make_topology("grid", 25, seed=1)
+        for algorithm in ALGORITHMS.values():
+            outcome = algorithm(
+                network, faults=FaultConfig.receiver(0.2), rng=7
+            )
+            assert outcome.informed == network.n
+
+    def test_fault_models_cost_more_than_faultless(self):
+        network = make_topology("path", 64, seed=2)
+        quiet = decay_broadcast(network, rng=9).rounds
+        sender = decay_broadcast(
+            network, faults=FaultConfig.sender(0.5), rng=9
+        ).rounds
+        receiver = decay_broadcast(
+            network, faults=FaultConfig.receiver(0.5), rng=9
+        ).rounds
+        assert sender > quiet
+        assert receiver > quiet
+
+
+class TestDecayPhaseProgress:
+    """Lemma 5's mechanism, measured: a node with an informed neighbor
+    becomes informed within a phase with probability bounded below."""
+
+    def test_per_phase_progress_rate(self):
+        from repro.algorithms.base import ilog2
+        from repro.topologies.basic import star as star_topo
+
+        phase = ilog2(9) + 1
+        informs = 0
+        trials = 200
+        for seed in range(trials):
+            outcome = decay_broadcast(star_topo(8), rng=seed)
+            # the star completes within a constant number of phases
+            informs += outcome.rounds <= 3 * phase
+        assert informs / trials > 0.9

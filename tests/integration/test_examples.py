@@ -1,0 +1,28 @@
+"""Integration: the shipped example scripts run end to end.
+
+Each example is executed in-process (runpy) with stdout captured, so a
+regression in the public API that breaks an example fails the suite.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {f.name for f in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_FILES, ids=lambda path: path.name
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"

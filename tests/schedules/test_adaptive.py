@@ -1,0 +1,128 @@
+"""Tests for the Definition 14 adaptive scheduler framework."""
+
+import pytest
+
+from repro.core.faults import FaultConfig
+from repro.schedules.adaptive import (
+    GreedyFrontierScheduler,
+    RoundRobinSourceScheduler,
+    run_adaptive_schedule,
+)
+from repro.topologies.basic import grid, path, star
+
+
+class TestRoundRobinSource:
+    def test_star_faultless_one_round_per_message(self):
+        scheduler = RoundRobinSourceScheduler(star(8), k=5)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.faultless(), rng=1
+        )
+        assert outcome.success
+        assert outcome.rounds == 5
+
+    def test_star_receiver_faults_lemma15_shape(self):
+        scheduler = RoundRobinSourceScheduler(star(64), k=16)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.receiver(0.5), rng=2
+        )
+        assert outcome.success
+        # ~log2(64) = 6 rounds per message
+        assert outcome.rounds > 3 * 16
+
+    def test_matches_specialized_star_schedule(self):
+        """The framework reproduces the hand-written Lemma 15 runner."""
+        from repro.algorithms.multi.star import star_adaptive_routing
+
+        framework, direct = [], []
+        for seed in range(5):
+            scheduler = RoundRobinSourceScheduler(star(32), k=8)
+            framework.append(
+                run_adaptive_schedule(
+                    scheduler, FaultConfig.receiver(0.5), rng=seed
+                ).rounds
+            )
+            direct.append(star_adaptive_routing(32, 8, 0.5, rng=seed).rounds)
+        # same distribution: means within 30%
+        f, d = sum(framework) / 5, sum(direct) / 5
+        assert abs(f - d) / d < 0.3
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            RoundRobinSourceScheduler(star(4), k=0)
+
+
+class TestGreedyFrontier:
+    def test_path_completes(self):
+        scheduler = GreedyFrontierScheduler(path(12), k=3)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.receiver(0.3), rng=3
+        )
+        assert outcome.success
+
+    def test_grid_completes(self):
+        scheduler = GreedyFrontierScheduler(grid(4, 4), k=3)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.receiver(0.3), rng=4
+        )
+        assert outcome.success
+
+    def test_sender_faults(self):
+        scheduler = GreedyFrontierScheduler(path(10), k=2)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.sender(0.3), rng=5
+        )
+        assert outcome.success
+
+    def test_beats_single_broadcaster_on_path(self):
+        """Using the whole frontier must beat the source-only baseline on
+        a multi-hop topology (the source alone can't even reach hop 2)."""
+        greedy = run_adaptive_schedule(
+            GreedyFrontierScheduler(path(10), k=2),
+            FaultConfig.faultless(),
+            rng=6,
+        )
+        assert greedy.success
+        # source-only cannot complete on a path: non-neighbors never hear it
+        baseline = run_adaptive_schedule(
+            RoundRobinSourceScheduler(path(10), k=2),
+            FaultConfig.faultless(),
+            rng=6,
+            max_rounds=500,
+        )
+        assert not baseline.success
+
+
+class TestExecutor:
+    def test_budget_reported_on_failure(self):
+        scheduler = GreedyFrontierScheduler(path(16), k=4)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.receiver(0.5), rng=7, max_rounds=3
+        )
+        assert not outcome.success
+        assert outcome.rounds == 3
+        assert outcome.completed_nodes < outcome.total_nodes
+
+    def test_silences_nodes_without_the_message(self):
+        """A scheduler demanding impossible broadcasts must not crash nor
+        fabricate deliveries."""
+
+        class Overeager(RoundRobinSourceScheduler):
+            def decide(self, round_index, knowledge, rng):
+                # ask a far node to broadcast a message it can't have yet
+                return {self.network.n - 1: 0}
+
+        outcome = run_adaptive_schedule(
+            Overeager(path(6), k=1),
+            FaultConfig.faultless(),
+            rng=8,
+            max_rounds=20,
+        )
+        assert not outcome.success
+        assert outcome.counters.broadcasts == 0
+
+    def test_outcome_metrics(self):
+        scheduler = RoundRobinSourceScheduler(star(4), k=2)
+        outcome = run_adaptive_schedule(
+            scheduler, FaultConfig.faultless(), rng=9
+        )
+        assert outcome.rounds_per_message == outcome.rounds / 2

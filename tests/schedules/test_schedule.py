@@ -1,0 +1,79 @@
+"""Tests for static routing schedules and the reference executor."""
+
+import pytest
+
+from repro.schedules.schedule import (
+    StaticRoutingSchedule,
+    execute_reference,
+    path_pipeline_schedule,
+    star_schedule,
+)
+from repro.topologies.basic import path
+
+
+class TestStaticSchedule:
+    def test_validation_rejects_unknown_node(self):
+        with pytest.raises(ValueError):
+            StaticRoutingSchedule(network=path(3), k=1, rounds=[{9: 0}])
+
+    def test_validation_rejects_bad_message(self):
+        with pytest.raises(ValueError):
+            StaticRoutingSchedule(network=path(3), k=2, rounds=[{0: 2}])
+
+    def test_throughput(self):
+        s = star_schedule(4, 8)
+        assert s.throughput == 1.0
+
+    def test_empty_schedule_throughput(self):
+        s = StaticRoutingSchedule(network=path(2), k=1, rounds=[])
+        assert s.throughput == 0.0
+
+
+class TestStarSchedule:
+    def test_length(self):
+        s = star_schedule(n_leaves=5, k=7)
+        assert s.length == 7
+
+    def test_reference_delivers_everything(self):
+        s = star_schedule(n_leaves=5, k=3)
+        ref = execute_reference(s)
+        for v in s.network.nodes():
+            if v != s.network.source:
+                assert ref.known[v] == {0, 1, 2}
+
+    def test_reference_delivery_count(self):
+        s = star_schedule(n_leaves=5, k=3)
+        ref = execute_reference(s)
+        total = sum(len(r) for r in ref.deliveries)
+        assert total == 5 * 3
+
+
+class TestPathPipeline:
+    def test_no_collisions_in_reference(self):
+        """The mod-3 spacing guarantees collision-free pipelining."""
+        s = path_pipeline_schedule(10, 6)
+        ref = execute_reference(s)
+        # every node must end up with every message
+        for v in s.network.nodes():
+            assert ref.known[v] == set(range(6)), v
+
+    def test_throughput_approaches_one_third(self):
+        s = path_pipeline_schedule(8, 64)
+        assert 0.30 < s.throughput < 0.34
+
+    def test_broadcasters_mod3_disjoint(self):
+        s = path_pipeline_schedule(12, 5)
+        for actions in s.rounds:
+            residues = {node % 3 for node in actions}
+            assert len(residues) <= 1
+
+    def test_silent_until_informed(self):
+        """A node scheduled before the message reaches it stays silent and
+        the pipeline still completes (schedule indices are aligned)."""
+        s = path_pipeline_schedule(5, 2)
+        ref = execute_reference(s)
+        assert all(ref.known[v] == {0, 1} for v in s.network.nodes())
+
+    def test_rejects_tiny_path(self):
+        with pytest.raises(ValueError):
+            path_pipeline_schedule(1, 3)

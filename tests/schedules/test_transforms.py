@@ -1,0 +1,117 @@
+"""Tests for the Lemma 25/26 schedule transformations."""
+
+import pytest
+
+from repro.core.faults import FaultModel
+from repro.schedules.schedule import path_pipeline_schedule, star_schedule
+from repro.schedules.transforms import (
+    transform_coding_schedule,
+    transform_routing_schedule,
+)
+
+
+class TestRoutingTransform:
+    """Lemma 25: routing -> sender-fault-robust routing, ~(1-p) throughput."""
+
+    def test_star_success_with_adequate_x(self):
+        s = star_schedule(n_leaves=8, k=4)
+        outcome = transform_routing_schedule(s, x=24, p=0.3, rng=1)
+        assert outcome.success
+        assert outcome.reproduced == outcome.expected
+
+    def test_path_pipeline_success(self):
+        s = path_pipeline_schedule(6, 4)
+        outcome = transform_routing_schedule(s, x=24, p=0.3, rng=2)
+        assert outcome.success
+
+    def test_throughput_ratio_near_one_minus_p(self):
+        s = star_schedule(n_leaves=8, k=4)
+        p = 0.4
+        outcome = transform_routing_schedule(s, x=64, p=p, eta=0.5, rng=3)
+        assert outcome.success
+        # ratio -> (1-p)/(1+eta); allow simulation slack
+        assert 0.45 * (1 - p) < outcome.throughput_ratio <= 1.0
+
+    def test_tiny_x_fails_sometimes(self):
+        """x = 1 gives each sub-message no slack; with many broadcasters
+        some meta-round overruns."""
+        s = star_schedule(n_leaves=8, k=8)
+        failures = sum(
+            not transform_routing_schedule(s, x=1, p=0.6, eta=0.01, rng=seed).success
+            for seed in range(10)
+        )
+        assert failures > 0
+
+    def test_transformed_k_and_rounds(self):
+        s = star_schedule(n_leaves=4, k=2)
+        outcome = transform_routing_schedule(s, x=8, p=0.25, rng=4)
+        assert outcome.k_transformed == 16
+        assert outcome.transformed_rounds == (
+            s.length * outcome.meta_round_length
+        )
+
+    def test_validation(self):
+        s = star_schedule(4, 2)
+        with pytest.raises(ValueError):
+            transform_routing_schedule(s, x=0, p=0.2)
+        with pytest.raises(ValueError):
+            transform_routing_schedule(s, x=4, p=1.0)
+        with pytest.raises(ValueError):
+            transform_routing_schedule(s, x=4, p=0.2, eta=0.0)
+
+
+class TestCodingTransform:
+    """Lemma 26: coding robust to sender AND receiver faults."""
+
+    @pytest.mark.parametrize(
+        "fault_model", [FaultModel.SENDER, FaultModel.RECEIVER], ids=str
+    )
+    def test_star_success(self, fault_model):
+        s = star_schedule(n_leaves=8, k=4)
+        outcome = transform_coding_schedule(
+            s, x=32, p=0.3, fault_model=fault_model, rng=1
+        )
+        assert outcome.success
+
+    def test_path_pipeline_receiver_faults(self):
+        s = path_pipeline_schedule(6, 4)
+        outcome = transform_coding_schedule(
+            s, x=32, p=0.3, fault_model=FaultModel.RECEIVER, rng=2
+        )
+        assert outcome.success
+
+    def test_throughput_ratio(self):
+        s = star_schedule(n_leaves=8, k=4)
+        p = 0.5
+        outcome = transform_coding_schedule(s, x=64, p=p, eta=0.5, rng=3)
+        assert outcome.success
+        assert 0.45 * (1 - p) < outcome.throughput_ratio <= 1.0
+
+    def test_rejects_faultless_model(self):
+        s = star_schedule(4, 2)
+        with pytest.raises(ValueError):
+            transform_coding_schedule(
+                s, x=4, p=0.2, fault_model=FaultModel.NONE
+            )
+
+    def test_small_x_high_p_fails_often(self):
+        s = star_schedule(n_leaves=16, k=4)
+        failures = sum(
+            not transform_coding_schedule(
+                s, x=2, p=0.6, eta=0.01, rng=seed
+            ).success
+            for seed in range(10)
+        )
+        assert failures > 0
+
+
+class TestLemma26BeatsLemma25Scope:
+    """The coding transform also survives receiver faults, where the
+    routing transform's premise (senders observe their own faults) breaks."""
+
+    def test_coding_under_receiver_faults_succeeds(self):
+        s = star_schedule(n_leaves=8, k=4)
+        outcome = transform_coding_schedule(
+            s, x=64, p=0.4, fault_model=FaultModel.RECEIVER, eta=0.75, rng=5
+        )
+        assert outcome.success

@@ -1,0 +1,82 @@
+"""Tests for throughput estimation and gap computation."""
+
+import pytest
+
+from repro.algorithms.multi.single_link import (
+    single_link_adaptive_routing,
+    single_link_coding,
+    single_link_nonadaptive_routing,
+)
+from repro.throughput.estimator import estimate_throughput, throughput_curve
+from repro.throughput.gaps import coding_gap
+
+
+def adaptive_runner(k: int, seed: int) -> tuple[int, bool]:
+    outcome = single_link_adaptive_routing(k, 0.5, rng=seed)
+    return outcome.rounds, outcome.success
+
+
+def coding_runner(k: int, seed: int) -> tuple[int, bool]:
+    outcome = single_link_coding(k, 0.5, rng=seed)
+    return outcome.rounds, outcome.success
+
+
+def nonadaptive_runner(k: int, seed: int) -> tuple[int, bool]:
+    outcome = single_link_nonadaptive_routing(k, 0.5, rng=seed)
+    return outcome.rounds, outcome.success
+
+
+class TestEstimator:
+    def test_basic_estimate(self):
+        est = estimate_throughput(adaptive_runner, k=200, trials=5, rng=1)
+        assert est.k == 200
+        assert est.trials == 5
+        assert est.success_rate == 1.0
+        # adaptive single link at p=.5: throughput ~ 0.5
+        assert 0.4 < est.throughput < 0.6
+
+    def test_rounds_per_message_inverse_of_throughput(self):
+        est = estimate_throughput(adaptive_runner, k=100, trials=3, rng=2)
+        assert est.rounds_per_message == pytest.approx(
+            1.0 / est.throughput, rel=1e-9
+        )
+
+    def test_deterministic_given_seed(self):
+        a = estimate_throughput(coding_runner, k=50, trials=3, rng=7)
+        b = estimate_throughput(coding_runner, k=50, trials=3, rng=7)
+        assert a.rounds.mean == b.rounds.mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_throughput(adaptive_runner, k=0)
+        with pytest.raises(ValueError):
+            estimate_throughput(adaptive_runner, k=5, trials=0)
+
+    def test_str(self):
+        est = estimate_throughput(adaptive_runner, k=50, trials=2, rng=3)
+        assert "throughput=" in str(est)
+
+    def test_curve(self):
+        curve = throughput_curve(coding_runner, ks=[20, 80], trials=3, rng=4)
+        assert [e.k for e in curve] == [20, 80]
+
+
+class TestGaps:
+    def test_adaptive_gap_is_constant(self):
+        """Lemma 33: adaptive single-link gap ~ 1."""
+        est = coding_gap(coding_runner, adaptive_runner, k=400, trials=5, rng=5)
+        assert 0.7 < est.gap < 1.5
+
+    def test_nonadaptive_gap_exceeds_adaptive(self):
+        """Lemma 31: the non-adaptive gap ~ log k is visibly larger."""
+        adaptive = coding_gap(
+            coding_runner, adaptive_runner, k=400, trials=5, rng=6
+        )
+        nonadaptive = coding_gap(
+            coding_runner, nonadaptive_runner, k=400, trials=5, rng=6
+        )
+        assert nonadaptive.gap > 2 * adaptive.gap
+
+    def test_str(self):
+        est = coding_gap(coding_runner, adaptive_runner, k=50, trials=2, rng=7)
+        assert "gap=" in str(est)

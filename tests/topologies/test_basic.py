@@ -1,0 +1,123 @@
+"""Tests for deterministic topology generators."""
+
+import pytest
+
+from repro.topologies.basic import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    cycle,
+    grid,
+    path,
+    single_link,
+    star,
+)
+
+
+class TestSingleLink:
+    def test_two_nodes_one_edge(self):
+        net = single_link()
+        assert net.n == 2 and net.edge_count == 1
+        assert net.diameter == 1
+
+
+class TestPath:
+    def test_structure(self):
+        net = path(5)
+        assert net.n == 5
+        assert net.diameter == 4
+        assert net.source_eccentricity == 4  # source at the end
+
+    def test_single_node(self):
+        assert path(1).n == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            path(0)
+
+
+class TestStar:
+    def test_structure(self):
+        net = star(10)
+        assert net.n == 11
+        assert net.degree(net.source) == 10
+        assert net.source_eccentricity == 1
+
+    def test_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            star(0)
+
+
+class TestCycle:
+    def test_structure(self):
+        net = cycle(6)
+        assert net.n == 6 and net.edge_count == 6
+        assert all(net.degree(u) == 2 for u in net.nodes())
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+
+class TestGrid:
+    def test_structure(self):
+        net = grid(3, 4)
+        assert net.n == 12
+        assert net.diameter == 5  # (3-1) + (4-1)
+
+    def test_corner_source(self):
+        net = grid(2, 2)
+        assert net.degree(net.source) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            grid(0, 3)
+
+
+class TestBalancedTree:
+    def test_structure(self):
+        net = balanced_tree(2, 3)
+        assert net.n == 15  # 2^4 - 1
+        assert net.source_eccentricity == 3
+
+    def test_height_zero(self):
+        assert balanced_tree(2, 0).n == 1
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(ValueError):
+            balanced_tree(2, -1)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        net = caterpillar(5, 2)
+        assert net.n == 5 + 10
+        assert net.source_eccentricity == 5  # spine end + leg
+
+    def test_no_legs_is_path(self):
+        net = caterpillar(4, 0)
+        assert net.n == 4 and net.diameter == 3
+
+    def test_single_spine_node(self):
+        net = caterpillar(1, 3)
+        assert net.n == 4
+
+    def test_rejects_negative_legs(self):
+        with pytest.raises(ValueError):
+            caterpillar(3, -1)
+
+
+class TestBarbell:
+    def test_structure(self):
+        net = barbell(4, 2)
+        assert net.n == 4 + 4 + 2
+        # cliques have internal degree clique_size - 1 (+1 for the bridge node)
+        assert net.max_degree == 4
+
+    def test_rejects_small_clique(self):
+        with pytest.raises(ValueError):
+            barbell(1, 2)
+
+    def test_rejects_negative_bridge(self):
+        with pytest.raises(ValueError):
+            barbell(3, -1)

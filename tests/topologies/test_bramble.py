@@ -1,0 +1,72 @@
+"""Tests for the bramble topology and its role as a Decay stress test."""
+
+import pytest
+
+from repro.algorithms.decay import decay_broadcast
+from repro.algorithms.fastbc import fastbc_broadcast
+from repro.gbst.gbst import build_gbst
+from repro.topologies.basic import bramble
+
+
+class TestStructure:
+    def test_node_count(self):
+        net = bramble(5, 3)
+        # 5 spine + 3 interior nodes x 3 bag nodes
+        assert net.n == 5 + 3 * 3
+
+    def test_single_spine(self):
+        assert bramble(1, 4).n == 1
+
+    def test_zero_bags_is_path(self):
+        net = bramble(6, 0)
+        assert net.n == 6 and net.diameter == 5
+
+    def test_rejects_negative_bag(self):
+        with pytest.raises(ValueError):
+            bramble(3, -1)
+
+    def test_spine_eccentricity(self):
+        net = bramble(8, 2)
+        assert net.source_eccentricity == 7
+
+    def test_bag_nodes_skip_their_spine_node(self):
+        net = bramble(4, 2)
+        for i in range(1, 3):
+            for b in range(2):
+                bag = net.index_of(("b", i, b))
+                neighbors = {net.label_of(u) for u in net.neighbors[bag]}
+                assert neighbors == {("v", i - 1), ("v", i + 1)}
+
+
+class TestGBST:
+    def test_gbst_valid(self):
+        result = build_gbst(bramble(10, 4))
+        assert result.valid
+
+    def test_spine_is_fast_stretch(self):
+        net = bramble(10, 4)
+        tree = build_gbst(net).tree
+        spine = [net.index_of(("v", i)) for i in range(10)]
+        # the spine forms a fast stretch except near the rank drop at the
+        # tail (the last rank-2 node's child is rank 1, a slow edge)
+        for i in range(10 - 3):
+            assert tree.fast_child(spine[i]) == spine[i + 1]
+
+
+class TestBroadcastCompletion:
+    def test_decay_completes(self):
+        outcome = decay_broadcast(bramble(24, 7), rng=2)
+        assert outcome.success
+
+    def test_fastbc_completes(self):
+        outcome = fastbc_broadcast(bramble(24, 7), rng=2)
+        assert outcome.success
+
+    def test_fastbc_wave_unblocked_by_bags(self):
+        """Bags never join the fast set, so the faultless wave still
+        crosses the spine at a constant rate despite the dense
+        neighborhoods."""
+        dense = fastbc_broadcast(bramble(32, 7), rng=1)
+        bare = fastbc_broadcast(bramble(32, 0), rng=1)
+        assert dense.success and bare.success
+        assert dense.rounds < 3 * bare.rounds

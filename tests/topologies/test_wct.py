@@ -1,0 +1,106 @@
+"""Tests for the worst case topology construction (Figure 2, Lemma 18)."""
+
+import math
+
+import pytest
+
+from repro.topologies.wct import worst_case_topology
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        wct = worst_case_topology(400, rng=1)
+        assert wct.num_senders == 20
+        assert wct.cluster_size == 20
+        assert wct.num_clusters >= 5
+        assert wct.network.n == 1 + 20 + wct.num_clusters * 20
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            worst_case_topology(8)
+
+    def test_source_adjacent_to_all_senders(self):
+        wct = worst_case_topology(256, rng=2)
+        src_neighbors = set(wct.network.neighbors[wct.network.source])
+        assert src_neighbors == set(wct.senders)
+
+    def test_radius_two(self):
+        wct = worst_case_topology(256, rng=3)
+        assert wct.network.source_eccentricity == 2
+
+    def test_deterministic(self):
+        a = worst_case_topology(256, rng=9)
+        b = worst_case_topology(256, rng=9)
+        assert (a.adjacency == b.adjacency).all()
+
+
+class TestClusterAtomicity:
+    """All nodes of a cluster share one sender neighborhood — the property
+    that makes each cluster behave as a single star receiver (Lemma 19)."""
+
+    def test_identical_neighborhoods_within_cluster(self):
+        wct = worst_case_topology(400, rng=4)
+        net = wct.network
+        sender_set = set(wct.senders)
+        for members in wct.clusters:
+            neighborhoods = {
+                frozenset(set(net.neighbors[v]) & sender_set) for v in members
+            }
+            assert len(neighborhoods) == 1
+
+    def test_adjacency_matrix_matches_graph(self):
+        wct = worst_case_topology(300, rng=5)
+        net = wct.network
+        for j, members in enumerate(wct.clusters):
+            rep = members[0]
+            graph_senders = {
+                wct.senders.index(u)
+                for u in net.neighbors[rep]
+                if u in set(wct.senders)
+            }
+            matrix_senders = {
+                i for i in range(wct.num_senders) if wct.adjacency[j, i]
+            }
+            assert graph_senders == matrix_senders
+
+    def test_clusters_connect_only_to_senders(self):
+        wct = worst_case_topology(300, rng=6)
+        net = wct.network
+        sender_set = set(wct.senders)
+        for members in wct.clusters:
+            for v in members:
+                assert set(net.neighbors[v]) <= sender_set
+
+    def test_cluster_of_node(self):
+        wct = worst_case_topology(256, rng=7)
+        assert wct.cluster_of_node(wct.clusters[2][0]) == 2
+        assert wct.cluster_of_node(wct.network.source) == -1
+
+
+class TestInformedFraction:
+    def test_empty_broadcast_set(self):
+        wct = worst_case_topology(256, rng=8)
+        assert wct.informed_fraction([]) == 0.0
+
+    def test_all_senders_collide_everywhere(self):
+        wct = worst_case_topology(400, rng=8)
+        # every cluster has degree >= 2, so all-senders => all collisions
+        assert wct.informed_fraction(range(wct.num_senders)) == 0.0
+
+    def test_out_of_range_sender(self):
+        wct = worst_case_topology(256, rng=8)
+        with pytest.raises(ValueError):
+            wct.informed_fraction([999])
+
+    def test_lemma18_fraction_decreases_with_n(self):
+        """The core Lemma 18 shape: max informed fraction ~ O(1/log n)."""
+        fractions = {}
+        for n in (256, 1024, 4096):
+            wct = worst_case_topology(n, rng=11)
+            fractions[n] = wct.max_singleton_fraction(
+                trials_per_size=10, rng=13
+            )
+        assert fractions[4096] < fractions[256]
+        # and the absolute level is consistent with c / log2(n) for small c
+        for n, frac in fractions.items():
+            assert frac <= 6.0 / math.log2(n), (n, frac)

@@ -1,0 +1,101 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.util.stats import (
+    geometric_tail,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStddev:
+    def test_known_value(self):
+        assert math.isclose(stddev([2, 4, 4, 4, 5, 5, 7, 9]), 2.138, rel_tol=1e-3)
+
+    def test_single_value_zero(self):
+        assert stddev([3.0]) == 0.0
+
+    def test_constant_sample(self):
+        assert stddev([4, 4, 4, 4]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_extremes(self):
+        values = [10, 20, 30]
+        assert percentile(values, 0) == 10
+        assert percentile(values, 100) == 30
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.median == 3.0
+
+    def test_str_renders(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestGeometricTail:
+    def test_zero_trials(self):
+        assert geometric_tail(0.5, 0) == 1.0
+
+    def test_half(self):
+        assert geometric_tail(0.5, 3) == 0.125
+
+    def test_certain_success(self):
+        assert geometric_tail(1.0, 1) == 0.0
+
+    def test_negative_t(self):
+        assert geometric_tail(0.5, -1) == 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            geometric_tail(0.0, 1)

@@ -1,0 +1,95 @@
+"""Tests for the result-table renderer."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestConstruction:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"])
+
+
+class TestRows:
+    def test_positional_row(self):
+        t = Table(["n", "rounds"])
+        t.add_row(16, 120)
+        assert len(t) == 1
+        assert t.column("rounds") == [120]
+
+    def test_named_row(self):
+        t = Table(["n", "rounds"])
+        t.add_row(rounds=120, n=16)
+        assert t.rows[0] == (16, 120)
+
+    def test_mixed_raises(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ValueError):
+            t.add_row(16, rounds=120)
+
+    def test_wrong_arity(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ValueError):
+            t.add_row(16)
+
+    def test_missing_named_column(self):
+        t = Table(["n", "rounds"])
+        with pytest.raises(ValueError):
+            t.add_row(n=16)
+
+    def test_unknown_named_column(self):
+        t = Table(["n"])
+        with pytest.raises(ValueError):
+            t.add_row(n=16, extra=1)
+
+    def test_add_rows_bulk(self):
+        t = Table(["n"])
+        t.add_rows([{"n": 1}, {"n": 2}])
+        assert t.column("n") == [1, 2]
+
+    def test_unknown_column_lookup(self):
+        t = Table(["n"])
+        with pytest.raises(KeyError):
+            t.column("missing")
+
+    def test_iteration_yields_dicts(self):
+        t = Table(["a", "b"])
+        t.add_row(1, 2)
+        assert list(t) == [{"a": 1, "b": 2}]
+
+
+class TestRendering:
+    def test_text_contains_header_and_values(self):
+        t = Table(["n", "rounds"], title="demo")
+        t.add_row(16, 120.5)
+        text = t.to_text()
+        assert "demo" in text
+        assert "n" in text and "rounds" in text
+        assert "120.5" in text
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add_row(1, 2)
+        assert t.to_csv() == "a,b\n1,2"
+
+    def test_markdown(self):
+        t = Table(["a"])
+        t.add_row(3)
+        md = t.to_markdown()
+        assert md.startswith("| a |")
+        assert "| 3 |" in md
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row(1234.567)
+        assert "1.23e+03" in t.to_text() or "1230" in t.to_text()
+
+    def test_nan_formatting(self):
+        t = Table(["x"])
+        t.add_row(float("nan"))
+        assert "nan" in t.to_text()

@@ -1,0 +1,83 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_valid(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(0.5) == 0.5
+
+    def test_rejects_one(self):
+        # fault probability is p in [0, 1) per the paper's model
+        with pytest.raises(ValueError):
+            check_probability(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5")
+
+    def test_coerces_int_to_float(self):
+        result = check_probability(0)
+        assert isinstance(result, float)
+
+
+class TestCheckFraction:
+    def test_accepts_closed_interval(self):
+        assert check_fraction(1.0) == 1.0
+        assert check_fraction(0.0) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.01)
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive(3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive(3.0)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-1)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", str) == "x"
+
+    def test_rejects(self):
+        with pytest.raises(TypeError):
+            check_type("x", int)
