@@ -1,56 +1,77 @@
-"""Quickstart: broadcast one message through a noisy radio network.
+"""Quickstart: declare scenarios, run them, compare the paper's algorithms.
 
-Builds a 64-node path, runs the three single-message algorithms from the
-paper under receiver faults, and prints what the theory says you should
-see: Decay is robust, plain FASTBC degrades (Lemma 10), Robust FASTBC
-keeps its wave moving (Theorem 11).
+Every broadcast algorithm in the library runs through one declarative
+entry point: build a :class:`repro.Scenario` (topology + algorithm +
+faults + seed) and hand it to :func:`repro.run`, which returns a
+JSON-serializable :class:`repro.RunReport`.
+
+The comparison below shows what the theory says you should see on a
+64-node path: Decay is robust (Lemma 9), plain FASTBC degrades under
+faults (Lemma 10), Robust FASTBC keeps its wave moving (Theorem 11).
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    FaultConfig,
-    decay_broadcast,
-    fastbc_broadcast,
-    path,
-    robust_fastbc_broadcast,
-)
+from repro import FaultConfig, Scenario, run
+
+CLAIMS = {
+    "decay": "Lemma 9: fault-robust",
+    "fastbc": "Lemma 10: degrades",
+    "robust_fastbc": "Theorem 11",
+}
 
 
 def main() -> None:
-    network = path(64)
-    print(f"topology: {network.name} (n={network.n}, D={network.diameter})")
-
     for p in (0.0, 0.3, 0.5):
         faults = (
             FaultConfig.faultless() if p == 0.0 else FaultConfig.receiver(p)
         )
-        decay = decay_broadcast(network, faults=faults, rng=1)
-        fastbc = fastbc_broadcast(network, faults=faults, rng=1)
-        robust = robust_fastbc_broadcast(network, faults=faults, rng=1)
         print(f"\nreceiver-fault probability p = {p}")
-        print(f"  Decay         : {decay.rounds:5d} rounds (Lemma 9: fault-robust)")
-        print(f"  FASTBC        : {fastbc.rounds:5d} rounds (Lemma 10: degrades)")
-        print(f"  Robust FASTBC : {robust.rounds:5d} rounds (Theorem 11)")
+        for algorithm, claim in CLAIMS.items():
+            report = run(
+                Scenario(
+                    algorithm=algorithm,
+                    topology="path",
+                    topology_params={"n": 64},
+                    faults=faults,
+                    seed=1,
+                )
+            )
+            print(f"  {algorithm:<14}: {report.rounds:5d} rounds ({claim})")
 
     # The wave-isolated comparison shows the asymptotic shape directly
     # (deeper path so the Θ(log n)-per-drop penalty separates cleanly):
-    deep = path(256)
-    print(f"\nwave-only comparison on {deep.name} at p = 0.5 "
+    print("\nwave-only comparison on path(256) at p = 0.5 "
           "(no Decay interleave):")
-    faults = FaultConfig.receiver(0.5)
-    plain = fastbc_broadcast(
-        deep, faults=faults, rng=2, decay_interleave=False
+    deep = Scenario(
+        algorithm="fastbc",
+        topology="path",
+        topology_params={"n": 256},
+        params={"decay_interleave": False},
+        faults=FaultConfig.receiver(0.5),
+        seed=2,
     )
-    robust = robust_fastbc_broadcast(
-        deep, faults=faults, rng=2, decay_interleave=False
-    )
+    plain = run(deep)
+    robust = run(deep.with_(algorithm="robust_fastbc"))
+    hops = deep.topology_params["n"] - 1
     print(f"  plain wave  : {plain.rounds:5d} rounds "
-          f"({plain.rounds / (deep.n - 1):.1f}/hop — pays Θ(log n) per drop)")
+          f"({plain.rounds / hops:.1f}/hop — pays Θ(log n) per drop)")
     print(f"  robust wave : {robust.rounds:5d} rounds "
-          f"({robust.rounds / (deep.n - 1):.1f}/hop — blocks absorb drops)")
+          f"({robust.rounds / hops:.1f}/hop — blocks absorb drops)")
+
+    # Every report serializes; a sweep of these is a JSON results file.
+    print("\none report as canonical JSON:")
+    print(plain.to_json(indent=2, canonical=True)[:320] + " ...")
+
+    # The pre-scenario entry points still work, as thin wrappers over the
+    # same implementations:
+    from repro import decay_broadcast, path
+
+    outcome = decay_broadcast(path(64), faults=FaultConfig.receiver(0.3), rng=1)
+    print(f"\nlegacy API, same engine: decay_broadcast -> "
+          f"{outcome.rounds} rounds, success={outcome.success}")
 
 
 if __name__ == "__main__":

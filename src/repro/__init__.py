@@ -9,7 +9,31 @@ arguments use (star, single link, WCT, layered networks, ...), the
 Lemma 25/26 fault-robustness transformations, and one experiment driver
 per reproduced statement.
 
-Quickstart::
+Quickstart — declare a :class:`Scenario` and :func:`run` it::
+
+    from repro import FaultConfig, Scenario, run
+
+    report = run(Scenario(algorithm="decay", topology="path",
+                          topology_params={"n": 64},
+                          faults=FaultConfig.receiver(0.3), seed=1))
+    print(report.rounds, report.success)
+
+Every registered algorithm (``all_algorithms()`` lists them) runs through
+the same entry point, and :func:`sweep`/:func:`run_batch` fan seed and
+parameter grids out across a process pool, returning JSON-serializable
+:class:`RunReport` records::
+
+    from repro import sweep
+
+    reports = sweep(Scenario(algorithm="decay", topology="path",
+                             topology_params={"n": 64}),
+                    seeds=range(10),
+                    grid={"algorithm": ["decay", "fastbc"]},
+                    processes=4)
+
+The per-algorithm functions (``decay_broadcast``, ``fastbc_broadcast``,
+``star_rs_coding``, ...) predate the scenario API and are kept as thin
+compatibility entry points over the same implementations::
 
     from repro import decay_broadcast, FaultConfig, path
 
@@ -17,7 +41,9 @@ Quickstart::
     print(outcome.rounds, outcome.success)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-results; ``python -m repro list`` enumerates the experiments.
+results; ``python -m repro list`` enumerates the experiments, algorithms,
+and topology families, and ``python -m repro sweep`` runs scenario grids
+from the command line.
 """
 
 from repro._version import __version__
@@ -41,6 +67,17 @@ from repro.core import (
     Simulator,
 )
 from repro.gbst import build_gbst
+from repro.runner import (
+    BroadcastAlgorithm,
+    RunReport,
+    Scenario,
+    all_algorithms,
+    get_algorithm,
+    register_algorithm,
+    run,
+    run_batch,
+    sweep,
+)
 from repro.topologies import (
     grid,
     gnp,
@@ -52,6 +89,7 @@ from repro.topologies import (
 
 __all__ = [
     "__version__",
+    "BroadcastAlgorithm",
     "Channel",
     "FaultConfig",
     "FaultModel",
@@ -60,19 +98,27 @@ __all__ = [
     "ReedSolomonCode",
     "RLNCDecoder",
     "RLNCEncoder",
+    "RunReport",
+    "Scenario",
     "Simulator",
+    "all_algorithms",
     "build_gbst",
     "decay_broadcast",
     "fastbc_broadcast",
+    "get_algorithm",
     "gnp",
     "grid",
     "path",
+    "register_algorithm",
     "rlnc_decay_broadcast",
     "rlnc_robust_fastbc_broadcast",
     "robust_fastbc_broadcast",
+    "run",
+    "run_batch",
     "single_link",
     "star",
     "star_adaptive_routing",
     "star_rs_coding",
+    "sweep",
     "worst_case_topology",
 ]

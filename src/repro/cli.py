@@ -1,20 +1,26 @@
-"""Command-line interface: list and run experiments, print result tables.
+"""Command-line interface: list registries, run experiments, sweep scenarios.
 
 Usage::
 
     repro list
     repro run E4 --scale full --seed 1
     repro run all --scale smoke
-    repro run E10 --format csv
+    repro run E10 --format json
+    repro sweep --algorithms decay,fastbc --topology path --n 64 \\
+        --fault-model receiver --p 0.3 --seeds 0:5 --processes 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.core.faults import FaultConfig, FaultModel
 from repro.experiments import all_experiments, get_experiment
+from repro.runner import Scenario, all_algorithms, expand_grid, run_batch
+from repro.topologies.registry import TOPOLOGY_FAMILIES
 
 __all__ = ["main"]
 
@@ -24,12 +30,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Reproduction of 'Broadcasting in Noisy Radio Networks' "
-            "(PODC 2017): run any experiment from DESIGN.md section 4."
+            "(PODC 2017): run any experiment from DESIGN.md section 4, "
+            "or sweep declarative scenarios over any registered algorithm."
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser(
+        "list", help="list registered experiments, algorithms, and topologies"
+    )
 
     run = sub.add_parser("run", help="run an experiment (or 'all')")
     run.add_argument("id", help="experiment id (e.g. E4, A1) or 'all'")
@@ -42,9 +51,62 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="top-level RNG seed")
     run.add_argument(
         "--format",
-        choices=("text", "csv", "markdown"),
+        choices=("text", "csv", "markdown", "json"),
         default="text",
         help="output format",
+    )
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a scenario grid (algorithms x seeds) and emit JSON reports",
+    )
+    swp.add_argument(
+        "--algorithms",
+        default="decay",
+        help="comma-separated registered algorithm names (see 'repro list')",
+    )
+    swp.add_argument(
+        "--topology", default="path", help="topology family (see 'repro list')"
+    )
+    swp.add_argument("--n", type=int, default=64, help="topology size")
+    swp.add_argument(
+        "--fault-model",
+        choices=("none", "sender", "receiver"),
+        default="none",
+        help="fault mechanism",
+    )
+    swp.add_argument(
+        "--p", type=float, default=0.0, help="fault probability in [0, 1)"
+    )
+    swp.add_argument(
+        "--seeds",
+        default="0",
+        help="seed grid: comma list and/or start:stop ranges (e.g. 0,7 or 0:5)",
+    )
+    swp.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable); VALUE parses as JSON when it can",
+    )
+    swp.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget override"
+    )
+    swp.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for the batch (1: serial)",
+    )
+    swp.add_argument(
+        "--format",
+        choices=("json", "table"),
+        default="json",
+        help="output format",
+    )
+    swp.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
     )
     return parser
 
@@ -54,17 +116,125 @@ def _render(table, fmt: str) -> str:
         return table.to_csv()
     if fmt == "markdown":
         return table.to_markdown()
+    if fmt == "json":
+        return table.to_json(indent=2)
     return table.to_text()
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    """``"0,7"`` and/or ``"0:5"`` range segments -> a seed list."""
+    seeds: list[int] = []
+    for segment in spec.split(","):
+        segment = segment.strip()
+        if not segment:
+            continue
+        if ":" in segment:
+            start_text, stop_text = segment.split(":", 1)
+            start, stop = int(start_text), int(stop_text)
+            if stop <= start:
+                raise ValueError(f"empty seed range {segment!r}")
+            seeds.extend(range(start, stop))
+        else:
+            seeds.append(int(segment))
+    if not seeds:
+        raise ValueError(f"no seeds in {spec!r}")
+    return seeds
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
+    """``KEY=VALUE`` pairs with JSON-typed values (fallback: string)."""
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        key, text = pair.split("=", 1)
+        try:
+            params[key.strip()] = json.loads(text)
+        except json.JSONDecodeError:
+            params[key.strip()] = text
+    return params
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for experiment in all_experiments():
+        print(f"{experiment.id:>4}  {experiment.title}")
+        print(f"      {experiment.claim}")
+    print()
+    print("algorithms (repro sweep --algorithms NAME):")
+    for algorithm in all_algorithms():
+        print(f"  {algorithm.name:<24} [{algorithm.kind:<6}] {algorithm.summary}")
+        if algorithm.params:
+            declared = ", ".join(
+                f"{p.name}={p.default!r}" for p in algorithm.params
+            )
+            print(f"  {'':<24} params: {declared}")
+    print()
+    families = ", ".join(sorted(TOPOLOGY_FAMILIES))
+    print(f"topologies (repro sweep --topology NAME): {families}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    if not algorithms:
+        print("no algorithms given", file=sys.stderr)
+        return 2
+    # usage errors (bad names, specs, parameter values) fail fast with a
+    # one-line message; genuine runtime errors inside the batch propagate
+    # with their traceback
+    try:
+        seeds = _parse_seeds(args.seeds)
+        params = _parse_params(args.param)
+        if args.fault_model == "none":
+            faults = FaultConfig.faultless()
+        else:
+            faults = FaultConfig(FaultModel(args.fault_model), args.p)
+        base = Scenario(
+            algorithm=algorithms[0],
+            topology=args.topology,
+            topology_params={"n": args.n},
+            params=params,
+            faults=faults,
+            seed=seeds[0],
+            max_rounds=args.max_rounds,
+        )
+        scenarios = expand_grid(
+            base, seeds=seeds, grid={"algorithm": algorithms}
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+
+    reports = run_batch(scenarios, processes=args.processes)
+
+    if args.format == "json":
+        text = json.dumps(
+            [report.to_dict() for report in reports], indent=2, sort_keys=True
+        )
+    else:
+        from repro.experiments.common import report_table
+
+        text = report_table(reports, title="scenario sweep").to_text()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(reports)} reports to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        for experiment in all_experiments():
-            print(f"{experiment.id:>4}  {experiment.title}")
-            print(f"      {experiment.claim}")
-        return 0
+        return _command_list()
+
+    if args.command == "sweep":
+        return _command_sweep(args)
 
     if args.id.lower() == "all":
         experiments = all_experiments()

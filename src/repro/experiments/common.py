@@ -6,16 +6,31 @@ itself with :func:`register`. Two scales exist:
 * ``"smoke"`` — seconds; used by the test suite to validate shape and
   well-formedness;
 * ``"full"`` — the EXPERIMENTS.md scale, used by the benchmarks.
+
+Drivers that compare algorithms head-to-head should build on the
+scenario helpers (:func:`scenario_sweep`, :func:`report_table`): they run
+a declarative :class:`~repro.runner.Scenario` grid through the unified
+runner — optionally across a process pool — and tabulate the canonical
+:class:`~repro.runner.RunReport` records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
+from repro.runner import RunReport, Scenario, sweep
 from repro.util.tables import Table
 
-__all__ = ["Experiment", "register", "get_experiment", "all_experiments"]
+__all__ = [
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "REPORT_COLUMNS",
+    "report_table",
+    "scenario_sweep",
+]
 
 _REGISTRY: dict[str, "Experiment"] = {}
 
@@ -64,6 +79,50 @@ def get_experiment(id: str) -> Experiment:
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {id!r}; known: {known}") from None
+
+
+#: the canonical columns every report row tabulates to
+REPORT_COLUMNS = (
+    "algorithm",
+    "topology",
+    "n",
+    "seed",
+    "success",
+    "rounds",
+    "informed",
+    "total",
+)
+
+
+def report_table(reports: Iterable[RunReport], title: str = "") -> Table:
+    """Tabulate run reports with the canonical sweep columns."""
+    table = Table(list(REPORT_COLUMNS), title=title)
+    for report in reports:
+        scenario = report.scenario
+        table.add_row(
+            report.algorithm,
+            scenario.get("topology", "?"),
+            report.network_n,
+            scenario.get("seed", 0),
+            report.success,
+            report.rounds,
+            report.informed,
+            report.total,
+        )
+    return table
+
+
+def scenario_sweep(
+    base: Scenario,
+    seeds: Optional[Iterable[int]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    processes: Optional[int] = None,
+    title: str = "",
+) -> Table:
+    """Run a scenario grid (see :func:`repro.runner.sweep`) into a Table."""
+    return report_table(
+        sweep(base, seeds=seeds, grid=grid, processes=processes), title=title
+    )
 
 
 def all_experiments() -> list[Experiment]:

@@ -1,0 +1,49 @@
+"""The unified scenario/runner API: declare a run, execute it anywhere.
+
+One declarative entry point for every broadcast algorithm in the
+library::
+
+    from repro.runner import Scenario, run
+
+    report = run(Scenario(algorithm="decay", topology="path",
+                          topology_params={"n": 64}, seed=1))
+    print(report.rounds, report.success)
+
+The pieces:
+
+* :mod:`repro.runner.registry` — the :class:`BroadcastAlgorithm`
+  registry wrapping every broadcast entry point behind one interface;
+* :mod:`repro.runner.scenario` — the frozen :class:`Scenario` run
+  description with ``to_dict``/``from_dict``;
+* :mod:`repro.runner.report` — canonical :class:`RunReport` records;
+* :mod:`repro.runner.runner` — :func:`run`, :func:`run_batch` and
+  :func:`sweep` (parallel seed/parameter grids).
+"""
+
+from repro.runner.registry import (
+    AlgorithmResult,
+    BroadcastAlgorithm,
+    Param,
+    all_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.runner.report import RunReport
+from repro.runner.runner import expand_grid, run, run_batch, sweep
+from repro.runner.scenario import DEFAULT_TOPOLOGY_SIZE, Scenario
+
+__all__ = [
+    "AlgorithmResult",
+    "BroadcastAlgorithm",
+    "DEFAULT_TOPOLOGY_SIZE",
+    "Param",
+    "RunReport",
+    "Scenario",
+    "all_algorithms",
+    "expand_grid",
+    "get_algorithm",
+    "register_algorithm",
+    "run",
+    "run_batch",
+    "sweep",
+]

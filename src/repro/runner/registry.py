@@ -1,0 +1,496 @@
+"""A registry of named broadcast algorithms behind one uniform interface.
+
+Mirrors :mod:`repro.topologies.registry` and the experiment registry: the
+CLI, the examples, and :mod:`repro.runner` look algorithms up by name
+instead of importing per-algorithm entry points. Each entry wraps one of
+the library's broadcast functions behind an adapter with the signature::
+
+    adapter(network, faults, seed, max_rounds, params) -> AlgorithmResult
+
+so "which protocol under which fault model" becomes data rather than
+code. The wrapped functions themselves are unchanged and remain public —
+``decay_broadcast`` and friends are now thin compatibility entry points
+over the same implementations the registry drives.
+
+Outcome normalization: every adapter reduces its native outcome type
+(:class:`~repro.algorithms.base.BroadcastOutcome`, ``MultiMessageOutcome``,
+``StarOutcome``, ``SingleLinkOutcome``) to an :class:`AlgorithmResult`
+with the shared fields (success, rounds, informed, total, counters) plus
+an ``extras`` dict carrying whatever is algorithm-specific — all of it
+JSON-serializable scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.algorithms.base import BroadcastOutcome
+from repro.algorithms.decay import decay_broadcast
+from repro.algorithms.fastbc import fastbc_broadcast
+from repro.algorithms.multi.rlnc_broadcast import (
+    MultiMessageOutcome,
+    rlnc_decay_broadcast,
+    rlnc_dense_wave_broadcast,
+    rlnc_robust_fastbc_broadcast,
+)
+from repro.algorithms.multi.single_link import (
+    single_link_adaptive_routing,
+    single_link_coding,
+    single_link_nonadaptive_routing,
+)
+from repro.algorithms.multi.star import star_adaptive_routing, star_rs_coding
+from repro.algorithms.repetition import repeated_fastbc_broadcast
+from repro.algorithms.robust_fastbc import (
+    DEFAULT_ROUND_MULTIPLIER,
+    robust_fastbc_broadcast,
+)
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+
+__all__ = [
+    "AlgorithmResult",
+    "BroadcastAlgorithm",
+    "Param",
+    "all_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """The normalized outcome every registered algorithm produces.
+
+    ``informed``/``total`` count completed receivers (nodes, leaves, or —
+    on a single link — the one receiver). ``counters`` is the channel's
+    :meth:`~repro.core.trace.ChannelCounters.as_dict` when the algorithm
+    runs on the real channel, else empty. ``extras`` holds
+    algorithm-specific scalars (``k``, reception spreads, ...).
+    """
+
+    success: bool
+    rounds: int
+    informed: int
+    total: int
+    counters: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared algorithm parameter (name, default, one-line doc)."""
+
+    name: str
+    default: Any
+    doc: str = ""
+
+
+Adapter = Callable[
+    [RadioNetwork, FaultConfig, int, Optional[int], dict], AlgorithmResult
+]
+
+
+@dataclass(frozen=True)
+class BroadcastAlgorithm:
+    """A registered broadcast algorithm.
+
+    ``kind`` is one of ``"single"`` (one message over the full radio
+    network), ``"multi"`` (k messages over the full network), ``"star"``
+    (source-to-leaves schedules; the scenario topology sizes the star), or
+    ``"link"`` (two-node schedules; only the fault probability matters).
+    ``default_topology`` names a registry family the algorithm is happy
+    to run on out of the box.
+    """
+
+    name: str
+    kind: str
+    summary: str
+    params: tuple[Param, ...] = ()
+    default_topology: str = "path"
+    adapter: Adapter = None  # type: ignore[assignment]
+
+    def declared(self) -> dict[str, Any]:
+        """Declared parameters as a name -> default mapping."""
+        return {p.name: p.default for p in self.params}
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Reject parameters this algorithm does not declare."""
+        unknown = [key for key in params if key not in self.declared()]
+        if unknown:
+            known = ", ".join(sorted(self.declared())) or "(none)"
+            raise ValueError(
+                f"algorithm {self.name!r} got unknown parameters "
+                f"{sorted(unknown)}; declared: {known}"
+            )
+
+    def run(
+        self,
+        network: RadioNetwork,
+        faults: FaultConfig,
+        seed: int,
+        max_rounds: Optional[int] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> AlgorithmResult:
+        """Run with declared defaults merged under ``params``."""
+        merged = self.declared()
+        if params:
+            self.validate_params(params)
+            merged.update(params)
+        return self.adapter(network, faults, seed, max_rounds, merged)
+
+
+_REGISTRY: dict[str, BroadcastAlgorithm] = {}
+
+
+def register_algorithm(
+    name: str,
+    *,
+    kind: str,
+    summary: str,
+    params: tuple[Param, ...] = (),
+    default_topology: str = "path",
+) -> Callable[[Adapter], BroadcastAlgorithm]:
+    """Decorator registering an adapter as a named broadcast algorithm."""
+
+    def decorator(adapter: Adapter) -> BroadcastAlgorithm:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} already registered")
+        algorithm = BroadcastAlgorithm(
+            name=name,
+            kind=kind,
+            summary=summary,
+            params=params,
+            default_topology=default_topology,
+            adapter=adapter,
+        )
+        _REGISTRY[name] = algorithm
+        return algorithm
+
+    return decorator
+
+
+def get_algorithm(name: str) -> BroadcastAlgorithm:
+    """Look up a registered algorithm by name (e.g. ``"decay"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def all_algorithms() -> list[BroadcastAlgorithm]:
+    """All registered algorithms in name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# -- outcome normalization --------------------------------------------------
+
+
+def _from_single(outcome: BroadcastOutcome) -> AlgorithmResult:
+    return AlgorithmResult(
+        success=outcome.success,
+        rounds=outcome.rounds,
+        informed=outcome.informed,
+        total=outcome.total,
+        counters=outcome.counters.as_dict(),
+    )
+
+
+def _from_multi(outcome: MultiMessageOutcome) -> AlgorithmResult:
+    return AlgorithmResult(
+        success=outcome.success,
+        rounds=outcome.rounds,
+        informed=outcome.completed_nodes,
+        total=outcome.total_nodes,
+        counters=outcome.counters.as_dict(),
+        extras={
+            "k": outcome.k,
+            "rounds_per_message": outcome.rounds_per_message,
+        },
+    )
+
+
+# -- single-message algorithms ----------------------------------------------
+
+
+@register_algorithm(
+    "decay",
+    kind="single",
+    summary="Decay broadcast (Lemma 9): fault-robust O(log n/(1-p) (D + log n))",
+)
+def _decay(network, faults, seed, max_rounds, params):
+    return _from_single(
+        decay_broadcast(network, faults=faults, rng=seed, max_rounds=max_rounds)
+    )
+
+
+@register_algorithm(
+    "fastbc",
+    kind="single",
+    summary="FASTBC (Lemma 10): fast when faultless, degrades under faults",
+    params=(
+        Param("decay_interleave", True, "interleave Decay rounds with the wave"),
+    ),
+)
+def _fastbc(network, faults, seed, max_rounds, params):
+    return _from_single(
+        fastbc_broadcast(
+            network,
+            faults=faults,
+            rng=seed,
+            max_rounds=max_rounds,
+            decay_interleave=params["decay_interleave"],
+        )
+    )
+
+
+@register_algorithm(
+    "robust_fastbc",
+    kind="single",
+    summary="Robust FASTBC (Theorem 11): blocks absorb faults, keeps the wave",
+    params=(
+        Param("block", None, "block size override (default: Theta(log log n))"),
+        Param("round_multiplier", DEFAULT_ROUND_MULTIPLIER, "rounds per block step"),
+        Param("decay_interleave", True, "interleave Decay rounds with the wave"),
+    ),
+)
+def _robust_fastbc(network, faults, seed, max_rounds, params):
+    return _from_single(
+        robust_fastbc_broadcast(
+            network,
+            faults=faults,
+            rng=seed,
+            max_rounds=max_rounds,
+            block=params["block"],
+            round_multiplier=params["round_multiplier"],
+            decay_interleave=params["decay_interleave"],
+        )
+    )
+
+
+@register_algorithm(
+    "repeated_fastbc",
+    kind="single",
+    summary="Repetition baseline: FASTBC with every round repeated `repeat` times",
+    params=(Param("repeat", 2, "repetition factor per wave round"),),
+)
+def _repeated_fastbc(network, faults, seed, max_rounds, params):
+    return _from_single(
+        repeated_fastbc_broadcast(
+            network,
+            params["repeat"],
+            faults=faults,
+            rng=seed,
+            max_rounds=max_rounds,
+        )
+    )
+
+
+# -- multi-message (RLNC gossip) algorithms ----------------------------------
+
+
+@register_algorithm(
+    "rlnc_decay",
+    kind="multi",
+    summary="k-message RLNC over the Decay pattern (Lemma 12)",
+    params=(
+        Param("k", 4, "number of messages"),
+        Param("payload_length", 0, "payload bytes per message (0: headers only)"),
+    ),
+)
+def _rlnc_decay(network, faults, seed, max_rounds, params):
+    return _from_multi(
+        rlnc_decay_broadcast(
+            network,
+            params["k"],
+            faults=faults,
+            rng=seed,
+            payload_length=params["payload_length"],
+            max_rounds=max_rounds,
+        )
+    )
+
+
+@register_algorithm(
+    "rlnc_robust_fastbc",
+    kind="multi",
+    summary="k-message RLNC over Robust FASTBC waves (Lemma 13)",
+    params=(
+        Param("k", 4, "number of messages"),
+        Param("payload_length", 0, "payload bytes per message (0: headers only)"),
+        Param("block", None, "block size override (default: Theta(log log n))"),
+        Param("round_multiplier", DEFAULT_ROUND_MULTIPLIER, "rounds per block step"),
+    ),
+)
+def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params):
+    return _from_multi(
+        rlnc_robust_fastbc_broadcast(
+            network,
+            params["k"],
+            faults=faults,
+            rng=seed,
+            payload_length=params["payload_length"],
+            max_rounds=max_rounds,
+            block=params["block"],
+            round_multiplier=params["round_multiplier"],
+        )
+    )
+
+
+@register_algorithm(
+    "rlnc_dense_wave",
+    kind="multi",
+    summary="exploratory k-message RLNC dense-wave pattern (open problem X1)",
+    params=(
+        Param("k", 4, "number of messages"),
+        Param("payload_length", 0, "payload bytes per message (0: headers only)"),
+    ),
+)
+def _rlnc_dense_wave(network, faults, seed, max_rounds, params):
+    return _from_multi(
+        rlnc_dense_wave_broadcast(
+            network,
+            params["k"],
+            faults=faults,
+            rng=seed,
+            payload_length=params["payload_length"],
+            max_rounds=max_rounds,
+        )
+    )
+
+
+# -- star schedules (Theorem 17 coding gap) ----------------------------------
+#
+# The star schedules build their own star channel; the scenario's topology
+# only sizes it (n nodes -> n-1 leaves) and the scenario's FaultConfig
+# supplies the fault model and probability. On failure the per-leaf
+# completion split is not observable from StarOutcome, so `informed`
+# collapses to all-or-nothing.
+
+
+def _from_star(outcome) -> AlgorithmResult:
+    return AlgorithmResult(
+        success=outcome.success,
+        rounds=outcome.rounds,
+        informed=outcome.n_leaves if outcome.success else 0,
+        total=outcome.n_leaves,
+        extras={
+            "k": outcome.k,
+            "rounds_per_message": outcome.rounds_per_message,
+            "min_receptions": outcome.min_receptions,
+            "max_receptions": outcome.max_receptions,
+        },
+    )
+
+
+@register_algorithm(
+    "star_routing",
+    kind="star",
+    summary="adaptive star routing (Lemma 15): Theta(k log n) against faults",
+    params=(Param("k", 4, "number of messages"),),
+    default_topology="star",
+)
+def _star_routing(network, faults, seed, max_rounds, params):
+    return _from_star(
+        star_adaptive_routing(
+            max(1, network.n - 1),
+            params["k"],
+            faults.p,
+            rng=seed,
+            fault_model=faults.model,
+            max_rounds=max_rounds,
+        )
+    )
+
+
+@register_algorithm(
+    "star_coding",
+    kind="star",
+    summary="Reed-Solomon star coding (Lemma 16): Theta(k), closes the gap",
+    params=(
+        Param("k", 4, "number of messages"),
+        Param("validate_decode", False, "decode and verify the RS round-trip"),
+    ),
+    default_topology="star",
+)
+def _star_coding(network, faults, seed, max_rounds, params):
+    return _from_star(
+        star_rs_coding(
+            max(1, network.n - 1),
+            params["k"],
+            faults.p,
+            rng=seed,
+            fault_model=faults.model,
+            max_rounds=max_rounds,
+            validate_decode=params["validate_decode"],
+        )
+    )
+
+
+# -- single-link schedules (Section 6) ----------------------------------------
+#
+# One sender, one receiver: the network argument is ignored beyond
+# documentation (use the "single_link" topology family) and only the fault
+# probability matters. `informed`/`total` describe the lone receiver;
+# per-message delivery counts live in extras.
+
+
+def _from_link(outcome) -> AlgorithmResult:
+    return AlgorithmResult(
+        success=outcome.success,
+        rounds=outcome.rounds,
+        informed=1 if outcome.success else 0,
+        total=1,
+        extras={
+            "k": outcome.k,
+            "delivered": outcome.delivered,
+            "rounds_per_message": outcome.rounds_per_message,
+        },
+    )
+
+
+@register_algorithm(
+    "single_link_routing",
+    kind="link",
+    summary="adaptive single-link routing (Lemma 32): 4k/(1-p) budget",
+    params=(Param("k", 8, "number of messages"),),
+    default_topology="single_link",
+)
+def _single_link_routing(network, faults, seed, max_rounds, params):
+    return _from_link(
+        single_link_adaptive_routing(
+            params["k"], faults.p, rng=seed, round_budget=max_rounds
+        )
+    )
+
+
+@register_algorithm(
+    "single_link_nonadaptive",
+    kind="link",
+    summary="non-adaptive single-link routing (Lemma 29): Theta(log k) repeats",
+    params=(
+        Param("k", 8, "number of messages"),
+        Param("repetitions", None, "per-message repeats (default: Lemma 29 bound)"),
+    ),
+    default_topology="single_link",
+)
+def _single_link_nonadaptive(network, faults, seed, max_rounds, params):
+    return _from_link(
+        single_link_nonadaptive_routing(
+            params["k"], faults.p, rng=seed, repetitions=params["repetitions"]
+        )
+    )
+
+
+@register_algorithm(
+    "single_link_coding",
+    kind="link",
+    summary="single-link MDS coding (Lemma 30): any k receptions decode",
+    params=(Param("k", 8, "number of messages"),),
+    default_topology="single_link",
+)
+def _single_link_coding(network, faults, seed, max_rounds, params):
+    return _from_link(
+        single_link_coding(params["k"], faults.p, rng=seed, max_rounds=max_rounds)
+    )

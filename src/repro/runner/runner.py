@@ -1,0 +1,132 @@
+"""Execute scenarios: single runs, batches, and parallel sweeps.
+
+:func:`run` is the one entry point every workload goes through; it looks
+the algorithm up in the registry, materializes the topology, drives the
+run, and wraps the normalized outcome in a :class:`RunReport`.
+
+:func:`run_batch` fans a list of scenarios out across a
+``multiprocessing`` pool. Scenarios are self-contained and seeded, so
+results are independent of worker scheduling — parallel batches return
+exactly what a serial loop would (order-preserving ``pool.map``), which
+the test suite checks byte-for-byte.
+
+:func:`sweep` expands a base scenario over a seed grid and/or a
+parameter grid (Cartesian product) and runs the batch.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.runner.registry import get_algorithm
+from repro.runner.report import RunReport
+from repro.runner.scenario import Scenario
+
+__all__ = ["run", "run_batch", "sweep", "expand_grid"]
+
+#: grid keys that address Scenario fields rather than algorithm params
+_SCENARIO_FIELD_KEYS = frozenset({"algorithm", "topology", "faults", "max_rounds"})
+
+
+def run(scenario: Scenario) -> RunReport:
+    """Run one scenario to completion and report it."""
+    algorithm = get_algorithm(scenario.algorithm)
+    network = scenario.build_network()
+    start = time.perf_counter()
+    result = algorithm.run(
+        network,
+        scenario.faults,
+        scenario.seed,
+        max_rounds=scenario.max_rounds,
+        params=scenario.params,
+    )
+    elapsed = time.perf_counter() - start
+    return RunReport(
+        scenario=scenario.describe(),
+        algorithm=scenario.algorithm,
+        success=result.success,
+        rounds=result.rounds,
+        informed=result.informed,
+        total=result.total,
+        counters=result.counters,
+        extras=result.extras,
+        network_n=network.n,
+        network_name=network.name,
+        wall_time_s=elapsed,
+    )
+
+
+def run_batch(
+    scenarios: Iterable[Scenario],
+    processes: Optional[int] = None,
+) -> list[RunReport]:
+    """Run scenarios, optionally across a process pool.
+
+    ``processes=None`` (or ``<= 1``) runs serially; otherwise a pool of
+    that many workers maps :func:`run` over the batch. Results come back
+    in input order either way, and — because each scenario carries its
+    own seed — with identical contents.
+    """
+    batch = list(scenarios)
+    if processes is None or processes <= 1 or len(batch) <= 1:
+        return [run(scenario) for scenario in batch]
+    # fork shares the imported library with the workers; fall back to the
+    # platform default where fork does not exist
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with context.Pool(min(processes, len(batch))) as pool:
+        return pool.map(run, batch)
+
+
+def expand_grid(
+    base: Scenario,
+    seeds: Optional[Iterable[int]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+) -> list[Scenario]:
+    """Expand ``base`` over a seed list and a parameter grid.
+
+    Grid keys address, in order of precedence: the Scenario fields
+    ``algorithm``, ``topology``, ``faults``, ``max_rounds``; the topology
+    size ``n`` (merged into ``topology_params``); anything else is an
+    algorithm parameter (merged into ``params``). The expansion is the
+    Cartesian product of all grid axes, with seeds varying fastest, in a
+    deterministic order.
+    """
+    seed_list = [base.seed] if seeds is None else [int(s) for s in seeds]
+    if not seed_list:
+        raise ValueError("seeds must be non-empty")
+    grid = dict(grid or {})
+    if "seed" in grid:
+        raise ValueError("vary seeds via the `seeds` argument, not the grid")
+
+    keys = list(grid)
+    scenarios: list[Scenario] = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        changes: dict[str, Any] = {}
+        params = dict(base.params)
+        topology_params = dict(base.topology_params)
+        for key, value in zip(keys, combo):
+            if key in _SCENARIO_FIELD_KEYS:
+                changes[key] = value
+            elif key == "n":
+                topology_params["n"] = value
+            else:
+                params[key] = value
+        changes["params"] = params
+        changes["topology_params"] = topology_params
+        for seed in seed_list:
+            scenarios.append(base.with_(seed=seed, **changes))
+    return scenarios
+
+
+def sweep(
+    base: Scenario,
+    seeds: Optional[Iterable[int]] = None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    processes: Optional[int] = None,
+) -> list[RunReport]:
+    """Expand ``base`` (see :func:`expand_grid`) and run the batch."""
+    return run_batch(expand_grid(base, seeds=seeds, grid=grid), processes=processes)

@@ -1,0 +1,168 @@
+"""The declarative run description: one frozen :class:`Scenario` per run.
+
+A scenario bundles everything a broadcast run depends on — topology spec,
+algorithm name plus parameters, fault configuration, seed, and round
+budget — so that examples, experiments, benchmarks, and the CLI all
+describe work the same way and :func:`repro.runner.run` can execute it
+anywhere (including in a worker process of a ``run_batch`` pool).
+
+The topology is either a registry family name (``"path"``, ``"gnp"``,
+...) with ``topology_params`` (``n`` and optionally a topology ``seed``
+pinned independently of the scenario seed), or an explicit, pre-built
+:class:`~repro.core.network.RadioNetwork`. Only named topologies survive
+``to_dict``/``from_dict``; explicit networks still run but serialize as a
+descriptive placeholder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+from repro.core.faults import FaultConfig, FaultModel
+from repro.core.network import RadioNetwork
+from repro.runner.registry import get_algorithm
+from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
+
+__all__ = ["Scenario", "DEFAULT_TOPOLOGY_SIZE"]
+
+#: nodes used when a named topology omits ``n``
+DEFAULT_TOPOLOGY_SIZE = 32
+
+_TOPOLOGY_PARAM_KEYS = frozenset({"n", "seed"})
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully-specified, reproducible broadcast run.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered algorithm name (see :func:`repro.all_algorithms`).
+    topology:
+        Topology family name or an explicit :class:`RadioNetwork`.
+    topology_params:
+        For named topologies: ``n`` (size, default
+        :data:`DEFAULT_TOPOLOGY_SIZE`) and optional ``seed`` (pin random
+        families independently of the scenario seed).
+    params:
+        Algorithm parameters; must be declared by the algorithm.
+    faults:
+        The fault model and probability.
+    seed:
+        Top-level RNG seed; the whole run reproduces from it.
+    max_rounds:
+        Round budget override (``None``: the algorithm's own bound).
+    """
+
+    algorithm: str
+    topology: Union[str, RadioNetwork] = "path"
+    topology_params: Mapping[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    faults: FaultConfig = field(default_factory=FaultConfig.faultless)
+    seed: int = 0
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # normalize the mappings to plain dicts (picklable, JSON-friendly)
+        object.__setattr__(self, "topology_params", dict(self.topology_params))
+        object.__setattr__(self, "params", dict(self.params))
+
+        algorithm = get_algorithm(self.algorithm)  # raises KeyError if unknown
+        algorithm.validate_params(self.params)
+
+        if isinstance(self.topology, str):
+            if self.topology not in TOPOLOGY_FAMILIES:
+                known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+                raise ValueError(
+                    f"unknown topology family {self.topology!r}; known: {known}"
+                )
+            unknown = set(self.topology_params) - _TOPOLOGY_PARAM_KEYS
+            if unknown:
+                raise ValueError(
+                    f"unknown topology_params {sorted(unknown)}; "
+                    f"allowed: {sorted(_TOPOLOGY_PARAM_KEYS)}"
+                )
+        elif isinstance(self.topology, RadioNetwork):
+            if self.topology_params:
+                raise ValueError(
+                    "topology_params only apply to named topology families, "
+                    "not explicit RadioNetwork instances"
+                )
+        else:
+            raise TypeError(
+                "topology must be a family name or a RadioNetwork, got "
+                f"{type(self.topology).__name__}"
+            )
+
+        if not isinstance(self.faults, FaultConfig):
+            raise TypeError(
+                f"faults must be a FaultConfig, got {type(self.faults).__name__}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise TypeError(f"seed must be an int, got {type(self.seed).__name__}")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    # -- derived views ------------------------------------------------------
+
+    def build_network(self) -> RadioNetwork:
+        """Materialize the topology (explicit network: returned as-is)."""
+        if isinstance(self.topology, RadioNetwork):
+            return self.topology
+        n = int(self.topology_params.get("n", DEFAULT_TOPOLOGY_SIZE))
+        seed = int(self.topology_params.get("seed", self.seed))
+        return make_topology(self.topology, n, seed=seed)
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """A copy with the given fields replaced (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form; raises for explicit networks."""
+        if isinstance(self.topology, RadioNetwork):
+            raise ValueError(
+                "scenarios holding an explicit RadioNetwork cannot be "
+                "serialized; use a named topology family"
+            )
+        return self._as_dict(self.topology)
+
+    def describe(self) -> dict[str, Any]:
+        """Like :meth:`to_dict` but never fails: explicit networks are
+        summarized by name (not reconstructible via :meth:`from_dict`)."""
+        if isinstance(self.topology, RadioNetwork):
+            return self._as_dict(f"<explicit:{self.topology.name}>")
+        return self.to_dict()
+
+    def _as_dict(self, topology: str) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "topology": topology,
+            "topology_params": dict(self.topology_params),
+            "params": dict(self.params),
+            "faults": {"model": str(self.faults.model), "p": self.faults.p},
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`."""
+        faults_data = data.get("faults", {"model": "none", "p": 0.0})
+        faults = FaultConfig(
+            FaultModel(faults_data.get("model", "none")),
+            float(faults_data.get("p", 0.0)),
+        )
+        return cls(
+            algorithm=data["algorithm"],
+            topology=data.get("topology", "path"),
+            topology_params=data.get("topology_params", {}),
+            params=data.get("params", {}),
+            faults=faults,
+            seed=int(data.get("seed", 0)),
+            max_rounds=data.get("max_rounds"),
+        )

@@ -19,6 +19,12 @@ def _path(n: int, seed: int) -> RadioNetwork:
     return basic.path(n)
 
 
+def _single_link(n: int, seed: int) -> RadioNetwork:
+    # always the 2-node link; a requested n does not apply (run reports
+    # record the materialized size)
+    return basic.single_link()
+
+
 def _star(n: int, seed: int) -> RadioNetwork:
     return basic.star(max(1, n - 1))
 
@@ -64,6 +70,7 @@ def _bramble(n: int, seed: int) -> RadioNetwork:
 #: name -> builder(n, seed) for the families experiments sweep over
 TOPOLOGY_FAMILIES: dict[str, Callable[[int, int], RadioNetwork]] = {
     "path": _path,
+    "single_link": _single_link,
     "star": _star,
     "cycle": _cycle,
     "grid": _grid,

@@ -7,6 +7,7 @@ CLI and EXPERIMENTS.md) and to CSV (for downstream plotting).
 
 from __future__ import annotations
 
+import json
 from typing import Any, Iterable, Mapping, Sequence
 
 __all__ = ["Table"]
@@ -106,6 +107,22 @@ class Table:
         for row in self.rows:
             lines.append(",".join(self._fmt(v) for v in row))
         return "\n".join(lines)
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        """Render as a JSON object: title, columns, and rows as mappings.
+
+        Values that are not JSON-native (e.g. numpy scalars) fall back to
+        their ``str`` form, so every table serializes.
+        """
+        return json.dumps(
+            {
+                "title": self.title,
+                "columns": list(self.columns),
+                "rows": [dict(zip(self.columns, row)) for row in self.rows],
+            },
+            indent=indent,
+            default=str,
+        )
 
     def to_markdown(self) -> str:
         """Render as a GitHub-flavored markdown table."""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -10,6 +12,14 @@ class TestList:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "E1" in out and "A3" in out
+
+    def test_list_enumerates_algorithms_and_topologies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithms" in out
+        assert "decay" in out and "star_coding" in out
+        assert "topologies" in out
+        assert "single_link" in out
 
 
 class TestRun:
@@ -39,3 +49,72 @@ class TestRun:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "E1", "--scale", "huge"])
+
+    def test_run_json_format(self, capsys):
+        assert main(["run", "E18", "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)
+        assert data["columns"][0] == "k"
+        assert data["rows"]
+
+
+class TestSweep:
+    SWEEP_ARGS = [
+        "sweep",
+        "--algorithms", "decay,fastbc",
+        "--topology", "path",
+        "--n", "16",
+        "--fault-model", "receiver",
+        "--p", "0.3",
+        "--seeds", "0:3",
+    ]
+
+    def test_emits_valid_json_reports(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 6  # 2 algorithms x 3 seeds
+        assert {r["algorithm"] for r in reports} == {"decay", "fastbc"}
+        assert {r["scenario"]["seed"] for r in reports} == {0, 1, 2}
+        for report in reports:
+            assert report["scenario"]["faults"] == {
+                "model": "receiver",
+                "p": 0.3,
+            }
+            assert report["rounds"] >= 1
+            assert "wall_time_s" in report
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(self.SWEEP_ARGS + ["--processes", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        for left, right in zip(serial, parallel):
+            left.pop("wall_time_s"), right.pop("wall_time_s")
+        assert serial == parallel
+
+    def test_table_format(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "rounds" in out
+
+    def test_output_file(self, capsys, tmp_path):
+        target = tmp_path / "reports.json"
+        assert main(self.SWEEP_ARGS + ["--output", str(target)]) == 0
+        assert "wrote 6 reports" in capsys.readouterr().out
+        assert len(json.loads(target.read_text())) == 6
+
+    def test_param_flag_reaches_algorithm(self, capsys):
+        assert main([
+            "sweep", "--algorithms", "rlnc_decay", "--topology", "path",
+            "--n", "12", "--param", "k=2", "--seeds", "1",
+        ]) == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["extras"]["k"] == 2
+
+    def test_unknown_algorithm_fails_cleanly(self, capsys):
+        assert main(["sweep", "--algorithms", "warp"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bad_seed_spec_fails_cleanly(self, capsys):
+        assert main(self.SWEEP_ARGS[:-1] + ["5:5"]) == 2
+        assert "seed" in capsys.readouterr().err

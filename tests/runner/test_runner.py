@@ -1,0 +1,145 @@
+"""Runner determinism, parallel equivalence, and sweep expansion."""
+
+import json
+
+import pytest
+
+from repro.core.faults import FaultConfig
+from repro.runner import (
+    RunReport,
+    Scenario,
+    expand_grid,
+    run,
+    run_batch,
+    sweep,
+)
+
+BASE = Scenario(
+    algorithm="decay",
+    topology="path",
+    topology_params={"n": 16},
+    faults=FaultConfig.receiver(0.3),
+    seed=4,
+)
+
+
+class TestDeterminism:
+    def test_same_scenario_same_canonical_bytes(self):
+        first = run(BASE).to_json(canonical=True).encode()
+        second = run(BASE).to_json(canonical=True).encode()
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "name", ["fastbc", "rlnc_decay", "star_coding", "single_link_routing"]
+    )
+    def test_determinism_across_algorithm_kinds(self, name):
+        scenario = Scenario(
+            algorithm=name,
+            topology="star" if name.startswith("star") else "path",
+            topology_params={"n": 10},
+            faults=FaultConfig.receiver(0.2),
+            seed=7,
+        )
+        assert run(scenario).to_json(canonical=True) == run(
+            scenario
+        ).to_json(canonical=True)
+
+    def test_different_seeds_differ(self):
+        # on a noisy channel two seeds virtually never trace identically
+        a = run(BASE)
+        b = run(BASE.with_(seed=5))
+        assert a.counters != b.counters
+
+
+class TestParallelEqualsSerial:
+    def test_run_batch_pool_matches_serial(self):
+        scenarios = expand_grid(
+            BASE, seeds=range(4), grid={"algorithm": ["decay", "fastbc"]}
+        )
+        serial = run_batch(scenarios, processes=None)
+        parallel = run_batch(scenarios, processes=3)
+        assert len(serial) == len(parallel) == 8
+        for left, right in zip(serial, parallel):
+            assert left.to_json(canonical=True) == right.to_json(canonical=True)
+
+    def test_single_scenario_batch_stays_serial(self):
+        (report,) = run_batch([BASE], processes=8)
+        assert report.to_json(canonical=True) == run(BASE).to_json(
+            canonical=True
+        )
+
+
+class TestSweepExpansion:
+    def test_grid_axes_and_seed_order(self):
+        scenarios = expand_grid(
+            BASE,
+            seeds=[1, 2],
+            grid={"algorithm": ["decay", "fastbc"], "n": [8, 16]},
+        )
+        assert len(scenarios) == 8
+        # seeds vary fastest, then the last grid axis
+        assert [s.seed for s in scenarios[:2]] == [1, 2]
+        assert scenarios[0].algorithm == scenarios[2].algorithm == "decay"
+        assert scenarios[0].topology_params["n"] == 8
+        assert scenarios[2].topology_params["n"] == 16
+
+    def test_param_keys_land_in_algorithm_params(self):
+        scenarios = expand_grid(
+            Scenario(algorithm="rlnc_decay"), grid={"k": [1, 2]}
+        )
+        assert [s.params["k"] for s in scenarios] == [1, 2]
+
+    def test_faults_axis(self):
+        scenarios = expand_grid(
+            BASE,
+            grid={"faults": [FaultConfig.faultless(), FaultConfig.sender(0.1)]},
+        )
+        assert [str(s.faults) for s in scenarios] == [
+            "faultless",
+            "sender-faults(p=0.1)",
+        ]
+
+    def test_seed_axis_in_grid_rejected(self):
+        with pytest.raises(ValueError, match="seeds"):
+            expand_grid(BASE, grid={"seed": [1, 2]})
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            expand_grid(BASE, seeds=[])
+
+    def test_sweep_runs_the_expansion(self):
+        reports = sweep(BASE, seeds=range(3))
+        assert [r.scenario["seed"] for r in reports] == [0, 1, 2]
+
+
+class TestRunReport:
+    def test_json_round_trip(self):
+        report = run(BASE)
+        clone = RunReport.from_dict(json.loads(report.to_json()))
+        assert clone == report
+
+    def test_canonical_json_excludes_timing(self):
+        report = run(BASE)
+        assert report.wall_time_s > 0
+        canonical = json.loads(report.to_json(canonical=True))
+        assert "wall_time_s" not in canonical
+        assert "wall_time_s" in report.to_dict()
+
+    def test_embedded_scenario_reconstructs(self):
+        report = run(BASE)
+        assert Scenario.from_dict(report.scenario) == BASE
+
+    def test_records_materialized_network(self):
+        report = run(BASE)
+        assert report.network_n == 16
+        assert report.network_name
+        # single_link ignores the requested size; the report records the
+        # network the run actually used
+        link = run(
+            Scenario(
+                algorithm="single_link_coding",
+                topology="single_link",
+                topology_params={"n": 64},
+            )
+        )
+        assert link.network_n == 2

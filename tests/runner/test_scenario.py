@@ -1,0 +1,104 @@
+"""Scenario validation and serialization."""
+
+import pytest
+
+from repro.core.faults import FaultConfig, FaultModel
+from repro.runner import Scenario, run
+from repro.topologies import path
+
+
+class TestValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            Scenario(algorithm="warp_drive")
+
+    def test_unknown_topology_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology family"):
+            Scenario(algorithm="decay", topology="klein_bottle")
+
+    def test_undeclared_algorithm_param_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            Scenario(algorithm="decay", params={"k": 3})
+
+    def test_unknown_topology_param_rejected(self):
+        with pytest.raises(ValueError, match="topology_params"):
+            Scenario(algorithm="decay", topology_params={"diameter": 5})
+
+    def test_topology_params_rejected_for_explicit_network(self):
+        with pytest.raises(ValueError, match="explicit RadioNetwork"):
+            Scenario(
+                algorithm="decay", topology=path(8), topology_params={"n": 8}
+            )
+
+    def test_faults_type_checked(self):
+        with pytest.raises(TypeError, match="FaultConfig"):
+            Scenario(algorithm="decay", faults=0.3)
+
+    def test_bad_max_rounds_rejected(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            Scenario(algorithm="decay", max_rounds=0)
+
+
+class TestTopologyBuild:
+    def test_named_family_uses_size_and_default(self):
+        assert Scenario(
+            algorithm="decay", topology_params={"n": 24}
+        ).build_network().n == 24
+        from repro.runner.scenario import DEFAULT_TOPOLOGY_SIZE
+
+        assert Scenario(algorithm="decay").build_network().n == (
+            DEFAULT_TOPOLOGY_SIZE
+        )
+
+    def test_topology_seed_pins_random_families(self):
+        pinned = Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": 20, "seed": 7},
+        )
+        for seed in (0, 1):
+            scenario = pinned.with_(seed=seed)
+            assert (
+                scenario.build_network().edge_count
+                == pinned.build_network().edge_count
+            )
+
+    def test_explicit_network_returned_as_is(self):
+        network = path(9)
+        scenario = Scenario(algorithm="decay", topology=network)
+        assert scenario.build_network() is network
+        assert run(scenario).total == 9
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        scenario = Scenario(
+            algorithm="rlnc_decay",
+            topology="gnp",
+            topology_params={"n": 20, "seed": 3},
+            params={"k": 2},
+            faults=FaultConfig.sender(0.1),
+            seed=11,
+            max_rounds=5000,
+        )
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+
+    def test_faults_serialize_by_model_name(self):
+        data = Scenario(
+            algorithm="decay", faults=FaultConfig.receiver(0.25)
+        ).to_dict()
+        assert data["faults"] == {"model": "receiver", "p": 0.25}
+        assert Scenario.from_dict(data).faults.model is FaultModel.RECEIVER
+
+    def test_explicit_network_refuses_to_dict_but_describes(self):
+        scenario = Scenario(algorithm="decay", topology=path(5))
+        with pytest.raises(ValueError, match="serialized"):
+            scenario.to_dict()
+        assert scenario.describe()["topology"].startswith("<explicit:")
+
+    def test_with_replaces_fields(self):
+        base = Scenario(algorithm="decay", seed=0)
+        assert base.with_(seed=9).seed == 9
+        assert base.with_(algorithm="fastbc").algorithm == "fastbc"
+        assert base.seed == 0

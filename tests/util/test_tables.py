@@ -93,3 +93,24 @@ class TestRendering:
         t = Table(["x"])
         t.add_row(float("nan"))
         assert "nan" in t.to_text()
+
+    def test_json(self):
+        import json
+
+        t = Table(["n", "rounds"], title="demo")
+        t.add_row(16, 120.5)
+        t.add_row(32, 240.0)
+        data = json.loads(t.to_json())
+        assert data["title"] == "demo"
+        assert data["columns"] == ["n", "rounds"]
+        assert data["rows"] == [
+            {"n": 16, "rounds": 120.5},
+            {"n": 32, "rounds": 240.0},
+        ]
+
+    def test_json_stringifies_foreign_types(self):
+        import json
+
+        t = Table(["x"])
+        t.add_row(complex(1, 2))
+        assert json.loads(t.to_json())["rows"][0]["x"] == "(1+2j)"
