@@ -1,0 +1,75 @@
+"""Hot-path microbenchmarks: vectorized substrate vs scalar references.
+
+``pytest benchmarks/bench_hotpaths.py --benchmark-only -o python_files='bench_*.py'``
+times each hot path through pytest-benchmark; every test also asserts the
+vectorized kernel beats its reference, and the star round-loop test
+asserts the ISSUE-2 acceptance bar (>= 5x). ``repro bench`` is the
+CLI equivalent that writes ``BENCH_hotpaths.json``.
+"""
+
+import pytest
+
+from repro.perf.hotpaths import (
+    _SCALES,
+    bench_channel_rounds,
+    bench_gf_matmul,
+    bench_rlnc_emit,
+    bench_rlnc_receive,
+    bench_star_rlnc_round_loop,
+    consistency_check,
+)
+
+
+def test_kernels_match_references():
+    assert consistency_check() == []
+
+
+def test_bench_channel_rounds(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        lambda: bench_channel_rounds(_SCALES[repro_scale]["channel_rounds"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result.to_dict()
+    assert result.speedup > 1.0
+
+
+def test_bench_star_rlnc_round_loop(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        lambda: bench_star_rlnc_round_loop(_SCALES[repro_scale]["star_rounds"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result.to_dict()
+    # the ISSUE-2 acceptance bar for the 1000-node star RLNC round loop
+    assert result.speedup >= 5.0
+
+
+def test_bench_rlnc_emit(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        lambda: bench_rlnc_emit(_SCALES[repro_scale]["rlnc_ops"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result.to_dict()
+    assert result.speedup > 1.0
+
+
+def test_bench_rlnc_receive(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        lambda: bench_rlnc_receive(_SCALES[repro_scale]["rlnc_ops"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result.to_dict()
+    assert result.speedup > 1.0
+
+
+def test_bench_gf_matmul(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        lambda: bench_gf_matmul(_SCALES[repro_scale]["matmuls"]),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result.to_dict()
+    assert result.ops_per_sec > 0

@@ -8,6 +8,7 @@ Usage::
     repro run E10 --format json
     repro sweep --algorithms decay,fastbc --topology path --n 64 \\
         --fault-model receiver --p 0.3 --seeds 0:5 --processes 4
+    repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
 from __future__ import annotations
@@ -107,6 +108,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument(
         "--output", default=None, help="write to this file instead of stdout"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="microbenchmark the simulation hot paths (vectorized vs reference)",
+    )
+    bench.add_argument(
+        "--scale",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="iteration counts: smoke (CI-sized) or full (stable timings)",
+    )
+    bench.add_argument(
+        "--output",
+        default="BENCH_hotpaths.json",
+        help="report path (default: BENCH_hotpaths.json)",
+    )
+    bench.add_argument(
+        "--skip-check",
+        action="store_true",
+        help="skip the kernel/reference consistency cross-check",
     )
     return parser
 
@@ -227,6 +249,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.perf import consistency_check, run_hotpath_benchmarks, write_report
+
+    if not args.skip_check:
+        failures = consistency_check()
+        if failures:
+            for failure in failures:
+                print(f"MISMATCH: {failure}", file=sys.stderr)
+            print(
+                f"{len(failures)} kernel/reference mismatches; not benchmarking",
+                file=sys.stderr,
+            )
+            return 1
+        print("consistency: vectorized kernels match references")
+
+    report = run_hotpath_benchmarks(scale=args.scale)
+    write_report(report, args.output)
+    for result in report["results"]:
+        speedup = result["speedup"]
+        suffix = f"  ({speedup}x vs reference)" if speedup is not None else ""
+        print(f"{result['name']:<24} {result['ops_per_sec']:>12.2f} ops/s{suffix}")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -235,6 +282,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "sweep":
         return _command_sweep(args)
+
+    if args.command == "bench":
+        return _command_bench(args)
 
     if args.id.lower() == "all":
         experiments = all_experiments()

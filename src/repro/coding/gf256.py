@@ -51,6 +51,11 @@ _INV_TABLE = np.zeros(256, dtype=np.uint8)
 for _a in range(1, 256):
     _INV_TABLE[_a] = _EXP[_ORDER - int(_LOG[_a])]
 
+# flat view of the multiplication table: np.take on a 1-D array with a
+# precomputed (scalar << 8) + element index is 2-3x faster than 2-D
+# advanced indexing on the hot batched paths
+_MUL_FLAT = np.ascontiguousarray(_MUL_TABLE).reshape(65536)
+
 
 class GF256:
     """Static arithmetic over GF(2^8).
@@ -148,8 +153,9 @@ class GF256:
         # Iterate over the inner dimension: each term is an outer-product-free
         # table lookup, XOR-accumulated. O(inner) numpy ops instead of
         # O(rows*cols*inner) Python ops.
+        shifted = a.astype(np.int32) << 8
         for t in range(inner):
-            out ^= _MUL_TABLE[a[:, t][:, None], b[t, :][None, :]]
+            out ^= _MUL_FLAT.take(b[t, :] + shifted[:, t][:, None])
         return out
 
     @staticmethod
@@ -158,6 +164,25 @@ class GF256:
         if np.any(a == 0):
             raise ZeroDivisionError("0 has no inverse in GF(2^8)")
         return _INV_TABLE[a]
+
+    @staticmethod
+    def scale_rows(scalars: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """``scalars[i] * rows[i]`` for every row, as one table lookup."""
+        index = rows + (scalars.astype(np.int32) << 8)[:, None]
+        return _MUL_FLAT.take(index)
+
+    @staticmethod
+    def combine(weights: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Weighted sum ``sum_i weights[i] * rows[i]`` over GF(2^8).
+
+        The RLNC hot-path primitive: one broadcasted table lookup over the
+        whole (rank, width) basis followed by an XOR reduction, instead of
+        a per-row Python loop.
+        """
+        if rows.shape[0] == 0:
+            return np.zeros(rows.shape[1:], dtype=np.uint8)
+        index = rows + (weights.astype(np.int32) << 8)[:, None]
+        return np.bitwise_xor.reduce(_MUL_FLAT.take(index), axis=0)
 
     # -- table access (read-only views, for tests) ---------------------------
 

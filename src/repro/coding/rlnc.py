@@ -57,7 +57,8 @@ class CodedPacket:
         return np.frombuffer(self.payload, dtype=np.uint8)
 
     def is_zero(self) -> bool:
-        return all(c == 0 for c in self.coefficients)
+        # bytes iteration in C: no generator frame per coefficient
+        return not any(self.coefficients)
 
 
 def random_coefficients(k: int, rng: RandomSource) -> np.ndarray:
@@ -74,9 +75,18 @@ class RLNCDecoder:
     Maintains a row-reduced basis of the received coefficient vectors with
     payloads carried along, so that rank and decoding are both O(k) per
     packet amortized.
+
+    The default elimination kernel keeps the basis in *reduced* row
+    echelon form so an incoming row eliminates against every existing
+    pivot in a single batched table-lookup pass.  Constructing with
+    ``reference=True`` selects the original per-column scalar loop
+    (echelon-only basis) — the executable specification the vectorized
+    kernel is cross-checked against and the `repro bench` baseline.
     """
 
-    def __init__(self, k: int, payload_length: int = 0) -> None:
+    def __init__(
+        self, k: int, payload_length: int = 0, reference: bool = False
+    ) -> None:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         if payload_length < 0:
@@ -87,9 +97,19 @@ class RLNCDecoder:
         self._basis = np.zeros((k, k + payload_length), dtype=np.uint8)
         # pivot_of[c] = basis row index whose pivot is column c, or -1
         self._pivot_of = np.full(k, -1, dtype=np.int32)
+        # pivot_col[r] = pivot column of basis row r (insertion order)
+        self._pivot_col = np.zeros(k, dtype=np.int32)
+        # scratch row reused across receptions to avoid per-packet allocs
+        self._row_scratch = np.empty(k + payload_length, dtype=np.uint8)
         self._rank = 0
         self.received_count = 0
         self.innovative_count = 0
+        self._reference = reference
+        self._eliminate = (
+            self._reduce_and_insert_reference
+            if reference
+            else self._reduce_and_insert
+        )
 
     @property
     def rank(self) -> int:
@@ -112,23 +132,66 @@ class RLNCDecoder:
                 f"payload length {payload.size} != {self.payload_length}"
             )
         self.received_count += 1
-        row = np.concatenate([packet.coefficient_array(), payload])
-        innovative = self._reduce_and_insert(row)
+        if self._rank == self.k and not self._reference:
+            return False  # full rank: nothing can be innovative
+        row = self._row_scratch
+        row[: self.k] = packet.coefficient_array()
+        row[self.k :] = payload
+        innovative = self._eliminate(row)
         if innovative:
             self.innovative_count += 1
         return innovative
 
     def receive_raw(self, coefficients: np.ndarray, payload: np.ndarray) -> bool:
-        """Zero-copy variant of :meth:`receive` for simulator hot paths."""
+        """Copy-free variant of :meth:`receive` for simulator hot paths.
+
+        Fills a preallocated scratch row instead of concatenating (the old
+        path allocated twice: once for the concatenation, once for the
+        uint8 cast). A full-rank decoder short-circuits: no reception can
+        be innovative, so the elimination is skipped entirely — the regime
+        that dominates long RLNC gossip runs.
+        """
         self.received_count += 1
-        row = np.concatenate([coefficients, payload]).astype(np.uint8)
-        innovative = self._reduce_and_insert(row)
+        if self._rank == self.k and not self._reference:
+            return False
+        row = self._row_scratch
+        row[: self.k] = coefficients
+        row[self.k :] = payload
+        innovative = self._eliminate(row)
         if innovative:
             self.innovative_count += 1
         return innovative
 
     def _reduce_and_insert(self, row: np.ndarray) -> bool:
-        """Row-reduce against the basis; insert if a new pivot remains."""
+        """Batched elimination against a reduced-row-echelon basis.
+
+        Because every stored row has 1 at its own pivot column and 0 at
+        all other pivot columns, subtracting ``row[pivot_cols] @ basis``
+        zeroes *all* pivot columns of ``row`` in one pass. If a nonzero
+        coefficient survives, the row is normalized, back-substituted into
+        the stored rows (keeping them reduced), and inserted. ``row`` may
+        alias the scratch buffer; it is consumed.
+        """
+        rank = self._rank
+        if rank:
+            row ^= GF256.combine(row[self._pivot_col[:rank]], self._basis[:rank])
+        head = row[: self.k]
+        if not head.any():
+            return False
+        col = int(np.nonzero(head)[0][0])
+        row = GF256.scale_vec(GF256.inv(int(row[col])), row)
+        if rank:
+            above = self._basis[:rank, col]
+            if above.any():
+                self._basis[:rank] ^= GF256.scale_rows(above, row[None, :])
+        self._basis[rank] = row
+        self._pivot_col[rank] = col
+        self._pivot_of[col] = rank
+        self._rank += 1
+        return True
+
+    def _reduce_and_insert_reference(self, row: np.ndarray) -> bool:
+        """Original per-column elimination loop (echelon-only basis)."""
         for col in range(self.k):
             coeff = int(row[col])
             if coeff == 0:
@@ -139,6 +202,7 @@ class RLNCDecoder:
                 inv = GF256.inv(coeff)
                 row = GF256.scale_vec(inv, row)
                 self._basis[self._rank] = row
+                self._pivot_col[self._rank] = col
                 self._pivot_of[col] = self._rank
                 self._rank += 1
                 # Back-substitute into earlier rows lazily at decode time;
@@ -193,10 +257,11 @@ class RLNCEncoder:
         k: int,
         payload_length: int = 0,
         messages: Optional[Sequence[bytes]] = None,
+        reference: bool = False,
     ) -> None:
         self.k = k
         self.payload_length = payload_length
-        self.decoder = RLNCDecoder(k, payload_length)
+        self.decoder = RLNCDecoder(k, payload_length, reference=reference)
         if messages is not None:
             if len(messages) != k:
                 raise ValueError(f"expected {k} messages, got {len(messages)}")
@@ -239,6 +304,23 @@ class RLNCEncoder:
         basis = self.decoder._basis[: self.decoder.rank]
         while True:
             weights = rng.bytes_array(self.decoder.rank)
+            if not weights.any():
+                continue
+            # one broadcasted table lookup + XOR reduction over the basis
+            row = GF256.combine(weights, basis)
+            if row[: self.k].any():
+                return CodedPacket(
+                    coefficients=row[: self.k].tobytes(),
+                    payload=row[self.k :].tobytes(),
+                )
+
+    def emit_reference(self, rng: RandomSource) -> CodedPacket:
+        """Original per-row combination loop; `repro bench` baseline."""
+        if not self.can_transmit():
+            raise ValueError("node has no coded information to transmit")
+        basis = self.decoder._basis[: self.decoder.rank]
+        while True:
+            weights = rng.bytes_array(self.decoder.rank)
             if not np.any(weights):
                 continue
             row = np.zeros(basis.shape[1], dtype=np.uint8)
@@ -247,8 +329,8 @@ class RLNCEncoder:
                     row ^= GF256.scale_vec(int(w), basis[i])
             if np.any(row[: self.k]):
                 return CodedPacket(
-                    coefficients=bytes(row[: self.k].tobytes()),
-                    payload=bytes(row[self.k :].tobytes()),
+                    coefficients=row[: self.k].tobytes(),
+                    payload=row[self.k :].tobytes(),
                 )
 
     def decode_messages(self) -> list[bytes]:

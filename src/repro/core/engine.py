@@ -15,7 +15,9 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.core.errors import ProtocolError, SimulationError
 from repro.core.faults import FaultConfig, FaultModel
@@ -28,9 +30,13 @@ from repro.util.rng import RandomSource, spawn_rng
 __all__ = ["Channel", "Delivery", "RoundResult", "Simulator"]
 
 
-@dataclass(frozen=True)
-class Delivery:
-    """A successful reception: ``receiver`` got ``packet`` from ``sender``."""
+class Delivery(NamedTuple):
+    """A successful reception: ``receiver`` got ``packet`` from ``sender``.
+
+    A NamedTuple rather than a frozen dataclass: one is constructed per
+    reception, and tuple construction is several times cheaper than
+    ``object.__setattr__``-based frozen-dataclass init.
+    """
 
     receiver: int
     sender: int
@@ -54,6 +60,25 @@ class RoundResult:
 class Channel:
     """The noisy radio channel over a fixed network.
 
+    Round resolution has two interchangeable kernels:
+
+    * a **vectorized** numpy kernel (the default) that gathers every
+      broadcaster's CSR neighbor slice, computes hear-counts with
+      ``np.bincount``, and draws all fault coins in bulk;
+    * a **scalar reference** (:meth:`transmit_reference`) — the original
+      per-node loop, kept as the executable specification. Both kernels
+      consume the channel RNG identically (one bulk Bernoulli draw per
+      fault stage, in ascending node order — bulk-stream v2, see
+      PERFORMANCE.md), so for the same seed they agree delivery for
+      delivery; the test suite cross-checks this property.
+
+    Because the kernels are outcome-identical, ``kernel="auto"`` (the
+    default) picks per round by the total neighbor-gather work: tiny
+    rounds on tiny graphs stay on the scalar loop (numpy call latency
+    would dominate), large rounds go vectorized. When tracing is enabled
+    :meth:`transmit` routes through the scalar kernel so per-event
+    records stay available; outcomes are unchanged either way.
+
     Parameters
     ----------
     network:
@@ -64,7 +89,14 @@ class Channel:
         Seed / source for fault sampling.
     trace:
         Optional event recorder.
+    kernel:
+        ``"auto"`` (default), ``"vectorized"``, or ``"scalar"`` — force a
+        resolution kernel, mainly for benchmarks and cross-checks.
     """
+
+    #: auto-dispatch threshold: vectorize once a round gathers this many
+    #: (broadcaster, neighbor) pairs — below it numpy latency dominates
+    VECTORIZE_MIN_WORK = 192
 
     def __init__(
         self,
@@ -72,17 +104,24 @@ class Channel:
         faults: FaultConfig = FaultConfig.faultless(),
         rng: "int | RandomSource | None" = None,
         trace: Optional[TraceRecorder] = None,
+        kernel: str = "auto",
     ) -> None:
+        if kernel not in ("auto", "vectorized", "scalar"):
+            raise ValueError(
+                f"kernel must be 'auto', 'vectorized', or 'scalar'; got {kernel!r}"
+            )
         self.network = network
         self.faults = faults
         self.rng = spawn_rng(rng)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.kernel = kernel
         self.counters = ChannelCounters()
         self.round_index = 0
-        # scratch buffers reused across rounds
+        # scratch buffers reused across rounds (scalar reference kernel)
         self._hear_count = [0] * network.n
         self._hear_from = [0] * network.n
         self._touched: list[int] = []
+        self._degree = [len(adj) for adj in network.neighbors]
 
     def transmit(self, actions: dict[int, Packet]) -> RoundResult:
         """Resolve one round given ``{broadcaster: packet}`` actions.
@@ -93,79 +132,190 @@ class Channel:
         reception. Returns the full :class:`RoundResult` and advances the
         round counter.
         """
-        result = RoundResult(round_index=self.round_index)
+        return self._run_round(actions, self._resolve_auto)
+
+    def transmit_reference(self, actions: dict[int, Packet]) -> RoundResult:
+        """Scalar reference kernel: same semantics, same RNG stream.
+
+        Produces a :class:`RoundResult` identical to :meth:`transmit` for
+        the same channel state; exists as the executable specification the
+        vectorized kernel is property-checked against, and as the
+        baseline for `repro bench`.
+        """
+        return self._run_round(actions, self._resolve_scalar)
+
+    # -- kernel internals ---------------------------------------------------
+
+    def _run_round(self, actions: dict[int, Packet], resolver) -> RoundResult:
+        """Shared prologue/epilogue: validate, count, resolve, advance."""
         n = self.network.n
         for b in actions:
             if not isinstance(b, int) or not 0 <= b < n:
                 raise SimulationError(
                     f"broadcast action for invalid node {b!r} (n={n})"
                 )
-        counters = self.counters
-        counters.rounds += 1
-        counters.broadcasts += len(actions)
-        trace = self.trace
-        tracing = trace.enabled
-
+        result = RoundResult(round_index=self.round_index)
+        self.counters.rounds += 1
+        self.counters.broadcasts += len(actions)
         if actions:
-            # sample sender faults: one Bernoulli per broadcaster
-            faulty: set[int] = set()
-            if self.faults.model is FaultModel.SENDER and self.faults.p > 0.0:
-                p = self.faults.p
-                for b in actions:
-                    if self.rng.bernoulli(p):
-                        faulty.add(b)
-                counters.sender_faults += len(faulty)
-                result.faulty_senders.extend(faulty)
-                if tracing:
-                    for b in faulty:
-                        trace.record(self.round_index, "sender_fault", b)
-
-            hear_count = self._hear_count
-            hear_from = self._hear_from
-            touched = self._touched
-            neighbors = self.network.neighbors
-
-            for b in actions:
-                if tracing:
-                    trace.record(self.round_index, "broadcast", b)
-                for v in neighbors[b]:
-                    if hear_count[v] == 0:
-                        touched.append(v)
-                    hear_count[v] += 1
-                    hear_from[v] = b
-
-            receiver_faults = (
-                self.faults.model is FaultModel.RECEIVER and self.faults.p > 0.0
-            )
-            for v in touched:
-                count = hear_count[v]
-                hear_count[v] = 0  # reset scratch as we go
-                if v in actions:
-                    continue  # a broadcasting node cannot receive
-                if count >= 2:
-                    counters.collisions += 1
-                    result.collision_receivers.append(v)
-                    if tracing:
-                        trace.record(self.round_index, "collision", v)
-                    continue
-                sender = hear_from[v]
-                if sender in faulty:
-                    result.noise_receivers.append(v)
-                    continue
-                if receiver_faults and self.rng.bernoulli(self.faults.p):
-                    counters.receiver_faults += 1
-                    result.noise_receivers.append(v)
-                    if tracing:
-                        trace.record(self.round_index, "receiver_fault", v, sender)
-                    continue
-                counters.deliveries += 1
-                result.deliveries.append(Delivery(v, sender, actions[sender]))
-                if tracing:
-                    trace.record(self.round_index, "deliver", v, sender)
-            touched.clear()
-
+            resolver(actions, result)
         self.round_index += 1
         return result
+
+    def _resolve_auto(self, actions: dict[int, Packet], result: RoundResult) -> None:
+        """Kernel dispatch: honor ``self.kernel``, else pick by gather work."""
+        if self.trace.enabled or self.kernel == "scalar":
+            resolver = self._resolve_scalar
+        elif self.kernel == "vectorized":
+            resolver = self._resolve_vectorized
+        else:
+            degree = self._degree
+            work = sum(degree[b] for b in actions)
+            resolver = (
+                self._resolve_vectorized
+                if work >= self.VECTORIZE_MIN_WORK
+                else self._resolve_scalar
+            )
+        resolver(actions, result)
+
+    def _fault_mask(self, model: FaultModel, count: int) -> Optional[np.ndarray]:
+        """Bulk fault coins for ``count`` nodes taken in ascending id order,
+        or None when ``model`` is not the active fault mechanism."""
+        if self.faults.model is model and self.faults.p > 0.0:
+            return self.rng.bernoulli_array(self.faults.p, count)
+        return None
+
+    def _resolve_vectorized(
+        self, actions: dict[int, Packet], result: RoundResult
+    ) -> None:
+        """Array kernel over the network's CSR adjacency."""
+        network = self.network
+        n = network.n
+        counters = self.counters
+        bs = np.fromiter(sorted(actions), dtype=np.int64, count=len(actions))
+
+        smask = self._fault_mask(FaultModel.SENDER, bs.size)
+        faulty = bs[smask] if smask is not None else bs[:0]
+        if faulty.size:
+            counters.sender_faults += int(faulty.size)
+            result.faulty_senders.extend(faulty.tolist())
+
+        # gather all broadcasters' neighbor slices in one shot
+        indptr = network.indptr
+        starts = indptr[bs].astype(np.int64)
+        lens = indptr[bs + 1].astype(np.int64) - starts
+        total = int(lens.sum())
+        seg_starts = np.cumsum(lens) - lens
+        flat = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - seg_starts, lens
+        )
+        heard = network.indices[flat]
+        senders = np.repeat(bs, lens)
+
+        hear_count = np.bincount(heard, minlength=n)
+        sender_of = np.zeros(n, dtype=np.int64)
+        sender_of[heard] = senders  # only read where hear_count == 1
+
+        listening = np.ones(n, dtype=bool)
+        listening[bs] = False  # a broadcasting node cannot receive
+
+        collided = np.nonzero(listening & (hear_count >= 2))[0]
+        if collided.size:
+            counters.collisions += int(collided.size)
+            result.collision_receivers.extend(collided.tolist())
+
+        unique = np.nonzero(listening & (hear_count == 1))[0]
+        unique_senders = sender_of[unique]
+
+        if faulty.size:
+            faulty_lookup = np.zeros(n, dtype=bool)
+            faulty_lookup[faulty] = True
+            silenced = faulty_lookup[unique_senders]
+            result.noise_receivers.extend(unique[silenced].tolist())
+            unique = unique[~silenced]
+            unique_senders = unique_senders[~silenced]
+
+        rmask = self._fault_mask(FaultModel.RECEIVER, unique.size)
+        if rmask is not None and rmask.any():
+            counters.receiver_faults += int(rmask.sum())
+            result.noise_receivers.extend(unique[rmask].tolist())
+            unique = unique[~rmask]
+            unique_senders = unique_senders[~rmask]
+
+        counters.deliveries += int(unique.size)
+        deliveries = result.deliveries
+        for v, s in zip(unique.tolist(), unique_senders.tolist()):
+            deliveries.append(Delivery(v, s, actions[s]))
+
+    def _resolve_scalar(
+        self, actions: dict[int, Packet], result: RoundResult
+    ) -> None:
+        """Per-node reference kernel (also serves the tracing path)."""
+        counters = self.counters
+        trace = self.trace
+        tracing = trace.enabled
+        broadcasters = sorted(actions)
+
+        if tracing:
+            for b in broadcasters:
+                trace.record(self.round_index, "broadcast", b)
+
+        faulty: set[int] = set()
+        smask = self._fault_mask(FaultModel.SENDER, len(broadcasters))
+        if smask is not None:
+            faulty = {b for b, hit in zip(broadcasters, smask) if hit}
+            counters.sender_faults += len(faulty)
+            result.faulty_senders.extend(sorted(faulty))
+            if tracing:
+                for b in sorted(faulty):
+                    trace.record(self.round_index, "sender_fault", b)
+
+        hear_count = self._hear_count
+        hear_from = self._hear_from
+        touched = self._touched
+        neighbors = self.network.neighbors
+        for b in broadcasters:
+            for v in neighbors[b]:
+                if hear_count[v] == 0:
+                    touched.append(v)
+                hear_count[v] += 1
+                hear_from[v] = b
+
+        # classify listeners in ascending id order; receiver-fault coins are
+        # drawn in one bulk call over the eligible (unique, non-silenced)
+        # receivers so the stream matches the vectorized kernel
+        touched.sort()
+        eligible: list[int] = []
+        for v in touched:
+            count = hear_count[v]
+            hear_count[v] = 0  # reset scratch as we go
+            if v in actions:
+                continue  # a broadcasting node cannot receive
+            if count >= 2:
+                counters.collisions += 1
+                result.collision_receivers.append(v)
+                if tracing:
+                    trace.record(self.round_index, "collision", v)
+                continue
+            if hear_from[v] in faulty:
+                result.noise_receivers.append(v)
+                continue
+            eligible.append(v)
+        touched.clear()
+
+        rmask = self._fault_mask(FaultModel.RECEIVER, len(eligible))
+        for i, v in enumerate(eligible):
+            sender = hear_from[v]
+            if rmask is not None and rmask[i]:
+                counters.receiver_faults += 1
+                result.noise_receivers.append(v)
+                if tracing:
+                    trace.record(self.round_index, "receiver_fault", v, sender)
+                continue
+            counters.deliveries += 1
+            result.deliveries.append(Delivery(v, sender, actions[sender]))
+            if tracing:
+                trace.record(self.round_index, "deliver", v, sender)
 
 
 class Simulator:
@@ -194,6 +344,7 @@ class Simulator:
         faults: FaultConfig = FaultConfig.faultless(),
         rng: "int | RandomSource | None" = None,
         trace: Optional[TraceRecorder] = None,
+        kernel: str = "auto",
     ) -> None:
         if len(protocols) != network.n:
             raise SimulationError(
@@ -201,7 +352,7 @@ class Simulator:
             )
         self.network = network
         self.protocols = list(protocols)
-        self.channel = Channel(network, faults, rng, trace)
+        self.channel = Channel(network, faults, rng, trace, kernel=kernel)
 
     @property
     def counters(self) -> ChannelCounters:

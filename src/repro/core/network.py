@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Optional
 
 import networkx as nx
+import numpy as np
 
 from repro.core.errors import TopologyError
 
@@ -70,6 +71,18 @@ class RadioNetwork:
             self.neighbors[i] = tuple(
                 self._index_of[v] for v in graph.neighbors(label)
             )
+
+        # CSR mirror of the adjacency for the vectorized channel kernel:
+        # neighbors of node v are indices[indptr[v]:indptr[v + 1]].
+        self.indptr = np.zeros(self.n + 1, dtype=np.int32)
+        self.indptr[1:] = np.cumsum(
+            [len(adj) for adj in self.neighbors], dtype=np.int64
+        )
+        self.indices = np.fromiter(
+            (v for adj in self.neighbors for v in adj),
+            dtype=np.int32,
+            count=int(self.indptr[-1]),
+        )
 
         self._graph = graph
         self._levels: Optional[list[int]] = None

@@ -1,0 +1,23 @@
+"""Hot-path performance tracking for the vectorized simulation substrate.
+
+:mod:`repro.perf.hotpaths` microbenchmarks the four paths every experiment
+funnels through — channel round resolution, RLNC emit, RLNC receive
+(incremental elimination), and GF(2^8) matmul — each against its scalar
+reference implementation, and emits a machine-readable ``BENCH_hotpaths.json``
+so the perf trajectory is tracked from PR to PR. ``repro bench`` is the CLI
+entry point.
+"""
+
+from repro.perf.hotpaths import (
+    BenchResult,
+    consistency_check,
+    run_hotpath_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BenchResult",
+    "consistency_check",
+    "run_hotpath_benchmarks",
+    "write_report",
+]

@@ -36,7 +36,7 @@ class RandomSource:
         produce identical streams.
     """
 
-    __slots__ = ("seed", "_rng", "_spawn_count")
+    __slots__ = ("seed", "_rng", "_spawn_count", "_np_rng")
 
     def __init__(self, seed: int = 0) -> None:
         if not isinstance(seed, int):
@@ -44,6 +44,7 @@ class RandomSource:
         self.seed = seed
         self._rng = random.Random(seed)
         self._spawn_count = 0
+        self._np_rng: "np.random.Generator | None" = None
 
     def spawn(self) -> "RandomSource":
         """Return a child source whose stream is independent of this one.
@@ -101,6 +102,18 @@ class RandomSource:
 
     # -- bulk draws -------------------------------------------------------
 
+    def _numpy_generator(self) -> np.random.Generator:
+        """The derived numpy generator backing all bulk draws.
+
+        Created lazily from this source's stream on first use and cached:
+        repeated bulk draws advance one persistent generator instead of
+        paying ``default_rng`` construction per call (bulk-stream v2; see
+        PERFORMANCE.md).
+        """
+        if self._np_rng is None:
+            self._np_rng = np.random.default_rng(self._rng.getrandbits(63))
+        return self._np_rng
+
     def bernoulli_array(self, p: float, size: int) -> np.ndarray:
         """Boolean array of ``size`` independent Bernoulli(p) draws."""
         if size < 0:
@@ -109,17 +122,13 @@ class RandomSource:
             return np.zeros(size, dtype=bool)
         if p >= 1.0:
             return np.ones(size, dtype=bool)
-        # Derive a numpy generator from this source's stream so bulk draws
-        # remain reproducible.
-        np_rng = np.random.default_rng(self._rng.getrandbits(63))
-        return np_rng.random(size) < p
+        return self._numpy_generator().random(size) < p
 
     def bytes_array(self, size: int) -> np.ndarray:
         """Array of ``size`` uniform bytes (dtype uint8)."""
         if size < 0:
             raise ValueError("size must be non-negative")
-        np_rng = np.random.default_rng(self._rng.getrandbits(63))
-        return np_rng.integers(0, 256, size=size, dtype=np.uint8)
+        return self._numpy_generator().integers(0, 256, size=size, dtype=np.uint8)
 
     def iter_bernoulli(self, p: float) -> Iterator[bool]:
         """Infinite iterator of Bernoulli(p) draws."""

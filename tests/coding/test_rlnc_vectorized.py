@@ -1,0 +1,158 @@
+"""Cross-checks: vectorized RLNC kernels vs their scalar references.
+
+The vectorized decoder keeps its basis in reduced row echelon form and
+eliminates against every pivot in one batched pass; the reference decoder
+is the original per-column loop over an echelon-only basis. Both must
+agree on every innovation verdict, on the rank trajectory, on the spanned
+subspace, and on the decoded messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.gf256 import GF256
+from repro.coding.rlnc import CodedPacket, RLNCDecoder, RLNCEncoder
+from repro.util.rng import RandomSource
+
+
+class TestDecoderEquivalence:
+    def test_verdicts_rank_and_decode_match_reference(self):
+        rng = RandomSource(0xD0C)
+        for trial in range(60):
+            k = rng.randint(1, 16)
+            payload_length = rng.randint(0, 16)
+            vectorized = RLNCDecoder(k, payload_length)
+            reference = RLNCDecoder(k, payload_length, reference=True)
+            for _ in range(3 * k):
+                coefficients = rng.bytes_array(k)
+                payload = rng.bytes_array(payload_length)
+                got = vectorized.receive_raw(coefficients, payload)
+                want = reference.receive_raw(coefficients.copy(), payload.copy())
+                assert got == want, f"trial {trial}"
+                assert vectorized.rank == reference.rank, f"trial {trial}"
+            assert vectorized.received_count == reference.received_count
+            assert vectorized.innovative_count == reference.innovative_count
+            if vectorized.is_complete():
+                assert np.array_equal(vectorized.decode(), reference.decode())
+
+    def test_adversarial_dependent_rows(self):
+        """Linear combinations of earlier receptions are never innovative."""
+        k = 8
+        rng = RandomSource(77)
+        vectorized = RLNCDecoder(k)
+        reference = RLNCDecoder(k, reference=True)
+        seen: list[np.ndarray] = []
+        for step in range(40):
+            if seen and rng.bernoulli(0.5):
+                weights = rng.bytes_array(len(seen))
+                row = GF256.combine(weights, np.stack(seen))
+            else:
+                row = rng.bytes_array(k)
+            seen.append(row.copy())
+            got = vectorized.receive_raw(row.copy(), np.empty(0, dtype=np.uint8))
+            want = reference.receive_raw(row.copy(), np.empty(0, dtype=np.uint8))
+            assert got == want, f"step {step}"
+            assert vectorized.rank == reference.rank
+
+    def test_rref_invariant(self):
+        """Every stored row has 1 at its own pivot and 0 at other pivots."""
+        k = 12
+        rng = RandomSource(5)
+        decoder = RLNCDecoder(k, payload_length=4)
+        while not decoder.is_complete():
+            decoder.receive_raw(rng.bytes_array(k), rng.bytes_array(4))
+        basis = decoder._basis
+        for col in range(k):
+            owner = int(decoder._pivot_of[col])
+            assert owner >= 0
+            column = basis[:k, col]
+            assert column[owner] == 1
+            assert not np.any(np.delete(column, owner))
+
+    def test_full_rank_shortcut_counts_receptions(self):
+        decoder = RLNCDecoder(k=2)
+        assert decoder.receive(CodedPacket(b"\x01\x00", b""))
+        assert decoder.receive(CodedPacket(b"\x00\x01", b""))
+        assert decoder.is_complete()
+        assert not decoder.receive(CodedPacket(b"\x05\x09", b""))
+        assert decoder.received_count == 3
+        assert decoder.innovative_count == 2
+
+    def test_full_rank_shortcut_still_validates(self):
+        decoder = RLNCDecoder(k=2, payload_length=2)
+        decoder.receive(CodedPacket(b"\x01\x00", b"aa"))
+        decoder.receive(CodedPacket(b"\x00\x01", b"bb"))
+        with pytest.raises(ValueError):
+            decoder.receive(CodedPacket(b"\x01", b"cc"))
+        with pytest.raises(ValueError):
+            decoder.receive(CodedPacket(b"\x01\x02", b"c"))
+
+
+class TestEncoderEquivalence:
+    def test_emit_spans_same_subspace_as_reference(self):
+        """Both emitters produce vectors inside the known subspace and cover
+        it (a long emission run reconstructs full rank at a fresh decoder)."""
+        rng = RandomSource(21)
+        k = 6
+        messages = [bytes(rng.bytes_array(8).tobytes()) for _ in range(k)]
+        encoder = RLNCEncoder(k, 8, messages=messages)
+        for emit in (encoder.emit, encoder.emit_reference):
+            sink = RLNCDecoder(k, 8)
+            emit_rng = RandomSource(33)
+            for _ in range(20 * k):
+                sink.receive(emit(emit_rng))
+                if sink.is_complete():
+                    break
+            assert sink.is_complete()
+            assert sink.decode_messages() == messages
+
+    def test_emit_partial_knowledge_stays_in_subspace(self):
+        encoder = RLNCEncoder(k=5)
+        unit = np.zeros(5, dtype=np.uint8)
+        for index in (0, 3):
+            unit[:] = 0
+            unit[index] = 1
+            encoder.decoder.receive_raw(unit, np.empty(0, dtype=np.uint8))
+        rng = RandomSource(2)
+        for _ in range(25):
+            packet = encoder.emit(rng)
+            coefficients = packet.coefficient_array()
+            assert coefficients[1] == 0
+            assert coefficients[2] == 0
+            assert coefficients[4] == 0
+            assert coefficients[0] != 0 or coefficients[3] != 0
+
+    def test_reference_encoder_uses_reference_decoder(self):
+        encoder = RLNCEncoder(k=2, payload_length=0, reference=True)
+        assert encoder.decoder._reference
+
+
+class TestGF256Batched:
+    def test_combine_matches_scalar_loop(self):
+        rng = RandomSource(4)
+        for _ in range(20):
+            rank = rng.randint(1, 20)
+            width = rng.randint(1, 32)
+            weights = rng.bytes_array(rank)
+            rows = rng.bytes_array(rank * width).reshape(rank, width)
+            expected = np.zeros(width, dtype=np.uint8)
+            for i in range(rank):
+                expected ^= GF256.scale_vec(int(weights[i]), rows[i])
+            assert np.array_equal(GF256.combine(weights, rows), expected)
+
+    def test_combine_empty_basis(self):
+        empty = np.zeros((0, 7), dtype=np.uint8)
+        assert np.array_equal(
+            GF256.combine(np.zeros(0, dtype=np.uint8), empty),
+            np.zeros(7, dtype=np.uint8),
+        )
+
+    def test_scale_rows_matches_scale_vec(self):
+        rng = RandomSource(6)
+        scalars = rng.bytes_array(9)
+        rows = rng.bytes_array(9 * 13).reshape(9, 13)
+        batched = GF256.scale_rows(scalars, rows)
+        for i in range(9):
+            assert np.array_equal(
+                batched[i], GF256.scale_vec(int(scalars[i]), rows[i])
+            )

@@ -1,0 +1,159 @@
+"""Property test: the vectorized channel kernel IS the scalar reference.
+
+Samples random topologies, fault models, probabilities, seeds, and
+broadcast sets, and checks that :meth:`Channel.transmit` (vectorized
+kernel) and :meth:`Channel.transmit_reference` (scalar kernel) agree
+delivery-for-delivery — same deliveries in the same order, same noise and
+collision receivers, same faulty senders, same counters. Both kernels
+draw fault coins through the same bulk calls, so agreement is exact, not
+statistical.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.engine import Channel, Simulator
+from repro.core.faults import FaultConfig
+from repro.core.network import RadioNetwork
+from repro.core.packets import MessagePacket
+from repro.core.trace import TraceRecorder
+from repro.topologies import basic, random_graphs
+
+PACKET = MessagePacket(0)
+
+
+def _sample_network(sampler: random.Random, config_index: int) -> RadioNetwork:
+    kind = sampler.choice(["gnp", "star", "path", "cycle", "grid", "caterpillar"])
+    n = sampler.randint(2, 64)
+    if kind == "gnp":
+        return random_graphs.gnp(
+            max(n, 4), min(1.0, 8.0 / max(n, 4)), rng=config_index
+        )
+    if kind == "star":
+        return basic.star(max(1, n - 1))
+    if kind == "cycle":
+        return basic.cycle(max(3, n))
+    if kind == "grid":
+        side = max(2, round(n**0.5))
+        return basic.grid(side, side)
+    if kind == "caterpillar":
+        return basic.caterpillar(max(1, n // 4), 3)
+    return basic.path(n)
+
+
+def _sample_faults(sampler: random.Random) -> FaultConfig:
+    p = sampler.uniform(0.01, 0.9)
+    return sampler.choice(
+        [FaultConfig.faultless(), FaultConfig.sender(p), FaultConfig.receiver(p)]
+    )
+
+
+def _assert_rounds_equal(a, b, context: str) -> None:
+    assert a.round_index == b.round_index, context
+    assert a.deliveries == b.deliveries, context
+    assert a.noise_receivers == b.noise_receivers, context
+    assert a.collision_receivers == b.collision_receivers, context
+    assert a.faulty_senders == b.faulty_senders, context
+
+
+class TestKernelEquivalence:
+    def test_vectorized_matches_reference_across_sampled_configs(self):
+        """Hypothesis-style loop over >= 50 sampled (topology, faults, seed)
+        configurations, several rounds each with random broadcast sets."""
+        sampler = random.Random(0xC5E)
+        for config_index in range(60):
+            network = _sample_network(sampler, config_index)
+            faults = _sample_faults(sampler)
+            seed = sampler.randrange(2**31)
+            vectorized = Channel(network, faults, rng=seed, kernel="vectorized")
+            reference = Channel(network, faults, rng=seed)
+            context = (
+                f"config {config_index}: {network.name} n={network.n} "
+                f"faults={faults} seed={seed}"
+            )
+            for _ in range(8):
+                count = sampler.randint(0, network.n)
+                actions = {
+                    v: PACKET for v in sampler.sample(range(network.n), count)
+                }
+                got = vectorized.transmit(dict(actions))
+                want = reference.transmit_reference(dict(actions))
+                _assert_rounds_equal(got, want, context)
+            assert vectorized.counters.as_dict() == reference.counters.as_dict(), (
+                context
+            )
+
+    def test_auto_kernel_matches_reference_on_large_rounds(self):
+        """Above the dispatch threshold auto takes the vectorized kernel;
+        outcomes must still be identical."""
+        network = basic.star(800)
+        for seed in range(5):
+            auto = Channel(network, FaultConfig.receiver(0.3), rng=seed)
+            reference = Channel(network, FaultConfig.receiver(0.3), rng=seed)
+            for _ in range(4):
+                got = auto.transmit({0: PACKET})
+                want = reference.transmit_reference({0: PACKET})
+                _assert_rounds_equal(got, want, f"seed {seed}")
+
+    def test_tracing_does_not_change_outcomes(self):
+        """Tracing reroutes through the scalar kernel; results and the RNG
+        stream must be unchanged."""
+        network = random_graphs.gnp(48, 0.2, rng=9)
+        sampler = random.Random(1)
+        traced = Channel(
+            network,
+            FaultConfig.receiver(0.4),
+            rng=5,
+            trace=TraceRecorder(enabled=True),
+        )
+        plain = Channel(network, FaultConfig.receiver(0.4), rng=5)
+        for _ in range(10):
+            actions = {
+                v: PACKET for v in sampler.sample(range(48), sampler.randint(0, 48))
+            }
+            _assert_rounds_equal(
+                traced.transmit(dict(actions)), plain.transmit(dict(actions)), ""
+            )
+
+    def test_forced_kernels_validate(self):
+        with pytest.raises(ValueError):
+            Channel(basic.path(3), kernel="simd")
+
+    def test_simulator_kernel_passthrough(self):
+        sim = Simulator(
+            basic.path(2),
+            [_NullProtocol(), _NullProtocol()],
+            kernel="vectorized",
+        )
+        assert sim.channel.kernel == "vectorized"
+
+
+class _NullProtocol:
+    active = False
+
+    def act(self, round_index):
+        return None
+
+    def on_receive(self, round_index, packet, sender):
+        pass
+
+    def is_done(self):
+        return True
+
+
+class TestCSRAdjacency:
+    def test_csr_matches_neighbor_lists(self):
+        for seed in range(10):
+            network = random_graphs.gnp(40, 0.15, rng=seed)
+            assert network.indptr.shape == (network.n + 1,)
+            assert network.indices.shape == (2 * network.edge_count,)
+            for v in network.nodes():
+                start, stop = int(network.indptr[v]), int(network.indptr[v + 1])
+                assert tuple(network.indices[start:stop]) == network.neighbors[v]
+
+    def test_csr_single_node(self):
+        network = RadioNetwork(nx.empty_graph(1))
+        assert list(network.indptr) == [0, 0]
+        assert network.indices.size == 0

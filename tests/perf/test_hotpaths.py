@@ -1,0 +1,71 @@
+"""Smoke tests for the hot-path benchmark suite (tiny iteration counts)."""
+
+import json
+
+import pytest
+
+from repro.perf.hotpaths import (
+    SCHEMA,
+    BenchResult,
+    bench_channel_rounds,
+    bench_gf_matmul,
+    bench_rlnc_emit,
+    bench_rlnc_receive,
+    bench_star_rlnc_round_loop,
+    consistency_check,
+    run_hotpath_benchmarks,
+    write_report,
+)
+
+
+class TestConsistency:
+    def test_kernels_match_references(self):
+        assert consistency_check(samples=6, rounds=4) == []
+
+
+class TestBenchFunctions:
+    def test_channel_rounds_result(self):
+        result = bench_channel_rounds(rounds=5, n=64)
+        assert result.name == "channel_rounds"
+        assert result.ops_per_sec > 0
+        assert result.reference_ops_per_sec > 0
+        assert result.speedup is not None
+
+    def test_star_round_loop_result(self):
+        result = bench_star_rlnc_round_loop(rounds=4, n=40, k=4, payload_length=4)
+        assert result.name == "star_rlnc_round_loop"
+        assert result.ops_per_sec > 0
+        assert result.meta["n"] == 40
+
+    def test_rlnc_ops_results(self):
+        emit = bench_rlnc_emit(ops=25, k=8, payload_length=8)
+        receive = bench_rlnc_receive(ops=25, k=8, payload_length=8)
+        assert emit.ops_per_sec > 0 and receive.ops_per_sec > 0
+
+    def test_gf_matmul_result(self):
+        result = bench_gf_matmul(ops=3, size=16)
+        assert result.ops_per_sec > 0
+        assert result.speedup is None
+
+    def test_result_to_dict_round_trips_json(self):
+        result = BenchResult("x", 10.0, 5.0, meta={"n": 1})
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["speedup"] == 2.0
+
+
+class TestReport:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ValueError):
+            run_hotpath_benchmarks(scale="galactic")
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "BENCH_hotpaths.json"
+        report = {
+            "schema": SCHEMA,
+            "scale": "smoke",
+            "results": [BenchResult("x", 1.0).to_dict()],
+        }
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA
+        assert loaded["results"][0]["name"] == "x"
