@@ -1,0 +1,21 @@
+"""Benchmark E20: adversary completion-time gaps (bursty + jamming noise).
+
+Regenerates the E20 table through the scenario/adversary stack. The
+benchmarked quantity is the wall-clock of one full experiment sweep at
+smoke scale; pass ``--repro-scale=full`` (see conftest) to regenerate
+the EXPERIMENTS.md scale. The table is attached to the benchmark's
+``extra_info`` so results stay inspectable in the pytest-benchmark JSON.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_adversary_gap(benchmark, repro_scale):
+    experiment = get_experiment("E20")
+    table = benchmark.pedantic(
+        lambda: experiment(scale=repro_scale, seed=0), rounds=1, iterations=1
+    )
+    assert len(table) > 0
+    benchmark.extra_info["experiment"] = "E20"
+    benchmark.extra_info["claim"] = "structured adversaries vs i.i.d. coins"
+    benchmark.extra_info["table"] = table.to_csv()

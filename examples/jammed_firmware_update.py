@@ -1,0 +1,75 @@
+"""Scenario: firmware update dissemination against an adaptive jammer.
+
+A 5x5 grid of sensors must receive firmware from the gateway while an
+adversary with a limited energy budget jams receptions — up to one per
+round, targeting the broadcast *frontier* (nodes about to hear something
+for the first time), the strongest policy against wave-style
+dissemination.
+
+The example pits the same :class:`BudgetedJammer` against two
+dissemination strategies through the declarative Scenario API:
+
+* **FASTBC** (wave routing): each level waits on one particular
+  transmission, so silencing the frontier stalls the whole wave — the
+  jammer's budget converts almost 1:1 into delay;
+* **RLNC gossip** (Lemma 12 coding): every transmission is a random
+  combination of everything known, *any* reception is useful, so
+  frontier-tracking loses its leverage and the same budget buys almost
+  nothing.
+
+This is the paper's coding-vs-routing gap restated adversarially: codes
+do not just average out i.i.d. noise, they remove the single points of
+failure an adaptive adversary aims at.
+
+Run with::
+
+    python examples/jammed_firmware_update.py
+"""
+
+from repro import AdversaryConfig, Scenario, run
+
+N = 25  # 5x5 sensor grid
+BUDGET = 60  # total receptions the jammer can afford to silence
+JAMMER = AdversaryConfig(
+    "budgeted_jammer", {"per_round": 1, "budget": BUDGET, "policy": "frontier"}
+)
+
+
+def main() -> None:
+    print(
+        f"firmware push over a 5x5 grid (n={N}); frontier-tracking jammer "
+        f"with a {BUDGET}-reception budget, 1 per round\n"
+    )
+    for algorithm, params, label in (
+        ("fastbc", {}, "FASTBC wave"),
+        ("rlnc_decay", {"k": 4, "payload_length": 16}, "RLNC gossip (k=4)"),
+    ):
+        base = Scenario(
+            algorithm=algorithm,
+            topology="grid",
+            topology_params={"n": N},
+            params=params,
+            seed=7,
+        )
+        clean = run(base)
+        jammed = run(base.with_(adversary=JAMMER))
+        assert clean.success and jammed.success, (
+            "jammer exceeded its budget's reach"
+        )
+        silenced = jammed.counters["receiver_faults"]
+        print(f"{label}:")
+        print(f"  clean channel : {clean.rounds:5d} rounds")
+        print(
+            f"  jammed        : {jammed.rounds:5d} rounds "
+            f"({jammed.rounds / clean.rounds:.2f}x slowdown, "
+            f"{silenced} receptions silenced)"
+        )
+    print(
+        "\nthe same jammer stalls the wave but barely dents coded gossip: "
+        "with RLNC\nevery reception is useful, so there is no frontier "
+        "worth jamming — and once\nthe budget is spent, both complete"
+    )
+
+
+if __name__ == "__main__":
+    main()

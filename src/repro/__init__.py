@@ -58,8 +58,10 @@ from repro.algorithms.multi import (
     star_adaptive_routing,
     star_rs_coding,
 )
+from repro.adversary import all_adversaries, build_adversary, get_adversary_type
 from repro.coding import GF256, ReedSolomonCode, RLNCDecoder, RLNCEncoder
 from repro.core import (
+    AdversaryConfig,
     Channel,
     FaultConfig,
     FaultModel,
@@ -89,6 +91,7 @@ from repro.topologies import (
 
 __all__ = [
     "__version__",
+    "AdversaryConfig",
     "BroadcastAlgorithm",
     "Channel",
     "FaultConfig",
@@ -101,8 +104,11 @@ __all__ = [
     "RunReport",
     "Scenario",
     "Simulator",
+    "all_adversaries",
     "all_algorithms",
+    "build_adversary",
     "build_gbst",
+    "get_adversary_type",
     "decay_broadcast",
     "fastbc_broadcast",
     "get_algorithm",

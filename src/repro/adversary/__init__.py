@@ -1,0 +1,66 @@
+"""Pluggable noise and adversary models for the noisy radio channel.
+
+The paper's model admits exactly two i.i.d. fault coins; this package
+generalizes the channel's corruption step into a strategy interface
+(:class:`Adversary`) with a registry of concrete models:
+
+* ``iid`` — :class:`IIDFaults`: the paper's sender/receiver coins,
+  byte-identical to the legacy ``FaultConfig`` path (it *is* that path);
+* ``gilbert_elliott`` — :class:`GilbertElliott`: bursty per-node noise,
+  a two-state good/bad Markov loss chain;
+* ``budgeted_jammer`` — :class:`BudgetedJammer`: an adaptive adversary
+  that observes each round and silences up to k receptions under a total
+  corruption budget (random / max-degree / frontier-tracking policies);
+* ``edge_churn`` — :class:`EdgeChurn`: dynamic topology via per-round
+  undirected-edge up/down flips over the CSR adjacency.
+
+Select one declaratively with
+:class:`~repro.core.faults.AdversaryConfig` on a
+:class:`~repro.runner.Scenario` (or ``repro sweep --adversary NAME``)::
+
+    from repro import AdversaryConfig, Scenario, run
+
+    report = run(Scenario(algorithm="decay", topology="path",
+                          topology_params={"n": 64},
+                          adversary=AdversaryConfig("gilbert_elliott",
+                                                    {"p_bad": 0.9}),
+                          seed=1))
+
+Both channel kernels (vectorized and scalar) drive the same hooks on the
+same RNG stream, so every adversary is deterministic per seed and
+kernel-independent — see :mod:`repro.adversary.base` for the contract.
+"""
+
+from repro.adversary.base import Adversary, effective_loss_rate
+from repro.adversary.churn import EdgeChurn
+from repro.adversary.gilbert_elliott import GilbertElliott
+from repro.adversary.iid import IIDFaults
+from repro.adversary.jammer import JAMMER_POLICIES, BudgetedJammer
+from repro.adversary.registry import (
+    AdversaryParam,
+    AdversaryType,
+    all_adversaries,
+    as_adversary,
+    build_adversary,
+    get_adversary_type,
+    register_adversary,
+)
+from repro.core.faults import AdversaryConfig
+
+__all__ = [
+    "Adversary",
+    "AdversaryConfig",
+    "AdversaryParam",
+    "AdversaryType",
+    "BudgetedJammer",
+    "EdgeChurn",
+    "GilbertElliott",
+    "IIDFaults",
+    "JAMMER_POLICIES",
+    "all_adversaries",
+    "as_adversary",
+    "build_adversary",
+    "effective_loss_rate",
+    "get_adversary_type",
+    "register_adversary",
+]

@@ -1,0 +1,157 @@
+"""The adversary strategy interface the channel kernels call into.
+
+An :class:`Adversary` generalizes the paper's two i.i.d. fault coins into
+a pluggable corruption strategy. Each round the channel exposes three
+interception points, always in the same order:
+
+1. :meth:`begin_round` — advance any per-round adversary state (Markov
+   chains, edge churn). Called once per non-empty round, before any mask
+   is drawn, and only when :attr:`needs_begin_round` is set.
+2. :meth:`sender_mask` — corrupt whole transmissions: a masked
+   broadcaster emits noise toward *all* of its neighbors (the paper's
+   sender fault, generalized).
+3. :meth:`edge_alive` — dynamic topology: a mask over the round's
+   directed (broadcaster, neighbor) gather slots; a dead slot means that
+   neighbor does not hear that broadcaster at all (no collision
+   contribution either). Consulted only when :attr:`has_edge_dynamics`
+   is set, and must consume **no randomness** (draw coins in
+   :meth:`begin_round` instead).
+4. :meth:`receiver_mask` — corrupt individual receptions: a masked
+   receiver's unique, non-collided reception is replaced by noise (the
+   paper's receiver fault, generalized).
+
+Determinism contract
+--------------------
+Both channel kernels (vectorized and scalar — see
+:mod:`repro.core.engine`) call the hooks at the same points with the same
+values in the same ascending-id order, so an adversary that draws all of
+its randomness inside the hooks through its bound :class:`RandomSource`
+is automatically kernel-independent: same seed, same corruption,
+delivery for delivery. The property suite in ``tests/adversary/``
+enforces this for every registered adversary.
+
+Hook inputs may arrive as Python lists (scalar kernel) or numpy arrays
+(vectorized kernel); implementations must depend only on the values and
+their order, never on the container type.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.faults import FaultConfig
+    from repro.core.network import RadioNetwork
+
+__all__ = ["Adversary", "IntVector", "effective_loss_rate"]
+
+#: node-id vectors handed to the hooks: list (scalar kernel) or array
+#: (vectorized kernel), always in ascending id order
+IntVector = Union[Sequence[int], np.ndarray]
+
+
+class Adversary:
+    """Base adversary: corrupts nothing. Subclass and override hooks.
+
+    An adversary instance is bound to exactly one channel (its network
+    and RNG) via :meth:`bind`; the channel calls it. Instances hold
+    mutable per-run state, so build a fresh instance per run — the
+    registry's :func:`~repro.adversary.registry.build_adversary` does
+    exactly that from a serializable
+    :class:`~repro.core.faults.AdversaryConfig`.
+    """
+
+    #: registry name (set by the registration decorator)
+    name: str = "adversary"
+    #: True when :meth:`begin_round` must run every non-empty round
+    needs_begin_round: bool = False
+    #: True when :meth:`edge_alive` can return a mask
+    has_edge_dynamics: bool = False
+
+    def __init__(self) -> None:
+        self.network: "Optional[RadioNetwork]" = None
+        self.rng: Optional[RandomSource] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, network: "RadioNetwork", rng: RandomSource) -> None:
+        """Attach to a channel's network and RNG. One channel per instance."""
+        if self.network is not None:
+            raise ValueError(
+                f"adversary {self.name!r} is already bound to a channel; "
+                "build a fresh instance (or an AdversaryConfig) per run"
+            )
+        self.network = network
+        self.rng = rng
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Subclass hook: precompute per-network state after binding."""
+
+    # -- per-round hooks (call order: begin, sender, edge, receiver) --------
+
+    def begin_round(self, round_index: int, broadcasters: IntVector) -> None:
+        """Advance per-round state. Only called when `needs_begin_round`."""
+
+    def sender_mask(self, broadcasters: IntVector) -> Optional[np.ndarray]:
+        """Bool mask over ``broadcasters`` (ascending ids); True = that
+        broadcaster transmits noise this round. None = no corruption."""
+        return None
+
+    def edge_alive(
+        self, broadcasters: IntVector, slots: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """Bool mask over the concatenated CSR neighbor slots of the
+        (ascending) broadcasters; False = the edge is down this round.
+        None = all edges up. Must not consume randomness.
+
+        ``slots`` is the flat CSR slot array for those broadcasters when
+        the caller already computed it (the vectorized kernel has); when
+        None the adversary derives it from the network itself.
+        """
+        return None
+
+    def receiver_mask(
+        self, receivers: IntVector, senders: IntVector
+    ) -> Optional[np.ndarray]:
+        """Bool mask over the eligible unique receivers (ascending ids,
+        ``senders`` aligned); True = that reception is replaced by noise.
+        None = no corruption."""
+        return None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def nominal_p(self) -> float:
+        """A long-run per-reception loss-rate estimate in [0, 1).
+
+        Round-budget formulas use it where they would use ``faults.p``
+        (the 1/(1-p) slowdown); it does not have to be exact, only a
+        sane planning figure.
+        """
+        return 0.0
+
+    def describe(self) -> dict[str, Any]:
+        """One-line JSON-friendly summary (name + parameters)."""
+        return {"kind": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+def effective_loss_rate(
+    faults: "FaultConfig", adversary: Optional[Adversary]
+) -> float:
+    """The loss rate round-budget formulas should plan for.
+
+    Legacy runs (no adversary) keep using ``faults.p`` — budgets are
+    bit-for-bit unchanged. With an adversary the budget plans for its
+    :attr:`~Adversary.nominal_p`, clamped so 1/(1-p) stays finite.
+    """
+    if adversary is None:
+        return faults.p
+    return min(0.95, max(faults.p, adversary.nominal_p))

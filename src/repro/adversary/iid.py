@@ -1,0 +1,74 @@
+"""The paper's i.i.d. fault coins as an adversary (subsumes FaultConfig).
+
+:class:`IIDFaults` is the executable bridge between the legacy
+:class:`~repro.core.faults.FaultConfig` and the adversary interface: the
+channel builds one from every ``FaultConfig`` it is given, and the hooks
+draw exactly the bulk Bernoulli calls the pre-adversary channel drew
+(one ``bernoulli_array`` per active fault stage, over ascending node
+ids — bulk-stream v2, see PERFORMANCE.md). Same seed, same stream, same
+deliveries: legacy runs are byte-identical by construction, and the test
+suite checks it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.adversary.base import Adversary, IntVector
+from repro.core.faults import FaultConfig, FaultModel
+
+__all__ = ["IIDFaults"]
+
+
+class IIDFaults(Adversary):
+    """Independent per-round fault coins: the paper's model, verbatim.
+
+    Parameters
+    ----------
+    model:
+        ``FaultModel.SENDER``, ``RECEIVER``, or ``NONE``.
+    p:
+        Fault probability in [0, 1).
+    """
+
+    name = "iid"
+
+    def __init__(
+        self, model: FaultModel = FaultModel.NONE, p: float = 0.0
+    ) -> None:
+        super().__init__()
+        if isinstance(model, str):
+            model = FaultModel(model)
+        # reuse FaultConfig's validation (range, NONE => p == 0)
+        self.faults = FaultConfig(model, float(p))
+
+    @classmethod
+    def from_fault_config(cls, faults: FaultConfig) -> "IIDFaults":
+        return cls(faults.model, faults.p)
+
+    def sender_mask(self, broadcasters: IntVector) -> Optional[np.ndarray]:
+        faults = self.faults
+        if faults.model is FaultModel.SENDER and faults.p > 0.0:
+            return self.rng.bernoulli_array(faults.p, len(broadcasters))
+        return None
+
+    def receiver_mask(
+        self, receivers: IntVector, senders: IntVector
+    ) -> Optional[np.ndarray]:
+        faults = self.faults
+        if faults.model is FaultModel.RECEIVER and faults.p > 0.0:
+            return self.rng.bernoulli_array(faults.p, len(receivers))
+        return None
+
+    @property
+    def nominal_p(self) -> float:
+        return self.faults.p
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": self.name,
+            "model": str(self.faults.model),
+            "p": self.faults.p,
+        }

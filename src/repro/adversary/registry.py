@@ -1,0 +1,192 @@
+"""A registry of named adversary models, mirroring the algorithm registry.
+
+The CLI, :class:`~repro.runner.scenario.Scenario`, and the channel look
+adversaries up by name so "which interference model" is data, not code:
+a serializable :class:`~repro.core.faults.AdversaryConfig` names a
+registered kind plus parameter overrides, and :func:`build_adversary`
+turns it into a fresh, unbound :class:`~repro.adversary.base.Adversary`
+instance for one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.adversary.base import Adversary
+from repro.adversary.churn import EdgeChurn
+from repro.adversary.gilbert_elliott import GilbertElliott
+from repro.adversary.iid import IIDFaults
+from repro.adversary.jammer import JAMMER_POLICIES, BudgetedJammer
+from repro.core.faults import AdversaryConfig
+
+__all__ = [
+    "AdversaryParam",
+    "AdversaryType",
+    "all_adversaries",
+    "as_adversary",
+    "build_adversary",
+    "get_adversary_type",
+    "register_adversary",
+]
+
+
+@dataclass(frozen=True)
+class AdversaryParam:
+    """One declared adversary parameter (name, default, one-line doc)."""
+
+    name: str
+    default: Any
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class AdversaryType:
+    """A registered adversary model: metadata plus a parameter-checked
+    factory producing a fresh instance per run."""
+
+    name: str
+    summary: str
+    params: tuple[AdversaryParam, ...] = ()
+    factory: Callable[..., Adversary] = None  # type: ignore[assignment]
+
+    def declared(self) -> dict[str, Any]:
+        """Declared parameters as a name -> default mapping."""
+        return {p.name: p.default for p in self.params}
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Reject parameters this adversary does not declare."""
+        unknown = [key for key in params if key not in self.declared()]
+        if unknown:
+            known = ", ".join(sorted(self.declared())) or "(none)"
+            raise ValueError(
+                f"adversary {self.name!r} got unknown parameters "
+                f"{sorted(unknown)}; declared: {known}"
+            )
+
+    def build(self, params: Mapping[str, Any] | None = None) -> Adversary:
+        """A fresh instance with declared defaults merged under ``params``."""
+        merged = self.declared()
+        if params:
+            self.validate_params(params)
+            merged.update(params)
+        adversary = self.factory(**merged)
+        return adversary
+
+
+_REGISTRY: dict[str, AdversaryType] = {}
+
+
+def register_adversary(
+    name: str,
+    *,
+    summary: str,
+    params: tuple[AdversaryParam, ...] = (),
+) -> Callable[[Callable[..., Adversary]], AdversaryType]:
+    """Decorator registering a factory as a named adversary model."""
+
+    def decorator(factory: Callable[..., Adversary]) -> AdversaryType:
+        if name in _REGISTRY:
+            raise ValueError(f"adversary {name!r} already registered")
+        kind = AdversaryType(
+            name=name, summary=summary, params=params, factory=factory
+        )
+        _REGISTRY[name] = kind
+        return kind
+
+    return decorator
+
+
+def get_adversary_type(name: str) -> AdversaryType:
+    """Look up a registered adversary model by name (e.g. ``"iid"``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown adversary {name!r}; known: {known}") from None
+
+
+def all_adversaries() -> list[AdversaryType]:
+    """All registered adversary models in name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def build_adversary(config: AdversaryConfig) -> Adversary:
+    """A fresh, unbound adversary instance for one run of ``config``."""
+    if not isinstance(config, AdversaryConfig):
+        raise TypeError(
+            f"expected an AdversaryConfig, got {type(config).__name__}"
+        )
+    return get_adversary_type(config.kind).build(config.params)
+
+
+def as_adversary(
+    adversary: "Adversary | AdversaryConfig | None",
+) -> Adversary | None:
+    """Normalize a config/instance/None into an instance (or None).
+
+    The entry-point coercion the broadcast algorithms use: configs build
+    a fresh instance (ready for one channel), instances pass through,
+    None stays None (legacy fault-coin path).
+    """
+    if adversary is None or isinstance(adversary, Adversary):
+        return adversary
+    if isinstance(adversary, AdversaryConfig):
+        return build_adversary(adversary)
+    raise TypeError(
+        "adversary must be an Adversary, AdversaryConfig, or None; got "
+        f"{type(adversary).__name__}"
+    )
+
+
+# -- the built-in taxonomy ----------------------------------------------------
+
+
+register_adversary(
+    "iid",
+    summary=(
+        "the paper's i.i.d. fault coins (subsumes FaultConfig: same RNG "
+        "stream, byte-identical runs)"
+    ),
+    params=(
+        AdversaryParam("model", "none", "fault mechanism: none|sender|receiver"),
+        AdversaryParam("p", 0.0, "fault probability in [0, 1)"),
+    ),
+)(IIDFaults)
+
+register_adversary(
+    "gilbert_elliott",
+    summary="bursty per-node noise: two-state good/bad Markov loss chain",
+    params=(
+        AdversaryParam("p_bad", 0.8, "reception loss rate in the bad state"),
+        AdversaryParam("p_good", 0.0, "reception loss rate in the good state"),
+        AdversaryParam("p_enter", 0.05, "per-round P(good -> bad)"),
+        AdversaryParam("p_exit", 0.25, "per-round P(bad -> good)"),
+        AdversaryParam("start_bad", False, "start every node in the bad state"),
+    ),
+)(GilbertElliott)
+
+register_adversary(
+    "budgeted_jammer",
+    summary=(
+        "adaptive jammer: observes the round and silences up to k "
+        "receptions under a total budget"
+    ),
+    params=(
+        AdversaryParam("per_round", 1, "max receptions silenced per round"),
+        AdversaryParam("budget", None, "total silenced receptions (None: unlimited)"),
+        AdversaryParam(
+            "policy", "frontier", f"targeting policy: {'|'.join(JAMMER_POLICIES)}"
+        ),
+    ),
+)(BudgetedJammer)
+
+register_adversary(
+    "edge_churn",
+    summary="dynamic topology: per-round undirected-edge up/down Markov flips",
+    params=(
+        AdversaryParam("p_down", 0.1, "per-round P(up edge goes down)"),
+        AdversaryParam("p_up", 0.5, "per-round P(down edge recovers)"),
+        AdversaryParam("start_down", False, "start every edge down"),
+    ),
+)(EdgeChurn)

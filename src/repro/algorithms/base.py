@@ -10,16 +10,25 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.adversary.base import Adversary, effective_loss_rate
+from repro.adversary.registry import as_adversary
 from repro.core.engine import Simulator
-from repro.core.faults import FaultConfig
+from repro.core.faults import AdversaryConfig, FaultConfig
 from repro.core.network import RadioNetwork
 from repro.core.protocol import NodeProtocol
 from repro.core.trace import ChannelCounters
 from repro.util.rng import RandomSource, spawn_rng
 
-__all__ = ["BroadcastOutcome", "run_broadcast", "broadcast_probe", "ilog2"]
+__all__ = [
+    "BroadcastOutcome",
+    "run_broadcast",
+    "broadcast_probe",
+    "effective_loss_rate",
+    "as_adversary",
+    "ilog2",
+]
 
 
 def ilog2(n: int) -> int:
@@ -54,9 +63,10 @@ def run_broadcast(
     faults: FaultConfig,
     rng: "int | RandomSource | None",
     max_rounds: int,
+    adversary: "Adversary | AdversaryConfig | None" = None,
 ) -> BroadcastOutcome:
     """Drive ``protocols`` until every node is done or the budget expires."""
-    sim = Simulator(network, protocols, faults, rng)
+    sim = Simulator(network, protocols, faults, rng, adversary=adversary)
     executed = sim.run(max_rounds)
     success = sim.all_done()
     return BroadcastOutcome(

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.algorithms.base import (
+    BroadcastOutcome,
+    as_adversary,
+    effective_loss_rate,
+    ilog2,
+    run_broadcast,
+)
 from repro.core.faults import FaultConfig
 from repro.core.network import RadioNetwork
 from repro.core.errors import ProtocolError
@@ -75,22 +81,28 @@ def decay_broadcast(
     faults: FaultConfig = FaultConfig.faultless(),
     rng: "int | RandomSource | None" = None,
     max_rounds: Optional[int] = None,
+    adversary=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with Decay.
 
     ``max_rounds`` defaults to a generous multiple of the Lemma 9 bound
     ``O(log n / (1-p) · (D + log n))`` so that a timeout signals a real
-    anomaly rather than an unlucky run.
+    anomaly rather than an unlucky run. ``adversary`` swaps the i.i.d.
+    fault coins for a registered adversary model (budgets then plan for
+    its nominal loss rate).
     """
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     n = network.n
     if max_rounds is None:
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(40 * slowdown * log_n * (depth + log_n)) + 100
     protocols = [
         DecayProtocol(n, source.spawn(), informed=(v == network.source))
         for v in network.nodes()
     ]
-    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)
+    return run_broadcast(
+        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+    )

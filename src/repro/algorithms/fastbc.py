@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.algorithms.base import (
+    BroadcastOutcome,
+    as_adversary,
+    effective_loss_rate,
+    ilog2,
+    run_broadcast,
+)
 from repro.core.faults import FaultConfig
 from repro.core.network import RadioNetwork
 from repro.core.errors import ProtocolError
@@ -139,6 +145,7 @@ def fastbc_broadcast(
     max_rounds: Optional[int] = None,
     tree: Optional[RankedBFSTree] = None,
     decay_interleave: bool = True,
+    adversary=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with FASTBC.
 
@@ -146,12 +153,13 @@ def fastbc_broadcast(
     Lemma 10 — under faults FASTBC legitimately needs ``Θ(D log n)``
     rounds, and the experiments measure exactly that degradation.
     """
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     n = network.n
     if max_rounds is None:
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(60 * slowdown * log_n * (depth + log_n)) + 100
         if not decay_interleave:
             # pure-wave mode pays the full Theta(log n) wave period per
@@ -160,4 +168,6 @@ def fastbc_broadcast(
     protocols = make_fastbc_protocols(
         network, source, tree=tree, decay_interleave=decay_interleave
     )
-    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)
+    return run_broadcast(
+        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+    )

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.algorithms.base import ilog2
+from repro.algorithms.base import as_adversary, effective_loss_rate, ilog2
 from repro.algorithms.robust_fastbc import (
     DEFAULT_ROUND_MULTIPLIER,
     block_size,
@@ -191,6 +191,7 @@ def _run_gossip(
     faults: FaultConfig,
     rng: RandomSource,
     max_rounds: int,
+    adversary=None,
 ) -> MultiMessageOutcome:
     if messages is None:
         if payload_length:
@@ -211,7 +212,7 @@ def _run_gossip(
         protocols.append(
             RLNCGossipProtocol(patterns[v], encoder, rng.spawn())
         )
-    sim = Simulator(network, protocols, faults, rng.spawn())
+    sim = Simulator(network, protocols, faults, rng.spawn(), adversary=adversary)
     executed = sim.run(max_rounds)
     return MultiMessageOutcome(
         success=sim.all_done(),
@@ -231,22 +232,25 @@ def rlnc_decay_broadcast(
     payload_length: int = 0,
     messages: Optional[list[bytes]] = None,
     max_rounds: Optional[int] = None,
+    adversary=None,
 ) -> MultiMessageOutcome:
     """Broadcast k messages with RLNC over the Decay pattern (Lemma 12)."""
     check_positive(k, "k")
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     n = network.n
     if max_rounds is None:
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(
             40 * slowdown * (depth * log_n + k * log_n + log_n * log_n)
         ) + 200
     pattern = _decay_pattern(n)
     patterns = [pattern for _ in network.nodes()]
     return _run_gossip(
-        network, patterns, k, payload_length, messages, faults, source, max_rounds
+        network, patterns, k, payload_length, messages, faults, source,
+        max_rounds, adversary=adversary,
     )
 
 
@@ -261,9 +265,11 @@ def rlnc_robust_fastbc_broadcast(
     tree: Optional[RankedBFSTree] = None,
     block: Optional[int] = None,
     round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
+    adversary=None,
 ) -> MultiMessageOutcome:
     """Broadcast k messages with RLNC over Robust FASTBC (Lemma 13)."""
     check_positive(k, "k")
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     if tree is None:
         tree = build_gbst(network).tree
@@ -272,7 +278,7 @@ def rlnc_robust_fastbc_broadcast(
         log_n = ilog2(n) + 1
         log_log_n = block_size(n)
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(
             slowdown
             * (
@@ -286,7 +292,8 @@ def rlnc_robust_fastbc_broadcast(
         for v in network.nodes()
     ]
     return _run_gossip(
-        network, patterns, k, payload_length, messages, faults, source, max_rounds
+        network, patterns, k, payload_length, messages, faults, source,
+        max_rounds, adversary=adversary,
     )
 
 
@@ -299,6 +306,7 @@ def rlnc_dense_wave_broadcast(
     messages: Optional[list[bytes]] = None,
     max_rounds: Optional[int] = None,
     tree: Optional[RankedBFSTree] = None,
+    adversary=None,
 ) -> MultiMessageOutcome:
     """Exploratory: RLNC over the dense-wave pattern (open problem).
 
@@ -307,6 +315,7 @@ def rlnc_dense_wave_broadcast(
     experiment X1 for measurements.
     """
     check_positive(k, "k")
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     if tree is None:
         tree = build_gbst(network).tree
@@ -314,7 +323,7 @@ def rlnc_dense_wave_broadcast(
     if max_rounds is None:
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(
             40 * slowdown * (depth + k * log_n + log_n * log_n)
         ) + 400
@@ -322,5 +331,6 @@ def rlnc_dense_wave_broadcast(
         _dense_wave_pattern(tree, v) for v in network.nodes()
     ]
     return _run_gossip(
-        network, patterns, k, payload_length, messages, faults, source, max_rounds
+        network, patterns, k, payload_length, messages, faults, source,
+        max_rounds, adversary=adversary,
     )

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.algorithms.base import (
+    BroadcastOutcome,
+    as_adversary,
+    effective_loss_rate,
+    ilog2,
+    run_broadcast,
+)
 from repro.algorithms.fastbc import FastBCProtocol
 from repro.algorithms.robust_fastbc import block_size
 from repro.core.faults import FaultConfig
@@ -73,8 +79,10 @@ def repeated_fastbc_broadcast(
     rng: "int | RandomSource | None" = None,
     max_rounds: Optional[int] = None,
     tree: Optional[RankedBFSTree] = None,
+    adversary=None,
 ) -> BroadcastOutcome:
     """Broadcast with the repetition baseline (factor ``repeat``)."""
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     if tree is None:
         tree = build_gbst(network).tree
@@ -82,7 +90,7 @@ def repeated_fastbc_broadcast(
     if max_rounds is None:
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = int(60 * repeat * slowdown * (depth + log_n * log_n)) + 200
     protocols = [
         RepeatedFastBCProtocol(
@@ -90,4 +98,6 @@ def repeated_fastbc_broadcast(
         )
         for v in network.nodes()
     ]
-    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)
+    return run_broadcast(
+        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+    )

@@ -27,7 +27,13 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.algorithms.base import BroadcastOutcome, ilog2, run_broadcast
+from repro.algorithms.base import (
+    BroadcastOutcome,
+    as_adversary,
+    effective_loss_rate,
+    ilog2,
+    run_broadcast,
+)
 from repro.core.faults import FaultConfig
 from repro.core.network import RadioNetwork
 from repro.core.errors import ProtocolError
@@ -185,15 +191,17 @@ def robust_fastbc_broadcast(
     block: Optional[int] = None,
     round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
     decay_interleave: bool = True,
+    adversary=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with Robust FASTBC."""
+    adversary = as_adversary(adversary)
     source = spawn_rng(rng)
     n = network.n
     if max_rounds is None:
         log_n = ilog2(n) + 1
         log_log_n = block_size(n)
         depth = max(1, network.source_eccentricity)
-        slowdown = 1.0 / (1.0 - faults.p)
+        slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
         max_rounds = (
             int(
                 slowdown
@@ -214,4 +222,6 @@ def robust_fastbc_broadcast(
         round_multiplier=round_multiplier,
         decay_interleave=decay_interleave,
     )
-    return run_broadcast(network, protocols, faults, source.spawn(), max_rounds)
+    return run_broadcast(
+        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+    )

@@ -3,11 +3,16 @@
 Usage::
 
     repro list
+    repro list --adversaries
+    repro list --format json
     repro run E4 --scale full --seed 1
     repro run all --scale smoke
     repro run E10 --format json
+    repro run E20 --adversary budgeted_jammer --adversary-param per_round=2
     repro sweep --algorithms decay,fastbc --topology path --n 64 \\
         --fault-model receiver --p 0.3 --seeds 0:5 --processes 4
+    repro sweep --algorithms decay --adversary gilbert_elliott \\
+        --adversary-param p_bad=0.9 --seeds 0:3
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
@@ -18,7 +23,8 @@ import json
 import sys
 from typing import Any, Optional, Sequence
 
-from repro.core.faults import FaultConfig, FaultModel
+from repro.adversary import all_adversaries
+from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.experiments import all_experiments, get_experiment
 from repro.runner import Scenario, all_algorithms, expand_grid, run_batch
 from repro.topologies.registry import TOPOLOGY_FAMILIES
@@ -37,8 +43,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser(
-        "list", help="list registered experiments, algorithms, and topologies"
+    lst = sub.add_parser(
+        "list",
+        help=(
+            "list registered experiments, algorithms, topologies, and "
+            "adversaries"
+        ),
+    )
+    lst.add_argument(
+        "--adversaries",
+        action="store_true",
+        help="list only the registered adversary models",
+    )
+    lst.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json: machine-readable registry dump)",
     )
 
     run = sub.add_parser("run", help="run an experiment (or 'all')")
@@ -56,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="text",
         help="output format",
     )
+    _add_adversary_arguments(run)
 
     swp = sub.add_parser(
         "sweep",
@@ -91,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="KEY=VALUE",
         help="algorithm parameter (repeatable); VALUE parses as JSON when it can",
     )
+    _add_adversary_arguments(swp)
     swp.add_argument(
         "--max-rounds", type=int, default=None, help="round budget override"
     )
@@ -131,6 +154,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the kernel/reference consistency cross-check",
     )
     return parser
+
+
+def _add_adversary_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--adversary",
+        default=None,
+        metavar="NAME",
+        help=(
+            "adversary model replacing the i.i.d. fault coins "
+            "(see 'repro list --adversaries')"
+        ),
+    )
+    parser.add_argument(
+        "--adversary-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "adversary parameter (repeatable); VALUE parses as JSON when "
+            "it can"
+        ),
+    )
+
+
+def _parse_adversary(args: argparse.Namespace) -> Optional[AdversaryConfig]:
+    """``--adversary``/``--adversary-param`` -> an AdversaryConfig (or None)."""
+    if args.adversary is None:
+        if args.adversary_param:
+            raise ValueError("--adversary-param requires --adversary NAME")
+        return None
+    config = AdversaryConfig(args.adversary, _parse_params(args.adversary_param))
+    # fail fast with a usage error, not deep inside an experiment driver
+    from repro.adversary import get_adversary_type
+
+    get_adversary_type(config.kind).validate_params(config.params)
+    return config
 
 
 def _render(table, fmt: str) -> str:
@@ -177,7 +236,68 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
     return params
 
 
-def _command_list() -> int:
+def _registry_dump(adversaries_only: bool) -> dict[str, Any]:
+    """The machine-readable registry listing (``repro list --format json``)."""
+    adversaries = [
+        {
+            "name": kind.name,
+            "summary": kind.summary,
+            "params": [
+                {"name": p.name, "default": p.default, "doc": p.doc}
+                for p in kind.params
+            ],
+        }
+        for kind in all_adversaries()
+    ]
+    if adversaries_only:
+        return {"adversaries": adversaries}
+    return {
+        "experiments": [
+            {
+                "id": e.id,
+                "title": e.title,
+                "claim": e.claim,
+                "accepts_adversary": e.accepts_adversary,
+            }
+            for e in all_experiments()
+        ],
+        "algorithms": [
+            {
+                "name": a.name,
+                "kind": a.kind,
+                "summary": a.summary,
+                "params": [
+                    {"name": p.name, "default": p.default, "doc": p.doc}
+                    for p in a.params
+                ],
+                "default_topology": a.default_topology,
+                "supports_adversary": a.supports_adversary,
+            }
+            for a in all_algorithms()
+        ],
+        "topologies": sorted(TOPOLOGY_FAMILIES),
+        "adversaries": adversaries,
+    }
+
+
+def _print_adversary_section() -> None:
+    print("adversaries (repro sweep --adversary NAME):")
+    for kind in all_adversaries():
+        print(f"  {kind.name:<24} {kind.summary}")
+        if kind.params:
+            declared = ", ".join(
+                f"{p.name}={p.default!r}" for p in kind.params
+            )
+            print(f"  {'':<24} params: {declared}")
+
+
+def _command_list(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        print(json.dumps(_registry_dump(args.adversaries), indent=2))
+        return 0
+    if args.adversaries:
+        _print_adversary_section()
+        return 0
     print("experiments:")
     for experiment in all_experiments():
         print(f"{experiment.id:>4}  {experiment.title}")
@@ -194,6 +314,8 @@ def _command_list() -> int:
     print()
     families = ", ".join(sorted(TOPOLOGY_FAMILIES))
     print(f"topologies (repro sweep --topology NAME): {families}")
+    print()
+    _print_adversary_section()
     return 0
 
 
@@ -208,16 +330,22 @@ def _command_sweep(args: argparse.Namespace) -> int:
     try:
         seeds = _parse_seeds(args.seeds)
         params = _parse_params(args.param)
+        adversary = _parse_adversary(args)
         if args.fault_model == "none":
             faults = FaultConfig.faultless()
         else:
             faults = FaultConfig(FaultModel(args.fault_model), args.p)
+        if adversary is not None and not faults.is_faultless:
+            raise ValueError(
+                "--adversary replaces the fault coins; drop --fault-model/--p"
+            )
         base = Scenario(
             algorithm=algorithms[0],
             topology=args.topology,
             topology_params={"n": args.n},
             params=params,
             faults=faults,
+            adversary=adversary,
             seed=seeds[0],
             max_rounds=args.max_rounds,
         )
@@ -278,13 +406,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "list":
-        return _command_list()
+        return _command_list(args)
 
     if args.command == "sweep":
         return _command_sweep(args)
 
     if args.command == "bench":
         return _command_bench(args)
+
+    try:
+        adversary = _parse_adversary(args)
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
 
     if args.id.lower() == "all":
         experiments = all_experiments()
@@ -296,7 +431,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     for experiment in experiments:
-        table = experiment(scale=args.scale, seed=args.seed)
+        try:
+            table = experiment(
+                scale=args.scale, seed=args.seed, adversary=adversary
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
         print(_render(table, args.format))
         print()
     return 0

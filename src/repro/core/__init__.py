@@ -20,7 +20,7 @@ from repro.core.errors import (
     SimulationError,
     TopologyError,
 )
-from repro.core.faults import FaultConfig, FaultModel
+from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.core.network import RadioNetwork
 from repro.core.packets import NOISE, MessagePacket, Packet, RSPacket
 from repro.core.protocol import NodeProtocol
@@ -28,6 +28,7 @@ from repro.core.engine import Channel, Delivery, RoundResult, Simulator
 from repro.core.trace import ChannelCounters, TraceRecorder
 
 __all__ = [
+    "AdversaryConfig",
     "BroadcastTimeout",
     "Channel",
     "ChannelCounters",

@@ -20,7 +20,7 @@ from typing import Callable, NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro.core.errors import ProtocolError, SimulationError
-from repro.core.faults import FaultConfig, FaultModel
+from repro.core.faults import AdversaryConfig, FaultConfig
 from repro.core.network import RadioNetwork
 from repro.core.packets import Packet
 from repro.core.protocol import NodeProtocol
@@ -84,14 +84,24 @@ class Channel:
     network:
         Topology to simulate on.
     faults:
-        Fault model and probability.
+        Fault model and probability. Internally this is just the ``iid``
+        adversary: the channel wraps it in
+        :class:`~repro.adversary.iid.IIDFaults`, whose hooks draw the
+        exact bulk coins this class drew before the adversary interface
+        existed — legacy runs are byte-identical.
     rng:
-        Seed / source for fault sampling.
+        Seed / source for fault/adversary sampling.
     trace:
         Optional event recorder.
     kernel:
         ``"auto"`` (default), ``"vectorized"``, or ``"scalar"`` — force a
         resolution kernel, mainly for benchmarks and cross-checks.
+    adversary:
+        Optional corruption strategy replacing the i.i.d. fault coins: an
+        :class:`~repro.adversary.base.Adversary` instance (bound to this
+        channel; one channel per instance) or a serializable
+        :class:`~repro.core.faults.AdversaryConfig` built via the
+        registry. Mutually exclusive with a non-faultless ``faults``.
     """
 
     #: auto-dispatch threshold: vectorize once a round gathers this many
@@ -105,6 +115,7 @@ class Channel:
         rng: "int | RandomSource | None" = None,
         trace: Optional[TraceRecorder] = None,
         kernel: str = "auto",
+        adversary: "Adversary | AdversaryConfig | None" = None,
     ) -> None:
         if kernel not in ("auto", "vectorized", "scalar"):
             raise ValueError(
@@ -117,6 +128,30 @@ class Channel:
         self.kernel = kernel
         self.counters = ChannelCounters()
         self.round_index = 0
+        # deferred import: repro.adversary builds on repro.core.faults, so
+        # a module-level import here would be circular
+        from repro.adversary.base import Adversary
+        from repro.adversary.iid import IIDFaults
+
+        if adversary is None:
+            adversary = IIDFaults.from_fault_config(faults)
+        else:
+            if not faults.is_faultless:
+                raise ValueError(
+                    "pass either faults or an adversary, not both: the iid "
+                    "adversary subsumes FaultConfig"
+                )
+            if isinstance(adversary, AdversaryConfig):
+                from repro.adversary.registry import build_adversary
+
+                adversary = build_adversary(adversary)
+            elif not isinstance(adversary, Adversary):
+                raise TypeError(
+                    "adversary must be an Adversary or AdversaryConfig, got "
+                    f"{type(adversary).__name__}"
+                )
+        adversary.bind(network, self.rng)
+        self.adversary = adversary
         # scratch buffers reused across rounds (scalar reference kernel)
         self._hear_count = [0] * network.n
         self._hear_from = [0] * network.n
@@ -178,23 +213,26 @@ class Channel:
             )
         resolver(actions, result)
 
-    def _fault_mask(self, model: FaultModel, count: int) -> Optional[np.ndarray]:
-        """Bulk fault coins for ``count`` nodes taken in ascending id order,
-        or None when ``model`` is not the active fault mechanism."""
-        if self.faults.model is model and self.faults.p > 0.0:
-            return self.rng.bernoulli_array(self.faults.p, count)
-        return None
-
     def _resolve_vectorized(
         self, actions: dict[int, Packet], result: RoundResult
     ) -> None:
-        """Array kernel over the network's CSR adjacency."""
+        """Array kernel over the network's CSR adjacency.
+
+        Adversary hooks fire in the fixed order ``begin_round`` ->
+        ``sender_mask`` -> ``edge_alive`` -> ``receiver_mask`` — the same
+        order, with the same ascending-id inputs, as the scalar kernel,
+        so any adversary that draws randomness only inside its hooks is
+        kernel-independent.
+        """
         network = self.network
         n = network.n
         counters = self.counters
+        adversary = self.adversary
         bs = np.fromiter(sorted(actions), dtype=np.int64, count=len(actions))
 
-        smask = self._fault_mask(FaultModel.SENDER, bs.size)
+        if adversary.needs_begin_round:
+            adversary.begin_round(self.round_index, bs)
+        smask = adversary.sender_mask(bs)
         faulty = bs[smask] if smask is not None else bs[:0]
         if faulty.size:
             counters.sender_faults += int(faulty.size)
@@ -211,6 +249,14 @@ class Channel:
         )
         heard = network.indices[flat]
         senders = np.repeat(bs, lens)
+
+        if adversary.has_edge_dynamics:
+            # the gather above already computed the flat slot array; hand
+            # it over so the adversary does not rebuild it
+            alive = adversary.edge_alive(bs, flat)
+            if alive is not None:
+                heard = heard[alive]
+                senders = senders[alive]
 
         hear_count = np.bincount(heard, minlength=n)
         sender_of = np.zeros(n, dtype=np.int64)
@@ -235,7 +281,7 @@ class Channel:
             unique = unique[~silenced]
             unique_senders = unique_senders[~silenced]
 
-        rmask = self._fault_mask(FaultModel.RECEIVER, unique.size)
+        rmask = adversary.receiver_mask(unique, unique_senders)
         if rmask is not None and rmask.any():
             counters.receiver_faults += int(rmask.sum())
             result.noise_receivers.extend(unique[rmask].tolist())
@@ -250,18 +296,30 @@ class Channel:
     def _resolve_scalar(
         self, actions: dict[int, Packet], result: RoundResult
     ) -> None:
-        """Per-node reference kernel (also serves the tracing path)."""
+        """Per-node reference kernel (also serves the tracing path).
+
+        Calls the adversary hooks at the same points, in the same order,
+        with the same ascending-id values as the vectorized kernel (see
+        :meth:`_resolve_vectorized`), so both kernels consume one RNG
+        stream and agree delivery for delivery.
+        """
         counters = self.counters
         trace = self.trace
         tracing = trace.enabled
+        adversary = self.adversary
         broadcasters = sorted(actions)
 
         if tracing:
             for b in broadcasters:
                 trace.record(self.round_index, "broadcast", b)
 
+        if adversary.needs_begin_round:
+            adversary.begin_round(
+                self.round_index, np.asarray(broadcasters, dtype=np.int64)
+            )
+
         faulty: set[int] = set()
-        smask = self._fault_mask(FaultModel.SENDER, len(broadcasters))
+        smask = adversary.sender_mask(broadcasters)
         if smask is not None:
             faulty = {b for b, hit in zip(broadcasters, smask) if hit}
             counters.sender_faults += len(faulty)
@@ -274,18 +332,38 @@ class Channel:
         hear_from = self._hear_from
         touched = self._touched
         neighbors = self.network.neighbors
-        for b in broadcasters:
-            for v in neighbors[b]:
-                if hear_count[v] == 0:
-                    touched.append(v)
-                hear_count[v] += 1
-                hear_from[v] = b
+        alive = (
+            adversary.edge_alive(np.asarray(broadcasters, dtype=np.int64))
+            if adversary.has_edge_dynamics
+            else None
+        )
+        if alive is None:
+            for b in broadcasters:
+                for v in neighbors[b]:
+                    if hear_count[v] == 0:
+                        touched.append(v)
+                    hear_count[v] += 1
+                    hear_from[v] = b
+        else:
+            # slots walk each broadcaster's CSR slice in ascending-b
+            # order — the exact flat order the vectorized gather uses
+            slot = 0
+            for b in broadcasters:
+                for v in neighbors[b]:
+                    if alive[slot]:
+                        if hear_count[v] == 0:
+                            touched.append(v)
+                        hear_count[v] += 1
+                        hear_from[v] = b
+                    slot += 1
 
-        # classify listeners in ascending id order; receiver-fault coins are
-        # drawn in one bulk call over the eligible (unique, non-silenced)
-        # receivers so the stream matches the vectorized kernel
+        # classify listeners in ascending id order; receiver corruption
+        # coins are drawn in one bulk call over the eligible (unique,
+        # non-silenced) receivers so the stream matches the vectorized
+        # kernel
         touched.sort()
         eligible: list[int] = []
+        eligible_senders: list[int] = []
         for v in touched:
             count = hear_count[v]
             hear_count[v] = 0  # reset scratch as we go
@@ -301,11 +379,12 @@ class Channel:
                 result.noise_receivers.append(v)
                 continue
             eligible.append(v)
+            eligible_senders.append(hear_from[v])
         touched.clear()
 
-        rmask = self._fault_mask(FaultModel.RECEIVER, len(eligible))
+        rmask = adversary.receiver_mask(eligible, eligible_senders)
         for i, v in enumerate(eligible):
-            sender = hear_from[v]
+            sender = eligible_senders[i]
             if rmask is not None and rmask[i]:
                 counters.receiver_faults += 1
                 result.noise_receivers.append(v)
@@ -335,6 +414,9 @@ class Simulator:
         independent streams.
     trace:
         Optional event recorder.
+    adversary:
+        Optional channel corruption strategy (see :class:`Channel`);
+        mutually exclusive with a non-faultless ``faults``.
     """
 
     def __init__(
@@ -345,6 +427,7 @@ class Simulator:
         rng: "int | RandomSource | None" = None,
         trace: Optional[TraceRecorder] = None,
         kernel: str = "auto",
+        adversary: "Adversary | AdversaryConfig | None" = None,
     ) -> None:
         if len(protocols) != network.n:
             raise SimulationError(
@@ -352,7 +435,9 @@ class Simulator:
             )
         self.network = network
         self.protocols = list(protocols)
-        self.channel = Channel(network, faults, rng, trace, kernel=kernel)
+        self.channel = Channel(
+            network, faults, rng, trace, kernel=kernel, adversary=adversary
+        )
 
     @property
     def counters(self) -> ChannelCounters:

@@ -15,11 +15,12 @@ two fault types (Section 3.1):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.util.validation import check_probability
 
-__all__ = ["FaultModel", "FaultConfig"]
+__all__ = ["FaultModel", "FaultConfig", "AdversaryConfig"]
 
 
 class FaultModel(enum.Enum):
@@ -79,3 +80,55 @@ class FaultConfig:
         if self.is_faultless:
             return "faultless"
         return f"{self.model.value}-faults(p={self.p})"
+
+
+@dataclass(frozen=True)
+class AdversaryConfig:
+    """A declarative reference to a registered adversary model.
+
+    ``kind`` names an entry in :mod:`repro.adversary.registry` (``iid``,
+    ``gilbert_elliott``, ``budgeted_jammer``, ``edge_churn``, ...) and
+    ``params`` overrides that model's declared defaults. The config is
+    frozen and JSON-serializable so scenarios and run reports can carry
+    it; :func:`repro.adversary.build_adversary` turns it into a fresh
+    stateful instance per run. The ``iid`` kind is the legacy
+    :class:`FaultConfig` expressed as an adversary — scenarios
+    canonicalize it back into their ``faults`` field, so both spellings
+    produce byte-identical reports.
+
+    This class lives beside :class:`FaultConfig` (rather than in
+    :mod:`repro.adversary`) so that describing a run never imports the
+    strategy implementations; the registry validates ``kind`` and
+    ``params`` when the adversary is actually built or a scenario is
+    constructed.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, str) or not self.kind:
+            raise TypeError(
+                f"adversary kind must be a non-empty string, got {self.kind!r}"
+            )
+        if not isinstance(self.params, Mapping):
+            raise TypeError(
+                f"adversary params must be a mapping, got "
+                f"{type(self.params).__name__}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversaryConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+    def __str__(self) -> str:
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.kind}({inner})"

@@ -29,6 +29,7 @@ from repro.experiments import (  # noqa: F401  (import = registration)
     e17_single_link_routing,
     e18_single_link_coding,
     e19_single_link_gap,
+    e20_adversary_gap,
     x1_open_problem,
 )
 from repro.experiments.common import Experiment, all_experiments, get_experiment

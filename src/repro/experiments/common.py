@@ -39,30 +39,54 @@ VALID_SCALES = ("smoke", "full")
 
 @dataclass(frozen=True)
 class Experiment:
-    """A registered experiment driver."""
+    """A registered experiment driver.
+
+    ``accepts_adversary`` marks drivers whose ``run`` takes a third
+    ``adversary`` argument (an
+    :class:`~repro.core.faults.AdversaryConfig` or None) so the CLI can
+    thread ``--adversary`` through; the classic reproductions pin their
+    fault structure and reject the override.
+    """
 
     id: str
     title: str
     claim: str
-    run: Callable[[str, int], Table]
+    run: Callable[..., Table]
+    accepts_adversary: bool = False
 
-    def __call__(self, scale: str = "smoke", seed: int = 0) -> Table:
+    def __call__(
+        self, scale: str = "smoke", seed: int = 0, adversary=None
+    ) -> Table:
         if scale not in VALID_SCALES:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {VALID_SCALES}"
             )
-        return self.run(scale, seed)
+        if not self.accepts_adversary:
+            if adversary is not None:
+                raise ValueError(
+                    f"experiment {self.id} does not accept an adversary "
+                    "override (its fault structure is part of the "
+                    "reproduced claim)"
+                )
+            return self.run(scale, seed)
+        return self.run(scale, seed, adversary)
 
 
 def register(
-    id: str, title: str, claim: str
-) -> Callable[[Callable[[str, int], Table]], Experiment]:
+    id: str, title: str, claim: str, accepts_adversary: bool = False
+) -> Callable[[Callable[..., Table]], Experiment]:
     """Decorator registering an experiment driver under ``id``."""
 
-    def decorator(fn: Callable[[str, int], Table]) -> Experiment:
+    def decorator(fn: Callable[..., Table]) -> Experiment:
         if id in _REGISTRY:
             raise ValueError(f"experiment id {id!r} already registered")
-        experiment = Experiment(id=id, title=title, claim=claim, run=fn)
+        experiment = Experiment(
+            id=id,
+            title=title,
+            claim=claim,
+            run=fn,
+            accepts_adversary=accepts_adversary,
+        )
         _REGISTRY[id] = experiment
         return experiment
 

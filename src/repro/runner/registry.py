@@ -45,7 +45,7 @@ from repro.algorithms.robust_fastbc import (
     DEFAULT_ROUND_MULTIPLIER,
     robust_fastbc_broadcast,
 )
-from repro.core.faults import FaultConfig
+from repro.core.faults import AdversaryConfig, FaultConfig
 from repro.core.network import RadioNetwork
 
 __all__ = [
@@ -87,7 +87,9 @@ class Param:
 
 
 Adapter = Callable[
-    [RadioNetwork, FaultConfig, int, Optional[int], dict], AlgorithmResult
+    [RadioNetwork, FaultConfig, int, Optional[int], dict,
+     Optional[AdversaryConfig]],
+    AlgorithmResult,
 ]
 
 
@@ -100,7 +102,10 @@ class BroadcastAlgorithm:
     (source-to-leaves schedules; the scenario topology sizes the star), or
     ``"link"`` (two-node schedules; only the fault probability matters).
     ``default_topology`` names a registry family the algorithm is happy
-    to run on out of the box.
+    to run on out of the box. ``supports_adversary`` is True for the
+    algorithms that run on the real collision channel and therefore
+    accept any registered adversary model; the star/link schedule
+    simulations only know the i.i.d. fault probability.
     """
 
     name: str
@@ -108,6 +113,7 @@ class BroadcastAlgorithm:
     summary: str
     params: tuple[Param, ...] = ()
     default_topology: str = "path"
+    supports_adversary: bool = False
     adapter: Adapter = None  # type: ignore[assignment]
 
     def declared(self) -> dict[str, Any]:
@@ -131,13 +137,20 @@ class BroadcastAlgorithm:
         seed: int,
         max_rounds: Optional[int] = None,
         params: Optional[Mapping[str, Any]] = None,
+        adversary: Optional[AdversaryConfig] = None,
     ) -> AlgorithmResult:
         """Run with declared defaults merged under ``params``."""
+        if adversary is not None and not self.supports_adversary:
+            raise ValueError(
+                f"algorithm {self.name!r} does not support adversary models "
+                "(only channel-based algorithms do); drop --adversary or "
+                "pick a 'single'/'multi' algorithm"
+            )
         merged = self.declared()
         if params:
             self.validate_params(params)
             merged.update(params)
-        return self.adapter(network, faults, seed, max_rounds, merged)
+        return self.adapter(network, faults, seed, max_rounds, merged, adversary)
 
 
 _REGISTRY: dict[str, BroadcastAlgorithm] = {}
@@ -150,6 +163,7 @@ def register_algorithm(
     summary: str,
     params: tuple[Param, ...] = (),
     default_topology: str = "path",
+    supports_adversary: bool = False,
 ) -> Callable[[Adapter], BroadcastAlgorithm]:
     """Decorator registering an adapter as a named broadcast algorithm."""
 
@@ -162,6 +176,7 @@ def register_algorithm(
             summary=summary,
             params=params,
             default_topology=default_topology,
+            supports_adversary=supports_adversary,
             adapter=adapter,
         )
         _REGISTRY[name] = algorithm
@@ -217,23 +232,28 @@ def _from_multi(outcome: MultiMessageOutcome) -> AlgorithmResult:
 @register_algorithm(
     "decay",
     kind="single",
+    supports_adversary=True,
     summary="Decay broadcast (Lemma 9): fault-robust O(log n/(1-p) (D + log n))",
 )
-def _decay(network, faults, seed, max_rounds, params):
+def _decay(network, faults, seed, max_rounds, params, adversary=None):
     return _from_single(
-        decay_broadcast(network, faults=faults, rng=seed, max_rounds=max_rounds)
+        decay_broadcast(
+            network, faults=faults, rng=seed, max_rounds=max_rounds,
+            adversary=adversary,
+        )
     )
 
 
 @register_algorithm(
     "fastbc",
     kind="single",
+    supports_adversary=True,
     summary="FASTBC (Lemma 10): fast when faultless, degrades under faults",
     params=(
         Param("decay_interleave", True, "interleave Decay rounds with the wave"),
     ),
 )
-def _fastbc(network, faults, seed, max_rounds, params):
+def _fastbc(network, faults, seed, max_rounds, params, adversary=None):
     return _from_single(
         fastbc_broadcast(
             network,
@@ -241,6 +261,7 @@ def _fastbc(network, faults, seed, max_rounds, params):
             rng=seed,
             max_rounds=max_rounds,
             decay_interleave=params["decay_interleave"],
+            adversary=adversary,
         )
     )
 
@@ -248,6 +269,7 @@ def _fastbc(network, faults, seed, max_rounds, params):
 @register_algorithm(
     "robust_fastbc",
     kind="single",
+    supports_adversary=True,
     summary="Robust FASTBC (Theorem 11): blocks absorb faults, keeps the wave",
     params=(
         Param("block", None, "block size override (default: Theta(log log n))"),
@@ -255,7 +277,7 @@ def _fastbc(network, faults, seed, max_rounds, params):
         Param("decay_interleave", True, "interleave Decay rounds with the wave"),
     ),
 )
-def _robust_fastbc(network, faults, seed, max_rounds, params):
+def _robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
     return _from_single(
         robust_fastbc_broadcast(
             network,
@@ -265,6 +287,7 @@ def _robust_fastbc(network, faults, seed, max_rounds, params):
             block=params["block"],
             round_multiplier=params["round_multiplier"],
             decay_interleave=params["decay_interleave"],
+            adversary=adversary,
         )
     )
 
@@ -272,10 +295,11 @@ def _robust_fastbc(network, faults, seed, max_rounds, params):
 @register_algorithm(
     "repeated_fastbc",
     kind="single",
+    supports_adversary=True,
     summary="Repetition baseline: FASTBC with every round repeated `repeat` times",
     params=(Param("repeat", 2, "repetition factor per wave round"),),
 )
-def _repeated_fastbc(network, faults, seed, max_rounds, params):
+def _repeated_fastbc(network, faults, seed, max_rounds, params, adversary=None):
     return _from_single(
         repeated_fastbc_broadcast(
             network,
@@ -283,6 +307,7 @@ def _repeated_fastbc(network, faults, seed, max_rounds, params):
             faults=faults,
             rng=seed,
             max_rounds=max_rounds,
+            adversary=adversary,
         )
     )
 
@@ -293,13 +318,14 @@ def _repeated_fastbc(network, faults, seed, max_rounds, params):
 @register_algorithm(
     "rlnc_decay",
     kind="multi",
+    supports_adversary=True,
     summary="k-message RLNC over the Decay pattern (Lemma 12)",
     params=(
         Param("k", 4, "number of messages"),
         Param("payload_length", 0, "payload bytes per message (0: headers only)"),
     ),
 )
-def _rlnc_decay(network, faults, seed, max_rounds, params):
+def _rlnc_decay(network, faults, seed, max_rounds, params, adversary=None):
     return _from_multi(
         rlnc_decay_broadcast(
             network,
@@ -308,6 +334,7 @@ def _rlnc_decay(network, faults, seed, max_rounds, params):
             rng=seed,
             payload_length=params["payload_length"],
             max_rounds=max_rounds,
+            adversary=adversary,
         )
     )
 
@@ -315,6 +342,7 @@ def _rlnc_decay(network, faults, seed, max_rounds, params):
 @register_algorithm(
     "rlnc_robust_fastbc",
     kind="multi",
+    supports_adversary=True,
     summary="k-message RLNC over Robust FASTBC waves (Lemma 13)",
     params=(
         Param("k", 4, "number of messages"),
@@ -323,7 +351,7 @@ def _rlnc_decay(network, faults, seed, max_rounds, params):
         Param("round_multiplier", DEFAULT_ROUND_MULTIPLIER, "rounds per block step"),
     ),
 )
-def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params):
+def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
     return _from_multi(
         rlnc_robust_fastbc_broadcast(
             network,
@@ -334,6 +362,7 @@ def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params):
             max_rounds=max_rounds,
             block=params["block"],
             round_multiplier=params["round_multiplier"],
+            adversary=adversary,
         )
     )
 
@@ -341,13 +370,14 @@ def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params):
 @register_algorithm(
     "rlnc_dense_wave",
     kind="multi",
+    supports_adversary=True,
     summary="exploratory k-message RLNC dense-wave pattern (open problem X1)",
     params=(
         Param("k", 4, "number of messages"),
         Param("payload_length", 0, "payload bytes per message (0: headers only)"),
     ),
 )
-def _rlnc_dense_wave(network, faults, seed, max_rounds, params):
+def _rlnc_dense_wave(network, faults, seed, max_rounds, params, adversary=None):
     return _from_multi(
         rlnc_dense_wave_broadcast(
             network,
@@ -356,6 +386,7 @@ def _rlnc_dense_wave(network, faults, seed, max_rounds, params):
             rng=seed,
             payload_length=params["payload_length"],
             max_rounds=max_rounds,
+            adversary=adversary,
         )
     )
 
@@ -391,7 +422,7 @@ def _from_star(outcome) -> AlgorithmResult:
     params=(Param("k", 4, "number of messages"),),
     default_topology="star",
 )
-def _star_routing(network, faults, seed, max_rounds, params):
+def _star_routing(network, faults, seed, max_rounds, params, adversary=None):
     return _from_star(
         star_adaptive_routing(
             max(1, network.n - 1),
@@ -414,7 +445,7 @@ def _star_routing(network, faults, seed, max_rounds, params):
     ),
     default_topology="star",
 )
-def _star_coding(network, faults, seed, max_rounds, params):
+def _star_coding(network, faults, seed, max_rounds, params, adversary=None):
     return _from_star(
         star_rs_coding(
             max(1, network.n - 1),
@@ -457,7 +488,7 @@ def _from_link(outcome) -> AlgorithmResult:
     params=(Param("k", 8, "number of messages"),),
     default_topology="single_link",
 )
-def _single_link_routing(network, faults, seed, max_rounds, params):
+def _single_link_routing(network, faults, seed, max_rounds, params, adversary=None):
     return _from_link(
         single_link_adaptive_routing(
             params["k"], faults.p, rng=seed, round_budget=max_rounds
@@ -475,7 +506,7 @@ def _single_link_routing(network, faults, seed, max_rounds, params):
     ),
     default_topology="single_link",
 )
-def _single_link_nonadaptive(network, faults, seed, max_rounds, params):
+def _single_link_nonadaptive(network, faults, seed, max_rounds, params, adversary=None):
     return _from_link(
         single_link_nonadaptive_routing(
             params["k"], faults.p, rng=seed, repetitions=params["repetitions"]
@@ -490,7 +521,7 @@ def _single_link_nonadaptive(network, faults, seed, max_rounds, params):
     params=(Param("k", 8, "number of messages"),),
     default_topology="single_link",
 )
-def _single_link_coding(network, faults, seed, max_rounds, params):
+def _single_link_coding(network, faults, seed, max_rounds, params, adversary=None):
     return _from_link(
         single_link_coding(params["k"], faults.p, rng=seed, max_rounds=max_rounds)
     )

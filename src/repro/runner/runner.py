@@ -28,7 +28,9 @@ from repro.runner.scenario import Scenario
 __all__ = ["run", "run_batch", "sweep", "expand_grid"]
 
 #: grid keys that address Scenario fields rather than algorithm params
-_SCENARIO_FIELD_KEYS = frozenset({"algorithm", "topology", "faults", "max_rounds"})
+_SCENARIO_FIELD_KEYS = frozenset(
+    {"algorithm", "topology", "faults", "adversary", "max_rounds"}
+)
 
 
 def run(scenario: Scenario) -> RunReport:
@@ -42,6 +44,7 @@ def run(scenario: Scenario) -> RunReport:
         scenario.seed,
         max_rounds=scenario.max_rounds,
         params=scenario.params,
+        adversary=scenario.adversary,
     )
     elapsed = time.perf_counter() - start
     return RunReport(
@@ -89,7 +92,8 @@ def expand_grid(
     """Expand ``base`` over a seed list and a parameter grid.
 
     Grid keys address, in order of precedence: the Scenario fields
-    ``algorithm``, ``topology``, ``faults``, ``max_rounds``; the topology
+    ``algorithm``, ``topology``, ``faults``, ``adversary``,
+    ``max_rounds``; the topology
     size ``n`` (merged into ``topology_params``); anything else is an
     algorithm parameter (merged into ``params``). The expansion is the
     Cartesian product of all grid axes, with seeds varying fastest, in a

@@ -20,7 +20,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
-from repro.core.faults import FaultConfig, FaultModel
+from repro.adversary.registry import get_adversary_type
+from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.core.network import RadioNetwork
 from repro.runner.registry import get_algorithm
 from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
@@ -51,6 +52,14 @@ class Scenario:
         Algorithm parameters; must be declared by the algorithm.
     faults:
         The fault model and probability.
+    adversary:
+        Optional :class:`~repro.core.faults.AdversaryConfig` replacing
+        the i.i.d. fault coins with a registered adversary model;
+        mutually exclusive with a non-faultless ``faults``. The ``iid``
+        kind is canonicalized back into ``faults`` on construction, so
+        ``Scenario(adversary=AdversaryConfig("iid", {...}))`` and the
+        equivalent ``Scenario(faults=FaultConfig(...))`` are the *same*
+        scenario and produce byte-identical reports.
     seed:
         Top-level RNG seed; the whole run reproduces from it.
     max_rounds:
@@ -62,6 +71,7 @@ class Scenario:
     topology_params: Mapping[str, Any] = field(default_factory=dict)
     params: Mapping[str, Any] = field(default_factory=dict)
     faults: FaultConfig = field(default_factory=FaultConfig.faultless)
+    adversary: Optional[AdversaryConfig] = None
     seed: int = 0
     max_rounds: Optional[int] = None
 
@@ -101,10 +111,42 @@ class Scenario:
             raise TypeError(
                 f"faults must be a FaultConfig, got {type(self.faults).__name__}"
             )
+        if self.adversary is not None:
+            self._normalize_adversary(algorithm)
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise TypeError(f"seed must be an int, got {type(self.seed).__name__}")
         if self.max_rounds is not None and self.max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+    def _normalize_adversary(self, algorithm) -> None:
+        """Validate the adversary config; fold ``iid`` into ``faults``."""
+        adversary = self.adversary
+        if not isinstance(adversary, AdversaryConfig):
+            raise TypeError(
+                "adversary must be an AdversaryConfig, got "
+                f"{type(adversary).__name__}"
+            )
+        if not self.faults.is_faultless:
+            raise ValueError(
+                "pass either faults or an adversary, not both: the iid "
+                "adversary subsumes FaultConfig"
+            )
+        kind = get_adversary_type(adversary.kind)  # raises KeyError if unknown
+        kind.validate_params(adversary.params)
+        if adversary.kind == "iid":
+            # the legacy model spelled as an adversary: canonicalize so both
+            # spellings are one scenario (and one canonical report)
+            merged = kind.declared()
+            merged.update(adversary.params)
+            faults = FaultConfig(FaultModel(str(merged["model"])), float(merged["p"]))
+            object.__setattr__(self, "faults", faults)
+            object.__setattr__(self, "adversary", None)
+            return
+        if not algorithm.supports_adversary:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not support adversary "
+                "models (only channel-based algorithms do)"
+            )
 
     # -- derived views ------------------------------------------------------
 
@@ -139,7 +181,7 @@ class Scenario:
         return self.to_dict()
 
     def _as_dict(self, topology: str) -> dict[str, Any]:
-        return {
+        data = {
             "algorithm": self.algorithm,
             "topology": topology,
             "topology_params": dict(self.topology_params),
@@ -148,6 +190,11 @@ class Scenario:
             "seed": self.seed,
             "max_rounds": self.max_rounds,
         }
+        # emitted only when set: fault-coin scenarios keep the exact dict
+        # (and canonical report bytes) they had before adversaries existed
+        if self.adversary is not None:
+            data["adversary"] = self.adversary.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
@@ -157,12 +204,19 @@ class Scenario:
             FaultModel(faults_data.get("model", "none")),
             float(faults_data.get("p", 0.0)),
         )
+        adversary_data = data.get("adversary")
+        adversary = (
+            AdversaryConfig.from_dict(adversary_data)
+            if adversary_data is not None
+            else None
+        )
         return cls(
             algorithm=data["algorithm"],
             topology=data.get("topology", "path"),
             topology_params=data.get("topology_params", {}),
             params=data.get("params", {}),
             faults=faults,
+            adversary=adversary,
             seed=int(data.get("seed", 0)),
             max_rounds=data.get("max_rounds"),
         )

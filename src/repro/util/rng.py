@@ -124,6 +124,24 @@ class RandomSource:
             return np.ones(size, dtype=bool)
         return self._numpy_generator().random(size) < p
 
+    def uniform_array(self, size: int) -> np.ndarray:
+        """Array of ``size`` uniform floats in [0, 1).
+
+        The bulk primitive behind heterogeneous Bernoulli draws (e.g.
+        per-node loss rates in the Gilbert-Elliott adversary): drawing
+        uniforms unconditionally keeps stream consumption independent of
+        the per-element probabilities.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self._numpy_generator().random(size)
+
+    def permutation_array(self, size: int) -> np.ndarray:
+        """Uniformly random permutation of ``range(size)`` (int64)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        return self._numpy_generator().permutation(size).astype(np.int64)
+
     def bytes_array(self, size: int) -> np.ndarray:
         """Array of ``size`` uniform bytes (dtype uint8)."""
         if size < 0:

@@ -21,6 +21,54 @@ class TestList:
         assert "topologies" in out
         assert "single_link" in out
 
+    def test_list_includes_adversary_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "adversaries" in out
+        assert "gilbert_elliott" in out and "budgeted_jammer" in out
+
+    def test_list_adversaries_only(self, capsys):
+        assert main(["list", "--adversaries"]) == 0
+        out = capsys.readouterr().out
+        assert "edge_churn" in out
+        assert "E1" not in out and "star_coding" not in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {
+            "experiments",
+            "algorithms",
+            "topologies",
+            "adversaries",
+        }
+        assert "E20" in {e["id"] for e in data["experiments"]}
+        by_name = {a["name"]: a for a in data["algorithms"]}
+        assert by_name["decay"]["supports_adversary"] is True
+        assert by_name["star_coding"]["supports_adversary"] is False
+        assert {p["name"] for p in by_name["rlnc_decay"]["params"]} == {
+            "k",
+            "payload_length",
+        }
+        assert "single_link" in data["topologies"]
+        adversaries = {a["name"]: a for a in data["adversaries"]}
+        assert set(adversaries) == {
+            "iid",
+            "gilbert_elliott",
+            "budgeted_jammer",
+            "edge_churn",
+        }
+        assert {p["name"] for p in adversaries["budgeted_jammer"]["params"]} == {
+            "per_round",
+            "budget",
+            "policy",
+        }
+
+    def test_list_json_adversaries_only(self, capsys):
+        assert main(["list", "--adversaries", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {"adversaries"}
+
 
 class TestRun:
     def test_run_smoke(self, capsys):
@@ -118,3 +166,75 @@ class TestSweep:
     def test_bad_seed_spec_fails_cleanly(self, capsys):
         assert main(self.SWEEP_ARGS[:-1] + ["5:5"]) == 2
         assert "seed" in capsys.readouterr().err
+
+
+class TestAdversaryFlags:
+    def test_sweep_with_adversary(self, capsys):
+        assert main([
+            "sweep", "--algorithms", "decay", "--topology", "path",
+            "--n", "16", "--seeds", "0:2",
+            "--adversary", "gilbert_elliott",
+            "--adversary-param", "p_bad=0.9",
+        ]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 2
+        for report in reports:
+            assert report["scenario"]["adversary"] == {
+                "kind": "gilbert_elliott",
+                "params": {"p_bad": 0.9},
+            }
+
+    def test_sweep_unknown_adversary_fails_cleanly(self, capsys):
+        assert main([
+            "sweep", "--algorithms", "decay", "--adversary", "emp",
+        ]) == 2
+        assert "unknown adversary" in capsys.readouterr().err
+
+    def test_sweep_adversary_param_without_adversary(self, capsys):
+        assert main([
+            "sweep", "--algorithms", "decay",
+            "--adversary-param", "p_bad=0.9",
+        ]) == 2
+        assert "--adversary" in capsys.readouterr().err
+
+    def test_sweep_adversary_conflicts_with_fault_model(self, capsys):
+        assert main([
+            "sweep", "--algorithms", "decay",
+            "--fault-model", "receiver", "--p", "0.3",
+            "--adversary", "edge_churn",
+        ]) == 2
+        assert "replaces the fault coins" in capsys.readouterr().err
+
+    def test_run_e20_accepts_adversary(self, capsys):
+        assert main([
+            "run", "E20", "--scale", "smoke",
+            "--adversary", "budgeted_jammer",
+            "--adversary-param", "per_round=2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "budgeted_jammer" in out
+        assert "faultless" in out
+
+    def test_run_classic_experiment_rejects_adversary(self, capsys):
+        assert main(["run", "E2", "--adversary", "edge_churn"]) == 2
+        assert "does not accept an adversary" in capsys.readouterr().err
+
+    def test_run_unknown_adversary_fails_cleanly(self, capsys):
+        assert main(["run", "E20", "--adversary", "emp_blast"]) == 2
+        assert "unknown adversary" in capsys.readouterr().err
+
+    def test_run_unknown_adversary_param_fails_cleanly(self, capsys):
+        assert main([
+            "run", "E20", "--adversary", "gilbert_elliott",
+            "--adversary-param", "bogus=1",
+        ]) == 2
+        assert "unknown parameters" in capsys.readouterr().err
+
+
+class TestRunE20:
+    def test_smoke_table_shape(self, capsys):
+        assert main(["run", "E20", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "gilbert_elliott" in out
+        assert "jammer_frontier" in out
+        assert "slowdown" in out

@@ -1,5 +1,7 @@
 """Tests for argument-validation helpers."""
 
+import re
+
 import pytest
 
 from repro.util.validation import (
@@ -81,3 +83,68 @@ class TestCheckType:
     def test_rejects(self):
         with pytest.raises(TypeError):
             check_type("x", int)
+
+
+class TestRangeMessageAudit:
+    """The interval printed in each range error must match the check.
+
+    ``FaultConfig`` rejects ``p == 1.0`` through ``check_probability``'s
+    half-open range; this audit parses the bracket notation out of every
+    range checker's message and verifies each endpoint's acceptance
+    agrees with the bracket — so message text and actual check can never
+    drift apart silently.
+    """
+
+    EPS = 1e-12
+
+    @pytest.mark.parametrize(
+        "checker,probe",
+        [(check_probability, 2.0), (check_fraction, 2.0)],
+        ids=["check_probability", "check_fraction"],
+    )
+    def test_interval_text_matches_behavior(self, checker, probe):
+        with pytest.raises(ValueError) as excinfo:
+            checker(probe)
+        message = str(excinfo.value)
+        match = re.search(
+            r"must be in ([\[\(])\s*([-\d.]+),\s*([-\d.]+)\s*([\]\)])", message
+        )
+        assert match, f"no interval notation in {message!r}"
+        open_bracket, lo, hi, close_bracket = match.groups()
+        lo, hi = float(lo), float(hi)
+
+        def accepts(value: float) -> bool:
+            try:
+                checker(value)
+                return True
+            except ValueError:
+                return False
+
+        assert accepts(lo) == (open_bracket == "[")
+        assert accepts(lo - self.EPS) is False
+        assert accepts(hi) == (close_bracket == "]")
+        assert accepts(hi + self.EPS) is False
+
+    def test_probability_one_rejected_with_half_open_message(self):
+        """The FaultConfig case from the audit: p == 1.0 must be rejected
+        and the message must advertise the half-open range."""
+        with pytest.raises(ValueError, match=re.escape("in [0, 1)")):
+            check_probability(1.0)
+
+    def test_fraction_one_accepted_with_closed_message(self):
+        assert check_fraction(1.0) == 1.0
+        with pytest.raises(ValueError, match=re.escape("in [0, 1]")):
+            check_fraction(1.5)
+
+    @pytest.mark.parametrize(
+        "checker,keyword,boundary_ok,below",
+        [
+            (check_positive, "positive", 1, 0),
+            (check_non_negative, "non-negative", 0, -1),
+        ],
+        ids=["check_positive", "check_non_negative"],
+    )
+    def test_sign_messages_match_behavior(self, checker, keyword, boundary_ok, below):
+        assert checker(boundary_ok) == boundary_ok
+        with pytest.raises(ValueError, match=keyword):
+            checker(below)
