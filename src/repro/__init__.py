@@ -80,6 +80,7 @@ from repro.runner import (
     run_batch,
     sweep,
 )
+from repro.store import ResultStore
 from repro.topologies import (
     grid,
     gnp,
@@ -101,6 +102,7 @@ __all__ = [
     "ReedSolomonCode",
     "RLNCDecoder",
     "RLNCEncoder",
+    "ResultStore",
     "RunReport",
     "Scenario",
     "Simulator",

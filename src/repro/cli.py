@@ -13,6 +13,11 @@ Usage::
         --fault-model receiver --p 0.3 --seeds 0:5 --processes 4
     repro sweep --algorithms decay --adversary gilbert_elliott \\
         --adversary-param p_bad=0.9 --seeds 0:3
+    repro sweep --algorithms decay,rlnc_decay --seeds 0:100 \\
+        --store results.db --resume
+    repro store results.db
+    repro store results.db --export decay.json --algorithm decay
+    repro serve --store results.db --port 8765 --workers 2
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
@@ -26,6 +31,7 @@ from typing import Any, Optional, Sequence
 from repro.adversary import all_adversaries
 from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.experiments import all_experiments, get_experiment
+from repro.introspect import registry_dump
 from repro.runner import Scenario, all_algorithms, expand_grid, run_batch
 from repro.topologies.registry import TOPOLOGY_FAMILIES
 
@@ -132,6 +138,72 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--output", default=None, help="write to this file instead of stdout"
     )
+    swp.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="record canonical reports in this content-addressed SQLite store",
+    )
+    swp.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse stored results: scenarios already in --store skip "
+            "execution (byte-identical reports, served from SQLite)"
+        ),
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve sweeps over HTTP: submit jobs, poll progress, fetch reports",
+    )
+    srv.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="the content-addressed result store backing the service",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8765, help="bind port (0: ephemeral)"
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="background worker threads draining the job queue",
+    )
+    srv.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="per-job process fan-out for run_batch (default: in-thread)",
+    )
+
+    sto = sub.add_parser(
+        "store",
+        help="inspect a result store, or export matching reports to JSON",
+    )
+    sto.add_argument("path", help="store database file")
+    sto.add_argument(
+        "--export",
+        default=None,
+        metavar="OUT",
+        help="write matching reports to OUT as a JSON array",
+    )
+    sto.add_argument("--algorithm", default=None, help="filter by algorithm")
+    sto.add_argument("--topology", default=None, help="filter by topology family")
+    sto.add_argument(
+        "--adversary",
+        default=None,
+        help="filter by adversary kind ('none': fault-coin runs)",
+    )
+    sto.add_argument(
+        "--seed-min", type=int, default=None, help="minimum seed (inclusive)"
+    )
+    sto.add_argument(
+        "--seed-max", type=int, default=None, help="maximum seed (inclusive)"
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -236,50 +308,6 @@ def _parse_params(pairs: Sequence[str]) -> dict[str, Any]:
     return params
 
 
-def _registry_dump(adversaries_only: bool) -> dict[str, Any]:
-    """The machine-readable registry listing (``repro list --format json``)."""
-    adversaries = [
-        {
-            "name": kind.name,
-            "summary": kind.summary,
-            "params": [
-                {"name": p.name, "default": p.default, "doc": p.doc}
-                for p in kind.params
-            ],
-        }
-        for kind in all_adversaries()
-    ]
-    if adversaries_only:
-        return {"adversaries": adversaries}
-    return {
-        "experiments": [
-            {
-                "id": e.id,
-                "title": e.title,
-                "claim": e.claim,
-                "accepts_adversary": e.accepts_adversary,
-            }
-            for e in all_experiments()
-        ],
-        "algorithms": [
-            {
-                "name": a.name,
-                "kind": a.kind,
-                "summary": a.summary,
-                "params": [
-                    {"name": p.name, "default": p.default, "doc": p.doc}
-                    for p in a.params
-                ],
-                "default_topology": a.default_topology,
-                "supports_adversary": a.supports_adversary,
-            }
-            for a in all_algorithms()
-        ],
-        "topologies": sorted(TOPOLOGY_FAMILIES),
-        "adversaries": adversaries,
-    }
-
-
 def _print_adversary_section() -> None:
     print("adversaries (repro sweep --adversary NAME):")
     for kind in all_adversaries():
@@ -293,7 +321,7 @@ def _print_adversary_section() -> None:
 
 def _command_list(args: argparse.Namespace) -> int:
     if args.format == "json":
-        print(json.dumps(_registry_dump(args.adversaries), indent=2))
+        print(json.dumps(registry_dump(args.adversaries), indent=2))
         return 0
     if args.adversaries:
         _print_adversary_section()
@@ -352,12 +380,36 @@ def _command_sweep(args: argparse.Namespace) -> int:
         scenarios = expand_grid(
             base, seeds=seeds, grid={"algorithm": algorithms}
         )
+        if args.resume and args.store is None:
+            raise ValueError("--resume requires --store PATH")
     except (KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         print(message, file=sys.stderr)
         return 2
 
-    reports = run_batch(scenarios, processes=args.processes)
+    if args.store is not None:
+        store = _open_store(args.store)
+        if store is None:
+            return 2
+        with store:
+            before = len(store)
+            reports = run_batch(
+                scenarios,
+                processes=args.processes,
+                store=store,
+                reuse=args.resume,
+            )
+            if args.resume:
+                # misses are exactly the newly stored rows, so the hit
+                # count costs two COUNT(*)s instead of a per-scenario probe
+                cached = len(scenarios) - (len(store) - before)
+                print(
+                    f"resume: {cached}/{len(scenarios)} scenarios served "
+                    f"from {args.store}",
+                    file=sys.stderr,
+                )
+    else:
+        reports = run_batch(scenarios, processes=args.processes)
 
     if args.format == "json":
         text = json.dumps(
@@ -374,6 +426,69 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {len(reports)} reports to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _open_store(path: str):
+    """Open a ResultStore, or print a one-line error and return None."""
+    import sqlite3
+
+    from repro.store import ResultStore
+
+    try:
+        return ResultStore(path)
+    except (sqlite3.DatabaseError, ValueError) as error:
+        print(f"cannot open store {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    # fail fast with a usage error if the store file is unusable, before
+    # binding the socket
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    store.close()
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        processes=args.processes,
+    )
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.exists(args.path):
+        print(f"no store at {args.path!r}", file=sys.stderr)
+        return 2
+    filters = {
+        "algorithm": args.algorithm,
+        "topology": args.topology,
+        "adversary": args.adversary,
+        "seed_min": args.seed_min,
+        "seed_max": args.seed_max,
+    }
+    filters = {key: value for key, value in filters.items() if value is not None}
+    store = _open_store(args.path)
+    if store is None:
+        return 2
+    with store:
+        if args.export is not None:
+            written = store.export_json(args.export, **filters)
+            print(f"exported {written} reports to {args.export}")
+            return 0
+        stats = store.stats()
+        if filters:
+            stats["matching"] = store.count(**filters)
+        print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -410,6 +525,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "sweep":
         return _command_sweep(args)
+
+    if args.command == "serve":
+        return _command_serve(args)
+
+    if args.command == "store":
+        return _command_store(args)
 
     if args.command == "bench":
         return _command_bench(args)

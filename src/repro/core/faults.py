@@ -76,6 +76,13 @@ class FaultConfig:
     def is_faultless(self) -> bool:
         return self.model is FaultModel.NONE or self.p == 0.0
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultConfig":
+        """Inverse of the ``{"model": ..., "p": ...}`` scenario-dict form."""
+        return cls(
+            FaultModel(data.get("model", "none")), float(data.get("p", 0.0))
+        )
+
     def __str__(self) -> str:
         if self.is_faultless:
             return "faultless"

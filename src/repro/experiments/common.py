@@ -142,10 +142,17 @@ def scenario_sweep(
     grid: Optional[Mapping[str, Sequence[Any]]] = None,
     processes: Optional[int] = None,
     title: str = "",
+    store: Optional[Any] = None,
 ) -> Table:
-    """Run a scenario grid (see :func:`repro.runner.sweep`) into a Table."""
+    """Run a scenario grid (see :func:`repro.runner.sweep`) into a Table.
+
+    ``store`` (a :class:`~repro.store.ResultStore`) makes the sweep
+    resumable: previously-computed scenarios are served from the store
+    and fresh ones are recorded into it.
+    """
     return report_table(
-        sweep(base, seeds=seeds, grid=grid, processes=processes), title=title
+        sweep(base, seeds=seeds, grid=grid, processes=processes, store=store),
+        title=title,
     )
 
 

@@ -34,6 +34,14 @@ class RunReport:
     ``network_n``/``network_name`` describe the network the run actually
     materialized — authoritative where a family ignores the requested
     size (``single_link`` is always 2 nodes regardless of ``n``).
+
+    ``cache_key`` is the scenario's content address
+    (:meth:`Scenario.cache_key <repro.runner.scenario.Scenario.cache_key>`),
+    set by :func:`repro.runner.run` for every serializable scenario so the
+    report is self-identifying in a :class:`~repro.store.ResultStore`.
+    It is empty — and omitted from :meth:`to_dict` — for reports that
+    predate the store or ran an explicit (non-serializable) network, so
+    their canonical bytes are unchanged.
     """
 
     scenario: dict
@@ -47,6 +55,7 @@ class RunReport:
     network_n: int = 0
     network_name: str = ""
     wall_time_s: float = 0.0
+    cache_key: str = ""
 
     @property
     def informed_fraction(self) -> float:
@@ -66,6 +75,8 @@ class RunReport:
             "network_n": self.network_n,
             "network_name": self.network_name,
         }
+        if self.cache_key:
+            data["cache_key"] = self.cache_key
         if include_timing:
             data["wall_time_s"] = self.wall_time_s
         return data
@@ -94,4 +105,5 @@ class RunReport:
             network_n=int(data.get("network_n", 0)),
             network_name=data.get("network_name", ""),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
+            cache_key=data.get("cache_key", ""),
         )

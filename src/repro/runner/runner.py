@@ -12,6 +12,13 @@ the test suite checks byte-for-byte.
 
 :func:`sweep` expands a base scenario over a seed grid and/or a
 parameter grid (Cartesian product) and runs the batch.
+
+Both accept a ``store`` (a :class:`~repro.store.ResultStore`): fresh
+reports are recorded, and with ``reuse=True`` scenarios whose cache key
+is already present skip execution entirely — the stored canonical report
+is returned instead, byte-identical to a fresh run by the determinism
+contract. That is what makes ``repro sweep --store PATH --resume``
+restart an interrupted thousand-scenario sweep for free.
 """
 
 from __future__ import annotations
@@ -19,11 +26,14 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import time
-from typing import Any, Iterable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
 
 from repro.runner.registry import get_algorithm
 from repro.runner.report import RunReport
 from repro.runner.scenario import Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - repro.store imports the runner
+    from repro.store import ResultStore
 
 __all__ = ["run", "run_batch", "sweep", "expand_grid"]
 
@@ -59,21 +69,17 @@ def run(scenario: Scenario) -> RunReport:
         network_n=network.n,
         network_name=network.name,
         wall_time_s=elapsed,
+        cache_key=scenario.cache_key() if scenario.cacheable else "",
     )
 
 
-def run_batch(
-    scenarios: Iterable[Scenario],
-    processes: Optional[int] = None,
-) -> list[RunReport]:
-    """Run scenarios, optionally across a process pool.
+def _execute(batch: Sequence[Scenario], processes: Optional[int]) -> list[RunReport]:
+    """Map :func:`run` over ``batch``, with a pool only when it pays.
 
-    ``processes=None`` (or ``<= 1``) runs serially; otherwise a pool of
-    that many workers maps :func:`run` over the batch. Results come back
-    in input order either way, and — because each scenario carries its
-    own seed — with identical contents.
+    The pool is skipped entirely when one worker (or fewer scenarios than
+    two) is requested — pool creation is pure overhead for serial work,
+    and after a cache filter most resumed sweeps are exactly that.
     """
-    batch = list(scenarios)
     if processes is None or processes <= 1 or len(batch) <= 1:
         return [run(scenario) for scenario in batch]
     # fork shares the imported library with the workers; fall back to the
@@ -82,6 +88,52 @@ def run_batch(
     context = multiprocessing.get_context("fork" if "fork" in methods else None)
     with context.Pool(min(processes, len(batch))) as pool:
         return pool.map(run, batch)
+
+
+def run_batch(
+    scenarios: Iterable[Scenario],
+    processes: Optional[int] = None,
+    store: "Optional[ResultStore]" = None,
+    reuse: bool = True,
+) -> list[RunReport]:
+    """Run scenarios, optionally across a process pool and a result store.
+
+    ``processes=None`` (or ``<= 1``) runs serially; otherwise a pool of
+    that many workers maps :func:`run` over the scenarios that actually
+    execute. Results come back in input order either way, and — because
+    each scenario carries its own seed — with identical contents.
+
+    With a ``store``, fresh reports are recorded under their scenario
+    cache keys, and when ``reuse`` is true (the default) scenarios whose
+    key is already stored skip execution: the stored canonical report is
+    returned in their place, byte-identical to what a fresh run would
+    produce. ``reuse=False`` recomputes everything and refreshes the
+    store. Non-serializable scenarios (explicit networks) always execute
+    and are never stored.
+    """
+    batch = list(scenarios)
+    reports: list[Optional[RunReport]] = [None] * len(batch)
+    pending: list[int] = []
+    if store is not None and reuse:
+        for index, scenario in enumerate(batch):
+            cached = (
+                store.get(scenario.cache_key()) if scenario.cacheable else None
+            )
+            if cached is not None:
+                reports[index] = cached
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(batch)))
+
+    fresh = _execute([batch[index] for index in pending], processes)
+    if store is not None and fresh:
+        store.put_many(
+            [report for report in fresh if report.cache_key], replace=not reuse
+        )
+    for index, report in zip(pending, fresh):
+        reports[index] = report
+    return reports  # type: ignore[return-value]  # every slot is filled
 
 
 def expand_grid(
@@ -131,6 +183,13 @@ def sweep(
     seeds: Optional[Iterable[int]] = None,
     grid: Optional[Mapping[str, Sequence[Any]]] = None,
     processes: Optional[int] = None,
+    store: "Optional[ResultStore]" = None,
+    reuse: bool = True,
 ) -> list[RunReport]:
     """Expand ``base`` (see :func:`expand_grid`) and run the batch."""
-    return run_batch(expand_grid(base, seeds=seeds, grid=grid), processes=processes)
+    return run_batch(
+        expand_grid(base, seeds=seeds, grid=grid),
+        processes=processes,
+        store=store,
+        reuse=reuse,
+    )

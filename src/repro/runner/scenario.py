@@ -17,19 +17,26 @@ descriptive placeholder.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
+from repro._version import __version__
 from repro.adversary.registry import get_adversary_type
 from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.core.network import RadioNetwork
 from repro.runner.registry import get_algorithm
 from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
 
-__all__ = ["Scenario", "DEFAULT_TOPOLOGY_SIZE"]
+__all__ = ["Scenario", "DEFAULT_TOPOLOGY_SIZE", "CACHE_KEY_SCHEMA"]
 
 #: nodes used when a named topology omits ``n``
 DEFAULT_TOPOLOGY_SIZE = 32
+
+#: bump to invalidate every content-addressed cache entry when the report
+#: schema (not the code version) changes incompatibly
+CACHE_KEY_SCHEMA = 1
 
 _TOPOLOGY_PARAM_KEYS = frozenset({"n", "seed"})
 
@@ -162,6 +169,38 @@ class Scenario:
         """A copy with the given fields replaced (sweep helper)."""
         return dataclasses.replace(self, **changes)
 
+    @property
+    def cacheable(self) -> bool:
+        """Whether the scenario serializes (and therefore has a cache key).
+
+        Scenarios holding an explicit :class:`RadioNetwork` are not
+        reconstructible from their dict form, so they cannot be
+        content-addressed.
+        """
+        return isinstance(self.topology, str)
+
+    def cache_key(self) -> str:
+        """Content address: SHA-256 over the canonical scenario dict.
+
+        The digest also covers the library version and
+        :data:`CACHE_KEY_SCHEMA`, so a store never serves reports computed
+        by a different code or schema revision. Because construction
+        canonicalizes equivalent spellings (``iid`` adversary vs.
+        ``faults``), equal scenarios share one key — and the runner's
+        determinism contract (same scenario, byte-identical canonical
+        report) makes the key a valid address for the report itself.
+        """
+        payload = json.dumps(
+            {
+                "schema": CACHE_KEY_SCHEMA,
+                "version": __version__,
+                "scenario": self.to_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -199,11 +238,7 @@ class Scenario:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
         """Inverse of :meth:`to_dict`."""
-        faults_data = data.get("faults", {"model": "none", "p": 0.0})
-        faults = FaultConfig(
-            FaultModel(faults_data.get("model", "none")),
-            float(faults_data.get("p", 0.0)),
-        )
+        faults = FaultConfig.from_dict(data.get("faults", {}))
         adversary_data = data.get("adversary")
         adversary = (
             AdversaryConfig.from_dict(adversary_data)

@@ -1,0 +1,34 @@
+"""The serving layer: run sweeps behind an HTTP API, answer from the store.
+
+``repro serve --store results.db`` turns the simulator into a long-lived
+service: clients submit scenario sweeps as JSON, a background worker
+pool executes them through the unified runner (with the existing
+``multiprocessing`` fan-out), every canonical report lands in the
+content-addressed :class:`~repro.store.ResultStore`, and repeat queries
+are answered with one SQLite read instead of a recompute.
+
+The pieces:
+
+* :mod:`repro.service.jobs`   — :class:`JobManager`: queue + workers;
+* :mod:`repro.service.server` — :class:`ReproService`: the stdlib
+  ``ThreadingHTTPServer`` JSON API (``/health``, ``/registry``,
+  ``/jobs``, ``/reports``);
+* :mod:`repro.service.client` — :class:`ServiceClient`: a stdlib client
+  for scripts, tests, and the CI smoke;
+* :mod:`repro.service.smoke`  — the end-to-end smoke
+  (``python -m repro.service.smoke``) CI runs against a real
+  ``repro serve`` subprocess.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobManager
+from repro.service.server import ReproService, serve
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

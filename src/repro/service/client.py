@@ -1,0 +1,137 @@
+"""A minimal stdlib client for the repro service JSON API.
+
+Used by the tests, the CI smoke, and scripts that farm sweeps out to a
+running ``repro serve`` instance; it is also executable documentation of
+the wire protocol (every method maps to exactly one endpoint).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional, Sequence
+
+from repro.runner import RunReport, Scenario
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response (JSON ``{"error": ...}``) from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.ReproService` at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, path: str, payload: Any = None) -> bytes:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=(
+                None
+                if payload is None
+                else json.dumps(payload).encode("utf-8")
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                message = json.loads(body)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                message = body.decode("utf-8", "replace")
+            raise ServiceError(error.code, message) from None
+
+    def _json(self, path: str, payload: Any = None) -> Any:
+        return json.loads(self._request(path, payload))
+
+    # -- endpoints ----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("/health")
+
+    def registry(self, adversaries_only: bool = False) -> dict[str, Any]:
+        suffix = "?adversaries=1" if adversaries_only else ""
+        return self._json(f"/registry{suffix}")
+
+    def submit(
+        self,
+        scenarios: Optional[Sequence[Scenario]] = None,
+        base: Optional[Scenario] = None,
+        seeds: Optional[Sequence[int]] = None,
+        grid: Optional[dict[str, Sequence[Any]]] = None,
+    ) -> dict[str, Any]:
+        """Submit a sweep; returns the job snapshot (id, cache_keys, ...)."""
+        if (scenarios is None) == (base is None):
+            raise ValueError("pass exactly one of scenarios= or base=")
+        if scenarios is not None:
+            payload: dict[str, Any] = {
+                "scenarios": [scenario.to_dict() for scenario in scenarios]
+            }
+        else:
+            payload = {"base": base.to_dict()}
+            if seeds is not None:
+                payload["seeds"] = list(seeds)
+            if grid is not None:
+                payload["grid"] = {
+                    key: [
+                        value.to_dict() if hasattr(value, "to_dict") else value
+                        for value in values
+                    ]
+                    for key, values in grid.items()
+                }
+        return self._json("/jobs", payload)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json(f"/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job finishes; raises on failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["status"] == "done":
+                return snapshot
+            if snapshot["status"] == "failed":
+                raise ServiceError(500, f"job {job_id} failed: {snapshot['error']}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['status']} "
+                    f"({snapshot['completed']}/{snapshot['total']}) "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def report_bytes(self, cache_key: str) -> bytes:
+        """The stored canonical report JSON, byte-exact."""
+        return self._request(f"/reports/{cache_key}")
+
+    def report(self, cache_key: str) -> RunReport:
+        return RunReport.from_dict(json.loads(self.report_bytes(cache_key)))
+
+    def query(self, **filters: Any) -> list[RunReport]:
+        """Fetch reports matching store filters (see ``ResultStore.query``)."""
+        pairs = "&".join(
+            f"{key}={value}" for key, value in filters.items() if value is not None
+        )
+        payload = self._json(f"/reports?{pairs}" if pairs else "/reports")
+        return [RunReport.from_dict(data) for data in payload["reports"]]

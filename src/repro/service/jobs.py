@@ -1,0 +1,177 @@
+"""Job queue and background workers for the serving layer.
+
+A :class:`Job` is a submitted batch of scenarios; a :class:`JobManager`
+owns a queue of them and a pool of worker threads that execute each job
+in chunks through :func:`repro.runner.run_batch` — with the result store
+threaded through, so every chunk lands in SQLite as it finishes, cache
+hits skip execution, and a job that repeats stored work completes in
+milliseconds. Each chunk may itself fan out across the existing
+``multiprocessing`` pool (``processes``), so the service composes thread
+-level job concurrency with process-level scenario parallelism.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Optional, Sequence
+
+from repro.runner import Scenario, run_batch
+from repro.store import ResultStore
+
+__all__ = ["Job", "JobManager"]
+
+#: scenarios per run_batch call — the progress-reporting granularity
+DEFAULT_CHUNK_SIZE = 8
+
+
+class Job:
+    """One submitted batch of scenarios and its execution state.
+
+    ``status`` walks ``queued -> running -> done`` (or ``failed``);
+    ``completed``/``total`` is the progress counter the status endpoint
+    reports; ``cache_keys`` are the content addresses of every scenario
+    in submission order, known at submit time — clients can fetch
+    reports by key the moment the job finishes (or earlier, for keys
+    that were already stored).
+    """
+
+    def __init__(self, job_id: str, scenarios: Sequence[Scenario]) -> None:
+        self.id = job_id
+        self.scenarios = list(scenarios)
+        self.cache_keys = [
+            scenario.cache_key() for scenario in self.scenarios
+        ]
+        self.status = "queued"
+        self.completed = 0
+        self.total = len(self.scenarios)
+        self.error = ""
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe view of the job (what ``GET /jobs/<id>`` returns)."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "completed": self.completed,
+            "total": self.total,
+            "cache_keys": list(self.cache_keys),
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobManager:
+    """A queue of jobs drained by ``workers`` background threads.
+
+    Parameters
+    ----------
+    store:
+        The shared result store every job writes to (and reuses from).
+    workers:
+        Concurrent jobs; each worker thread runs one job at a time.
+    processes:
+        Per-chunk ``run_batch`` process fan-out (None/1: in-thread).
+    chunk_size:
+        Scenarios per ``run_batch`` call; smaller chunks mean finer
+        progress reporting and more frequent store commits.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 2,
+        processes: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.store = store
+        self.processes = processes
+        self.chunk_size = chunk_size
+        self._queue: "queue.Queue[str]" = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self._stop = threading.Event()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission and inspection ------------------------------------------
+
+    def submit(self, scenarios: Sequence[Scenario]) -> Job:
+        """Enqueue a batch; every scenario must be serializable."""
+        batch = list(scenarios)
+        if not batch:
+            raise ValueError("cannot submit an empty batch")
+        for scenario in batch:
+            if not scenario.cacheable:
+                raise ValueError(
+                    "service jobs require serializable scenarios "
+                    "(named topology families)"
+                )
+        with self._lock:
+            job = Job(f"job-{next(self._counter):04d}", batch)
+            self._jobs[job.id] = job
+        self._queue.put(job.id)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # -- execution ----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            job = self.get(job_id)
+            if job is None:  # pragma: no cover - jobs are never deleted
+                continue
+            self._execute(job)
+            self._queue.task_done()
+
+    def _execute(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        try:
+            for start in range(0, job.total, self.chunk_size):
+                if self._stop.is_set():
+                    raise RuntimeError("service shutting down")
+                chunk = job.scenarios[start : start + self.chunk_size]
+                run_batch(chunk, processes=self.processes, store=self.store)
+                job.completed = min(start + len(chunk), job.total)
+            job.status = "done"
+        except Exception as error:  # noqa: BLE001 - report, don't kill worker
+            job.status = "failed"
+            job.error = f"{type(error).__name__}: {error}"
+        finally:
+            job.finished_at = time.time()
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers (the job in flight finishes its chunk)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)

@@ -1,0 +1,351 @@
+"""The HTTP serving layer: a stdlib JSON API over store and job queue.
+
+``repro serve`` binds a :class:`ReproService` — a
+``ThreadingHTTPServer`` whose handler threads answer reads straight from
+the :class:`~repro.store.ResultStore` while a
+:class:`~repro.service.jobs.JobManager` worker pool executes submitted
+sweeps in the background. Endpoints:
+
+==========================  =================================================
+``GET  /health``            liveness + store size
+``GET  /registry``          machine-readable registry dump
+                            (``?adversaries=1`` for adversaries only)
+``POST /jobs``              submit scenarios: ``{"scenarios": [dict, ...]}``
+                            or ``{"base": dict, "seeds": [...],
+                            "grid": {...}}`` -> job snapshot + cache keys
+``GET  /jobs``              all jobs, submission order
+``GET  /jobs/<id>``         one job's status/progress
+``GET  /reports/<key>``     the stored canonical report JSON, byte-exact
+``GET  /reports?...``       query: algorithm, topology, adversary,
+                            fault_model, seed_min, seed_max, success, limit
+==========================  =================================================
+
+Every response is JSON. Errors use ``{"error": message}`` with a 4xx/5xx
+status.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.faults import AdversaryConfig, FaultConfig
+from repro.introspect import registry_dump
+from repro.runner import Scenario, expand_grid
+from repro.service.jobs import JobManager
+from repro.store import ResultStore
+
+__all__ = ["ReproService", "serve"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: /reports query parameters forwarded to ResultStore.query
+_QUERY_STRING_FILTERS = ("algorithm", "topology", "adversary", "fault_model")
+_QUERY_INT_FILTERS = ("seed_min", "seed_max", "limit")
+
+
+class _BadRequest(ValueError):
+    """A client error that maps to HTTP 400."""
+
+
+def _coerce_grid(grid: dict[str, Any]) -> dict[str, list[Any]]:
+    """JSON grid axes -> runner grid axes (configs arrive as dicts)."""
+    coerced: dict[str, list[Any]] = {}
+    for key, values in grid.items():
+        if not isinstance(values, list):
+            raise _BadRequest(f"grid axis {key!r} must be a list")
+        if key == "adversary":
+            coerced[key] = [
+                AdversaryConfig.from_dict(v) if isinstance(v, dict) else v
+                for v in values
+            ]
+        elif key == "faults":
+            coerced[key] = [
+                FaultConfig.from_dict(v) if isinstance(v, dict) else v
+                for v in values
+            ]
+        else:
+            coerced[key] = values
+    return coerced
+
+
+def _scenarios_from_payload(payload: Any) -> list[Scenario]:
+    """The POST /jobs body -> a scenario batch (raises _BadRequest)."""
+    if not isinstance(payload, dict):
+        raise _BadRequest("body must be a JSON object")
+    try:
+        if "scenarios" in payload:
+            dicts = payload["scenarios"]
+            if not isinstance(dicts, list) or not dicts:
+                raise _BadRequest("'scenarios' must be a non-empty list")
+            return [Scenario.from_dict(data) for data in dicts]
+        if "base" in payload:
+            base = Scenario.from_dict(payload["base"])
+            seeds = payload.get("seeds")
+            grid = _coerce_grid(dict(payload.get("grid") or {}))
+            return expand_grid(base, seeds=seeds, grid=grid)
+    except _BadRequest:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        raise _BadRequest(str(message)) from error
+    raise _BadRequest("body must contain 'scenarios' or 'base'")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`ReproService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_Server"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.service.verbose:
+            super().log_message(format, *args)
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        self._send_bytes(
+            status, json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+
+    def _error(self, status: int, message: str) -> None:
+        # error paths may leave a request body unread; closing the
+        # connection keeps a keep-alive client from parsing those bytes
+        # as its next request
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest(f"body too large ({length} bytes)")
+        try:
+            return json.loads(self.rfile.read(length) or b"null")
+        except json.JSONDecodeError as error:
+            raise _BadRequest(f"invalid JSON body: {error}") from error
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["health"]:
+                self._get_health()
+            elif parts == ["registry"]:
+                query = parse_qs(url.query)
+                self._send_json(
+                    200, registry_dump(adversaries_only="adversaries" in query)
+                )
+            elif parts == ["jobs"]:
+                service = self.server.service
+                self._send_json(
+                    200, {"jobs": [j.snapshot() for j in service.jobs.jobs()]}
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._get_job(parts[1])
+            elif parts == ["reports"]:
+                self._get_reports_query(parse_qs(url.query))
+            elif len(parts) == 2 and parts[0] == "reports":
+                self._get_report(parts[1])
+            else:
+                self._error(404, f"unknown path {url.path!r}")
+        except _BadRequest as error:
+            self._error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - never kill the handler
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["jobs"]:
+                self._post_job()
+            else:
+                self._error(404, f"unknown path {url.path!r}")
+        except _BadRequest as error:
+            self._error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - never kill the handler
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _get_health(self) -> None:
+        service = self.server.service
+        from repro._version import __version__
+
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "version": __version__,
+                "store_path": service.store.path,
+                "reports": len(service.store),
+            },
+        )
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.service.jobs.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._send_json(200, job.snapshot())
+
+    def _get_report(self, cache_key: str) -> None:
+        # serve the stored canonical bytes verbatim: what the client gets
+        # over the wire is exactly what a fresh run would render
+        text = self.server.service.store.get_json(cache_key)
+        if text is None:
+            self._error(404, f"no report stored under {cache_key!r}")
+        else:
+            self._send_bytes(200, text.encode("utf-8"))
+
+    def _get_reports_query(self, query: dict[str, list[str]]) -> None:
+        filters: dict[str, Any] = {}
+        for name in _QUERY_STRING_FILTERS:
+            if name in query:
+                filters[name] = query[name][0]
+        for name in _QUERY_INT_FILTERS:
+            if name in query:
+                try:
+                    filters[name] = int(query[name][0])
+                except ValueError:
+                    raise _BadRequest(f"{name} must be an integer")
+        if "success" in query:
+            value = query["success"][0].lower()
+            if value not in ("true", "false", "0", "1"):
+                raise _BadRequest("success must be true/false/0/1")
+            filters["success"] = value in ("true", "1")
+        unknown = set(query) - set(_QUERY_STRING_FILTERS) - set(
+            _QUERY_INT_FILTERS
+        ) - {"success"}
+        if unknown:
+            raise _BadRequest(f"unknown query parameters {sorted(unknown)}")
+        reports = self.server.service.store.query(**filters)
+        self._send_json(
+            200,
+            {
+                "count": len(reports),
+                "reports": [report.to_dict() for report in reports],
+            },
+        )
+
+    def _post_job(self) -> None:
+        service = self.server.service
+        scenarios = _scenarios_from_payload(self._read_body())
+        try:
+            job = service.jobs.submit(scenarios)
+        except ValueError as error:
+            raise _BadRequest(str(error)) from error
+        self._send_json(202, job.snapshot())
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    service: "ReproService"
+
+
+class ReproService:
+    """The store-backed sweep service: HTTP front, job workers behind.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    :meth:`start`), which is what the tests and the CI smoke use.
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        workers: int = 2,
+        processes: Optional[int] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.store = ResultStore(store_path)
+        self.jobs = JobManager(self.store, workers=workers, processes=processes)
+        self.verbose = verbose
+        self._server = _Server((host, port), _Handler)
+        self._server.service = self
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ReproService":
+        """Serve on a daemon thread (for tests and embedding); returns self."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, the job workers, and close the store."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.jobs.shutdown()
+        self.store.close()
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+def serve(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    processes: Optional[int] = None,
+) -> int:
+    """Run the service until interrupted (the ``repro serve`` command)."""
+    service = ReproService(
+        store_path,
+        host=host,
+        port=port,
+        workers=workers,
+        processes=processes,
+        verbose=True,
+    )
+    print(
+        f"repro service on {service.url} "
+        f"(store: {store_path}, {len(service.store)} reports; "
+        f"{workers} workers)"
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return 0

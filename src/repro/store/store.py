@@ -1,0 +1,358 @@
+"""SQLite-backed, content-addressed store for canonical run reports.
+
+One row per scenario cache key (:meth:`Scenario.cache_key
+<repro.runner.scenario.Scenario.cache_key>`): the canonical report JSON
+plus denormalized query columns (algorithm, topology, adversary, fault
+model, seed, size, outcome). Because the runner's determinism contract
+makes the canonical report a pure function of the scenario, the key is a
+valid content address — two writers can only ever race to insert the
+same bytes, so concurrent ``put_many`` from multiple processes needs
+nothing beyond SQLite's own locking (WAL journal, ``INSERT OR IGNORE``,
+a generous busy timeout).
+
+The store is safe to share across the service's handler and worker
+threads (one internal lock serializes access to the single connection)
+and across processes (each process opens its own :class:`ResultStore` on
+the same path).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+import threading
+import time
+from typing import Any, Iterable, Optional
+
+from repro.runner.report import RunReport
+
+__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+
+#: bump on incompatible table changes; opening a mismatched store raises
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reports (
+    cache_key      TEXT PRIMARY KEY,
+    algorithm      TEXT NOT NULL,
+    topology       TEXT NOT NULL,
+    adversary      TEXT NOT NULL,
+    fault_model    TEXT NOT NULL,
+    fault_p        REAL NOT NULL,
+    seed           INTEGER NOT NULL,
+    network_n      INTEGER NOT NULL,
+    success        INTEGER NOT NULL,
+    rounds         INTEGER NOT NULL,
+    wall_time_s    REAL NOT NULL,
+    canonical_json TEXT NOT NULL,
+    created_at     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_reports_algorithm ON reports (algorithm);
+CREATE INDEX IF NOT EXISTS idx_reports_topology  ON reports (topology);
+CREATE INDEX IF NOT EXISTS idx_reports_adversary ON reports (adversary);
+CREATE INDEX IF NOT EXISTS idx_reports_seed      ON reports (seed);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: deterministic result order for query()/export_json()
+_QUERY_ORDER = "ORDER BY algorithm, topology, network_n, seed, cache_key"
+
+
+class ResultStore:
+    """A content-addressed result store on one SQLite database file.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first open). ``":memory:"`` works for
+        single-process, single-store use.
+    timeout:
+        SQLite busy timeout in seconds — how long a writer waits on a
+        concurrent writer's transaction before giving up.
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        try:
+            with self._lock, self._connection as connection:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.executescript(_SCHEMA)
+                row = connection.execute(
+                    "SELECT value FROM store_meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if row is None:
+                    connection.execute(
+                        "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                        ("schema_version", str(STORE_SCHEMA_VERSION)),
+                    )
+                elif int(row[0]) != STORE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"store {self.path!r} has schema version {row[0]}, "
+                        f"this library writes version {STORE_SCHEMA_VERSION}"
+                    )
+        except Exception:
+            self._connection.close()
+            raise
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, report: RunReport, replace: bool = False) -> int:
+        """Store one report under its cache key; see :meth:`put_many`."""
+        return self.put_many([report], replace=replace)
+
+    def put_many(
+        self, reports: Iterable[RunReport], replace: bool = False
+    ) -> int:
+        """Batch-insert reports in one transaction; returns rows written.
+
+        Every report must carry a non-empty ``cache_key`` (reports of
+        explicit-network scenarios are not content-addressable). Existing
+        keys are left untouched — the stored bytes are already the
+        canonical answer — unless ``replace`` is true.
+        """
+        now = time.time()
+        rows = []
+        for report in reports:
+            if not report.cache_key:
+                raise ValueError(
+                    "report has no cache_key (explicit-network scenarios "
+                    "are not content-addressable)"
+                )
+            scenario = report.scenario
+            faults = scenario.get("faults", {})
+            adversary = scenario.get("adversary")
+            rows.append(
+                (
+                    report.cache_key,
+                    report.algorithm,
+                    str(scenario.get("topology", "")),
+                    adversary["kind"] if adversary else "",
+                    str(faults.get("model", "none")),
+                    float(faults.get("p", 0.0)),
+                    int(scenario.get("seed", 0)),
+                    report.network_n,
+                    int(report.success),
+                    report.rounds,
+                    report.wall_time_s,
+                    report.to_json(canonical=True),
+                    now,
+                )
+            )
+        if not rows:
+            return 0
+        conflict = "REPLACE" if replace else "IGNORE"
+        with self._lock, self._connection as connection:
+            before = connection.total_changes
+            connection.executemany(
+                f"INSERT OR {conflict} INTO reports VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            return connection.total_changes - before
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, cache_key: str) -> Optional[RunReport]:
+        """The stored report for ``cache_key`` (None when absent).
+
+        The returned report renders byte-identically to the run that was
+        stored: ``report.to_json(canonical=True)`` equals the stored
+        canonical JSON exactly. ``wall_time_s`` is the original run's
+        (timing is outside the canonical form).
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT canonical_json, wall_time_s FROM reports "
+                "WHERE cache_key = ?",
+                (cache_key,),
+            ).fetchone()
+        if row is None:
+            return None
+        return self._report_from_row(row[0], row[1])
+
+    def get_json(self, cache_key: str) -> Optional[str]:
+        """The stored canonical JSON text itself (None when absent)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT canonical_json FROM reports WHERE cache_key = ?",
+                (cache_key,),
+            ).fetchone()
+        return None if row is None else row[0]
+
+    def __contains__(self, cache_key: str) -> bool:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT 1 FROM reports WHERE cache_key = ?", (cache_key,)
+            ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM reports"
+            ).fetchone()[0]
+
+    def keys(self) -> list[str]:
+        """Every stored cache key, in deterministic (sorted) order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT cache_key FROM reports ORDER BY cache_key"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def query(
+        self,
+        algorithm: Optional[str] = None,
+        topology: Optional[str] = None,
+        adversary: Optional[str] = None,
+        fault_model: Optional[str] = None,
+        seed_min: Optional[int] = None,
+        seed_max: Optional[int] = None,
+        success: Optional[bool] = None,
+        limit: Optional[int] = None,
+    ) -> list[RunReport]:
+        """Reports matching every given filter, in deterministic order.
+
+        ``adversary`` filters on the adversary kind; pass ``"none"`` (or
+        ``""``) to match runs without one. ``seed_min``/``seed_max`` are
+        an inclusive range. ``None`` filters are inactive.
+        """
+        where, values = self._where(
+            algorithm, topology, adversary, fault_model,
+            seed_min, seed_max, success,
+        )
+        sql = f"SELECT canonical_json, wall_time_s FROM reports {where} {_QUERY_ORDER}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(int(limit))
+        with self._lock:
+            rows = self._connection.execute(sql, values).fetchall()
+        return [self._report_from_row(text, wall) for text, wall in rows]
+
+    def count(
+        self,
+        algorithm: Optional[str] = None,
+        topology: Optional[str] = None,
+        adversary: Optional[str] = None,
+        fault_model: Optional[str] = None,
+        seed_min: Optional[int] = None,
+        seed_max: Optional[int] = None,
+        success: Optional[bool] = None,
+    ) -> int:
+        """How many reports match the filters (see :meth:`query`)."""
+        where, values = self._where(
+            algorithm, topology, adversary, fault_model,
+            seed_min, seed_max, success,
+        )
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT COUNT(*) FROM reports {where}", values
+            ).fetchone()[0]
+
+    def stats(self) -> dict[str, Any]:
+        """A summary of the store: totals and per-dimension breakdowns."""
+        with self._lock:
+            connection = self._connection
+            total = connection.execute("SELECT COUNT(*) FROM reports").fetchone()[0]
+            breakdown = {}
+            for column in ("algorithm", "topology", "adversary"):
+                rows = connection.execute(
+                    f"SELECT {column}, COUNT(*) FROM reports "
+                    f"GROUP BY {column} ORDER BY {column}"
+                ).fetchall()
+                breakdown[column] = {name or "none": count for name, count in rows}
+            wall = connection.execute(
+                "SELECT COALESCE(SUM(wall_time_s), 0.0) FROM reports"
+            ).fetchone()[0]
+        return {
+            "path": self.path,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "reports": total,
+            "by_algorithm": breakdown["algorithm"],
+            "by_topology": breakdown["topology"],
+            "by_adversary": breakdown["adversary"],
+            "stored_wall_time_s": wall,
+        }
+
+    # -- export -------------------------------------------------------------
+
+    def export_json(self, path: str, **filters: Any) -> int:
+        """Write matching reports (see :meth:`query`) as a JSON array.
+
+        The array holds full report dicts (timing included), the same
+        shape ``repro sweep --format json`` emits; returns the number of
+        reports written.
+        """
+        reports = self.query(**filters)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                [report.to_dict() for report in reports],
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        return len(reports)
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _report_from_row(canonical_json: str, wall_time_s: float) -> RunReport:
+        report = RunReport.from_dict(json.loads(canonical_json))
+        return dataclasses.replace(report, wall_time_s=wall_time_s)
+
+    @staticmethod
+    def _where(
+        algorithm: Optional[str],
+        topology: Optional[str],
+        adversary: Optional[str],
+        fault_model: Optional[str],
+        seed_min: Optional[int],
+        seed_max: Optional[int],
+        success: Optional[bool],
+    ) -> tuple[str, list[Any]]:
+        clauses: list[str] = []
+        values: list[Any] = []
+        for column, value in (
+            ("algorithm", algorithm),
+            ("topology", topology),
+            ("fault_model", fault_model),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                values.append(value)
+        if adversary is not None:
+            clauses.append("adversary = ?")
+            values.append("" if adversary == "none" else adversary)
+        if seed_min is not None:
+            clauses.append("seed >= ?")
+            values.append(int(seed_min))
+        if seed_max is not None:
+            clauses.append("seed <= ?")
+            values.append(int(seed_max))
+        if success is not None:
+            clauses.append("success = ?")
+            values.append(int(bool(success)))
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        return where, values

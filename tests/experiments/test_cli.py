@@ -238,3 +238,79 @@ class TestRunE20:
         assert "gilbert_elliott" in out
         assert "jammer_frontier" in out
         assert "slowdown" in out
+
+
+class TestStoreFlags:
+    SWEEP_ARGS = [
+        "sweep",
+        "--algorithms", "decay",
+        "--topology", "path",
+        "--n", "16",
+        "--fault-model", "receiver",
+        "--p", "0.3",
+        "--seeds", "0:3",
+    ]
+
+    def test_sweep_store_records_reports(self, capsys, tmp_path):
+        from repro.store import ResultStore
+
+        db = str(tmp_path / "sweep.db")
+        assert main(self.SWEEP_ARGS + ["--store", db]) == 0
+        with ResultStore(db) as store:
+            assert len(store) == 3
+
+    def test_sweep_resume_replays_identical_bytes(self, capsys, tmp_path):
+        db = str(tmp_path / "sweep.db")
+        assert main(self.SWEEP_ARGS + ["--store", db, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resume: 0/3" in captured.err
+        fresh = json.loads(captured.out)
+        assert main(self.SWEEP_ARGS + ["--store", db, "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resume: 3/3" in captured.err
+        cached = json.loads(captured.out)
+        for left, right in zip(fresh, cached):
+            left.pop("wall_time_s"), right.pop("wall_time_s")
+        assert cached == fresh
+
+    def test_resume_without_store_fails_cleanly(self, capsys):
+        assert main(self.SWEEP_ARGS + ["--resume"]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_store_stats_command(self, capsys, tmp_path):
+        db = str(tmp_path / "sweep.db")
+        assert main(self.SWEEP_ARGS + ["--store", db]) == 0
+        capsys.readouterr()
+        assert main(["store", db]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["reports"] == 3
+        assert stats["by_algorithm"] == {"decay": 3}
+
+    def test_store_export_command(self, capsys, tmp_path):
+        db = str(tmp_path / "sweep.db")
+        assert main(self.SWEEP_ARGS + ["--store", db]) == 0
+        out = str(tmp_path / "export.json")
+        assert main(["store", db, "--export", out, "--algorithm", "decay"]) == 0
+        with open(out, encoding="utf-8") as handle:
+            assert len(json.load(handle)) == 3
+
+    def test_store_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["store", str(tmp_path / "absent.db")]) == 2
+        assert "no store" in capsys.readouterr().err
+
+    def test_sweep_reports_carry_cache_keys(self, capsys):
+        assert main(self.SWEEP_ARGS) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert all(len(r["cache_key"]) == 64 for r in reports)
+
+    def test_store_invalid_file_fails_cleanly(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.db"
+        garbage.write_text("not a database")
+        assert main(["store", str(garbage)]) == 2
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_sweep_invalid_store_file_fails_cleanly(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.db"
+        garbage.write_text("not a database")
+        assert main(self.SWEEP_ARGS + ["--store", str(garbage)]) == 2
+        assert "cannot open store" in capsys.readouterr().err

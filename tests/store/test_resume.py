@@ -1,0 +1,137 @@
+"""run_batch/sweep with a store: resume determinism and the fast path."""
+
+import pytest
+
+import repro.runner.runner as runner_module
+from repro.core.faults import AdversaryConfig, FaultConfig
+from repro.runner import Scenario, expand_grid, run_batch, sweep
+from repro.store import ResultStore
+from repro.topologies import path
+
+BASE = Scenario(
+    algorithm="decay",
+    topology="path",
+    topology_params={"n": 16},
+    faults=FaultConfig.receiver(0.3),
+    seed=0,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "resume.db")) as result_store:
+        yield result_store
+
+
+def canonical(reports):
+    return [report.to_json(canonical=True) for report in reports]
+
+
+class TestResumeDeterminism:
+    def test_cached_batch_matches_fresh_batch_byte_for_byte(self, store):
+        scenarios = expand_grid(
+            BASE, seeds=range(4), grid={"algorithm": ["decay", "fastbc"]}
+        )
+        fresh = run_batch(scenarios, store=store)
+        cached = run_batch(scenarios, store=store)
+        assert canonical(cached) == canonical(fresh)
+
+    def test_adversary_scenarios_resume_byte_identical(self, store):
+        base = BASE.with_(faults=FaultConfig.faultless())
+        scenarios = expand_grid(
+            base,
+            seeds=range(3),
+            grid={
+                "adversary": [
+                    AdversaryConfig("gilbert_elliott", {"p_bad": 0.9}),
+                    AdversaryConfig("budgeted_jammer", {"per_round": 2}),
+                ]
+            },
+        )
+        fresh = run_batch(scenarios, store=store)
+        cached = run_batch(scenarios, store=store)
+        assert canonical(cached) == canonical(fresh)
+
+    def test_interrupted_sweep_resumes_to_identical_bytes(self, store):
+        scenarios = expand_grid(BASE, seeds=range(6))
+        # the "interrupted" first attempt computed only half the sweep
+        run_batch(scenarios[:3], store=store)
+        resumed = run_batch(scenarios, store=store)
+        uninterrupted = run_batch(scenarios)
+        assert canonical(resumed) == canonical(uninterrupted)
+
+    def test_cache_hits_skip_execution(self, store, monkeypatch):
+        scenarios = expand_grid(BASE, seeds=range(3))
+        run_batch(scenarios, store=store)
+
+        def explode(scenario):
+            raise AssertionError("cache hit should not execute")
+
+        monkeypatch.setattr(runner_module, "run", explode)
+        cached = run_batch(scenarios, store=store)
+        assert len(cached) == 3
+
+    def test_reuse_false_recomputes(self, store, monkeypatch):
+        scenarios = expand_grid(BASE, seeds=range(2))
+        run_batch(scenarios, store=store)
+        calls = []
+        real_run = runner_module.run
+
+        def counting(scenario):
+            calls.append(scenario)
+            return real_run(scenario)
+
+        monkeypatch.setattr(runner_module, "run", counting)
+        run_batch(scenarios, store=store, reuse=False)
+        assert len(calls) == 2
+
+    def test_sweep_accepts_store(self, store):
+        first = sweep(BASE, seeds=range(3), store=store)
+        second = sweep(BASE, seeds=range(3), store=store)
+        assert canonical(first) == canonical(second)
+        assert len(store) == 3
+
+    def test_mixed_hits_and_misses_preserve_input_order(self, store):
+        scenarios = expand_grid(BASE, seeds=range(5))
+        run_batch([scenarios[1], scenarios[3]], store=store)
+        reports = run_batch(scenarios, store=store)
+        assert [r.scenario["seed"] for r in reports] == [0, 1, 2, 3, 4]
+        assert canonical(reports) == canonical(run_batch(scenarios))
+
+    def test_parallel_batch_with_store_matches_serial(self, store):
+        scenarios = expand_grid(BASE, seeds=range(4))
+        parallel = run_batch(scenarios, processes=2, store=store)
+        serial = run_batch(scenarios)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_explicit_network_scenarios_run_but_are_not_stored(self, store):
+        explicit = Scenario(algorithm="decay", topology=path(8))
+        reports = run_batch([explicit], store=store)
+        assert reports[0].success is not None
+        assert len(store) == 0
+
+
+class TestFastPath:
+    def test_single_survivor_skips_pool_creation(self, store, monkeypatch):
+        scenarios = expand_grid(BASE, seeds=range(4))
+        run_batch(scenarios[:3], store=store)
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("pool must not be created for one survivor")
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context", no_pool
+        )
+        # 4 scenarios requested in parallel, but only one cache miss left
+        reports = run_batch(scenarios, processes=4, store=store)
+        assert len(reports) == 4
+
+    def test_single_worker_skips_pool_creation(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise AssertionError("pool must not be created for one worker")
+
+        monkeypatch.setattr(
+            runner_module.multiprocessing, "get_context", no_pool
+        )
+        reports = run_batch(expand_grid(BASE, seeds=range(3)), processes=1)
+        assert len(reports) == 3
