@@ -1,0 +1,221 @@
+"""Analysis throughput benchmarks: streamed aggregation over the store.
+
+``python benchmarks/bench_analysis.py [--scale smoke|full] [--output PATH]``
+emits ``BENCH_analysis.json`` with three measurements:
+
+* ``aggregate_stream``  — group-by aggregation throughput (rows/sec)
+  streamed straight from SQLite via ``ResultStore.iter_rows`` (no
+  canonical-JSON parsing). The acceptance bar is >= 50k rows/s on a
+  100k-row store (the full scale);
+* ``bootstrap_groups``  — per-group seeded-bootstrap cost included, i.e.
+  the full ``repro analyze aggregate`` path;
+* ``compare_paired``    — paired two-arm comparison over the same store.
+
+``pytest benchmarks/bench_analysis.py --benchmark-only -o python_files='bench_*.py'``
+runs the same measurements under pytest-benchmark and asserts the bar.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import aggregate, compare
+from repro.core.faults import FaultConfig
+from repro.runner import RunReport, Scenario
+from repro.store import ResultStore
+
+SCHEMA = "repro.bench_analysis/1"
+
+#: >= this many rows/s of streamed aggregation on the full-scale store
+AGGREGATE_BAR_ROWS_PER_SEC = 50_000.0
+
+_SCALES = {
+    "smoke": {"rows": 20_000},
+    "full": {"rows": 100_000},
+}
+
+_ALGORITHMS = ("decay", "fastbc", "rlnc_decay", "robust_fastbc")
+_SIZES = (32, 48, 64, 96)
+
+
+def build_store(path, rows):
+    """A store of ``rows`` distinct-keyed fabricated reports.
+
+    Fabricated (not simulated) so the benchmark times the analysis
+    layer, not the simulator; the key grid spans algorithms x sizes x
+    seeds like a real E-series sweep.
+    """
+    store = ResultStore(path)
+    per_cell = rows // (len(_ALGORITHMS) * len(_SIZES))
+    reports = []
+    written = 0
+    for algorithm in _ALGORITHMS:
+        for n in _SIZES:
+            scenario = Scenario(
+                algorithm=algorithm,
+                topology="path",
+                topology_params={"n": n},
+                params={"k": 4} if algorithm.startswith("rlnc") else {},
+                faults=FaultConfig.receiver(0.3),
+                seed=0,
+            )
+            for seed in range(per_cell):
+                cell = scenario.with_(seed=seed)
+                rounds = 40 + (n * 3) + (seed * 7919) % 97
+                reports.append(
+                    RunReport(
+                        scenario=cell.describe(),
+                        algorithm=algorithm,
+                        success=(seed % 50) != 0,
+                        rounds=rounds,
+                        informed=n,
+                        total=n,
+                        counters={"rounds": rounds},
+                        network_n=n,
+                        network_name=f"path-{n}",
+                        wall_time_s=0.01,
+                        cache_key=cell.cache_key(),
+                    )
+                )
+                if len(reports) >= 5000:
+                    written += store.put_many(reports)
+                    reports = []
+    written += store.put_many(reports)
+    return store, written
+
+
+def bench_aggregate_stream(store, rows):
+    start = time.perf_counter()
+    report = aggregate(
+        store, by=("algorithm", "n"), metric="rounds", resamples=200
+    )
+    elapsed = time.perf_counter() - start
+    assert report.summary["rows_scanned"] == rows
+    return {
+        "name": "aggregate_stream",
+        "rows": rows,
+        "groups": report.summary["groups"],
+        "seconds": round(elapsed, 6),
+        "rows_per_sec": round(rows / elapsed, 2),
+    }
+
+
+def bench_bootstrap_groups(store, rows):
+    start = time.perf_counter()
+    report = aggregate(
+        store,
+        by=("algorithm", "n", "fault_p"),
+        metric="rounds",
+        resamples=2000,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "bootstrap_groups",
+        "rows": rows,
+        "groups": report.summary["groups"],
+        "resamples": 2000,
+        "seconds": round(elapsed, 6),
+        "rows_per_sec": round(rows / elapsed, 2),
+    }
+
+
+def bench_compare_paired(store, rows):
+    start = time.perf_counter()
+    report = compare(
+        store,
+        arm_a={"algorithm": "decay"},
+        arm_b={"algorithm": "fastbc"},
+        match_on=("n", "seed"),
+        resamples=1000,
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "name": "compare_paired",
+        "rows": rows,
+        "pairs": report.summary["pairs"],
+        "seconds": round(elapsed, 6),
+        "rows_per_sec": round(rows / elapsed, 2),
+    }
+
+
+def run_analysis_benchmarks(scale="smoke"):
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    rows = _SCALES[scale]["rows"]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-analysis-") as tmp_dir:
+        store, written = build_store(str(Path(tmp_dir) / "bench.db"), rows)
+        with store:
+            results = [
+                bench_aggregate_stream(store, written),
+                bench_bootstrap_groups(store, written),
+                bench_compare_paired(store, written),
+            ]
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "store_rows": written,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    parser.add_argument("--output", default="BENCH_analysis.json")
+    args = parser.parse_args(argv)
+
+    report = run_analysis_benchmarks(scale=args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for result in report["results"]:
+        print(f"{result['name']:<18} {result['rows_per_sec']:>12.2f} rows/s")
+    streamed = report["results"][0]["rows_per_sec"]
+    if streamed < AGGREGATE_BAR_ROWS_PER_SEC:
+        print(
+            f"FAIL: streamed aggregation {streamed} rows/s is below the "
+            f"{AGGREGATE_BAR_ROWS_PER_SEC:.0f} rows/s bar"
+        )
+        return 1
+    print(f"wrote {args.output}")
+    return 0
+
+
+# -- pytest-benchmark wrappers ----------------------------------------------
+
+
+def test_aggregate_stream_throughput(benchmark, repro_scale, tmp_path):
+    rows = _SCALES[repro_scale]["rows"]
+    store, written = build_store(str(tmp_path / "bench.db"), rows)
+    with store:
+        result = benchmark.pedantic(
+            lambda: bench_aggregate_stream(store, written),
+            rounds=1,
+            iterations=1,
+        )
+    benchmark.extra_info["result"] = result
+    # the ISSUE-5 acceptance bar: >= 50k rows/s streamed from SQLite
+    assert result["rows_per_sec"] >= AGGREGATE_BAR_ROWS_PER_SEC
+
+
+def test_compare_throughput(benchmark, repro_scale, tmp_path):
+    rows = _SCALES[repro_scale]["rows"]
+    store, written = build_store(str(tmp_path / "bench.db"), rows)
+    with store:
+        result = benchmark.pedantic(
+            lambda: bench_compare_paired(store, written),
+            rounds=1,
+            iterations=1,
+        )
+    benchmark.extra_info["result"] = result
+    assert result["pairs"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

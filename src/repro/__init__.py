@@ -68,6 +68,14 @@ from repro.core import (
     RadioNetwork,
     Simulator,
 )
+from repro.analysis import (
+    AnalysisReport,
+    adaptive_sweep,
+    aggregate,
+    compare,
+    fit,
+    fit_scaling,
+)
 from repro.gbst import build_gbst
 from repro.runner import (
     BroadcastAlgorithm,
@@ -93,6 +101,7 @@ from repro.topologies import (
 __all__ = [
     "__version__",
     "AdversaryConfig",
+    "AnalysisReport",
     "BroadcastAlgorithm",
     "Channel",
     "FaultConfig",
@@ -106,13 +115,18 @@ __all__ = [
     "RunReport",
     "Scenario",
     "Simulator",
+    "adaptive_sweep",
+    "aggregate",
     "all_adversaries",
     "all_algorithms",
     "build_adversary",
     "build_gbst",
+    "compare",
     "get_adversary_type",
     "decay_broadcast",
     "fastbc_broadcast",
+    "fit",
+    "fit_scaling",
     "get_algorithm",
     "gnp",
     "grid",

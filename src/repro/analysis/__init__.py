@@ -1,5 +1,24 @@
-"""Theory-side tools: tail bounds, closed-form predictions, curve fitting."""
+"""Statistics and experiment design over runs, stores, and theory.
 
+Two halves live here. The theory side (bounds, closed-form predictions,
+basic curve fitting) predates the result store. The store-native side —
+:mod:`~repro.analysis.aggregate` (streaming group-by with Wilson and
+bootstrap intervals), :mod:`~repro.analysis.fit` (scaling-law fitting
+with AIC model comparison), :mod:`~repro.analysis.compare` (paired
+sign-test/bootstrap certification of algorithm gaps), and
+:mod:`~repro.analysis.design` (adaptive sequential sweeps that spend
+seeds where the confidence intervals are widest) — consumes the
+thousands of canonical reports a :class:`~repro.store.ResultStore`
+accumulates and emits content-addressed :class:`AnalysisReport` records.
+The CLI surface is ``repro analyze aggregate|fit|compare|adaptive``; the
+service surface is ``GET /analysis`` and adaptive ``POST /jobs``.
+"""
+
+from repro.analysis.aggregate import aggregate, rows_from_reports
+from repro.analysis.compare import compare, sign_test
+from repro.analysis.design import adaptive_sweep
+from repro.analysis.fit import fit, fit_polylog, fit_power_law, fit_scaling
+from repro.analysis.report import ANALYSIS_SCHEMA, AnalysisReport
 from repro.analysis.bounds import (
     chernoff_binomial_lower_tail,
     chernoff_binomial_upper_tail,
@@ -22,6 +41,17 @@ from repro.analysis.predictions import (
 )
 
 __all__ = [
+    "ANALYSIS_SCHEMA",
+    "AnalysisReport",
+    "adaptive_sweep",
+    "aggregate",
+    "compare",
+    "fit",
+    "fit_polylog",
+    "fit_power_law",
+    "fit_scaling",
+    "rows_from_reports",
+    "sign_test",
     "chernoff_binomial_lower_tail",
     "chernoff_binomial_upper_tail",
     "chernoff_geometric_sum_tail",

@@ -1,0 +1,247 @@
+"""Paired comparison of two arms on matched seeds.
+
+The repo's headline quantitative claim — network-coded gossip beats
+uncoded broadcast by a multiplicative factor — is a *paired* statement:
+both arms run the same topology, size, noise, and seed, and only the
+algorithm differs. :func:`compare` matches rows from two arms on those
+shared dimensions and certifies the gap two ways:
+
+* an exact two-sided **sign test** on which arm wins each pair (no
+  distributional assumptions at all), and
+* a seeded **bootstrap CI of the mean per-pair ratio** (arm A metric /
+  arm B metric); a CI excluding 1.0 is the certification the E21
+  acceptance bar asks for.
+
+The result is a canonical :class:`AnalysisReport` (kind ``compare``)
+with one row per matched group (every match dimension except the seed)
+and the overall verdict in ``summary`` — content-addressed via
+``cache_key()`` like every other analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.analysis.aggregate import (
+    DIMENSIONS,
+    METRICS,
+    Source,
+    _get,
+    _iter_source,
+    group_seed,
+)
+from repro.analysis.report import AnalysisReport
+from repro.util.stats import bootstrap_ci, mean
+
+__all__ = ["compare", "sign_test"]
+
+#: row fields arms may filter on (the dimensions plus the RLNC k)
+_ARM_FIELDS = frozenset(DIMENSIONS) | {"k"}
+
+#: fields only report-backed rows carry (store rows lack scenario params)
+_REPORT_FIELDS = frozenset({"k"})
+
+
+def sign_test(wins: int, losses: int) -> float:
+    """Exact two-sided sign-test p-value (ties excluded by the caller).
+
+    Under the null both arms are equally likely to win a pair, so
+    ``wins ~ Binomial(wins + losses, 1/2)``; the p-value doubles the tail
+    of the more extreme side (clipped at 1.0).
+    """
+    if wins < 0 or losses < 0:
+        raise ValueError("wins and losses must be non-negative")
+    trials = wins + losses
+    if trials == 0:
+        return 1.0
+    extreme = min(wins, losses)
+    tail = sum(math.comb(trials, i) for i in range(extreme + 1)) / 2.0**trials
+    return min(1.0, 2.0 * tail)
+
+
+def _normalize_arm(arm: Mapping[str, Any]) -> dict[str, Any]:
+    """Honor the store layer's ``adversary="none"`` spelling (stored ``""``)."""
+    normalized = dict(arm)
+    if normalized.get("adversary") == "none":
+        normalized["adversary"] = ""
+    return normalized
+
+
+def _matches(row: Any, conditions: Mapping[str, Any]) -> bool:
+    return all(_get(row, field) == value for field, value in conditions.items())
+
+
+def compare(
+    source: Source,
+    arm_a: Mapping[str, Any],
+    arm_b: Mapping[str, Any],
+    metric: str = "rounds",
+    match_on: Sequence[str] = ("topology", "n", "seed"),
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+    filters: Optional[Mapping[str, Any]] = None,
+) -> AnalysisReport:
+    """Pair two arms on matched dimensions -> :class:`AnalysisReport`.
+
+    ``arm_a``/``arm_b`` are equality filters on row fields (e.g.
+    ``{"algorithm": "decay"}`` vs ``{"algorithm": "rlnc_decay"}``); rows
+    matching neither arm are ignored. Pairs form on equal ``match_on``
+    tuples; duplicates within an arm collapse to their mean. The per-pair
+    ratio is ``metric(A) / metric(B)`` — for round counts, a ratio above
+    1.0 means arm A is slower.
+
+    ``summary.significant`` is True when the bootstrap CI of the mean
+    ratio excludes 1.0; ``summary.sign_test_p`` is the exact sign test
+    over pair winners.
+    """
+    arm_a = _normalize_arm(arm_a)
+    arm_b = _normalize_arm(arm_b)
+    if not arm_a or not arm_b:
+        raise ValueError("both arms need at least one filter field")
+    match_on = tuple(match_on)
+    if not match_on:
+        raise ValueError("match_on must name at least one dimension")
+    for mapping in (arm_a, arm_b, dict.fromkeys(match_on)):
+        unknown = set(mapping) - _ARM_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown fields {sorted(unknown)}; allowed: {sorted(_ARM_FIELDS)}"
+            )
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; allowed: {METRICS}")
+
+    # force report-backed rows when any filter needs fields the store's
+    # denormalized columns do not carry (the metric forces them itself)
+    needs_reports = bool(
+        _REPORT_FIELDS & (set(arm_a) | set(arm_b) | set(match_on))
+    )
+
+    sides: dict[tuple, dict[str, list[float]]] = {}
+    scanned = 0
+    for row in _iter_source(source, metric, filters, force_reports=needs_reports):
+        scanned += 1
+        in_a = _matches(row, arm_a)
+        in_b = _matches(row, arm_b)
+        if in_a and in_b:
+            # a misassigned partition would silently skew every pairing
+            # statistic, so overlapping arms are a caller error
+            raise ValueError(
+                f"arms overlap: a row matches both {arm_a} and {arm_b}; "
+                "make the arm filters mutually exclusive"
+            )
+        if in_a:
+            side = "a"
+        elif in_b:
+            side = "b"
+        else:
+            continue
+        key = tuple(_get(row, field) for field in match_on)
+        sides.setdefault(key, {"a": [], "b": []})[side].append(
+            float(_get(row, metric))
+        )
+
+    pairs: dict[tuple, tuple[float, float]] = {}
+    for key, values in sides.items():
+        if values["a"] and values["b"]:
+            pairs[key] = (mean(values["a"]), mean(values["b"]))
+    if not pairs:
+        raise ValueError(
+            "no matched pairs: the two arms share no "
+            f"{'/'.join(match_on)} combination"
+        )
+
+    ordered = sorted(pairs, key=lambda k: tuple(str(v) for v in k))
+    ratios, wins, losses, ties, dropped = [], 0, 0, 0, 0
+    for key in ordered:
+        value_a, value_b = pairs[key]
+        if value_b == 0.0:
+            dropped += 1
+            continue
+        ratios.append(value_a / value_b)
+        if value_a > value_b:
+            wins += 1
+        elif value_a < value_b:
+            losses += 1
+        else:
+            ties += 1
+    if not ratios:
+        raise ValueError("every matched pair had a zero-valued B arm")
+
+    ci_low, ci_high = bootstrap_ci(
+        ratios,
+        confidence=confidence,
+        resamples=resamples,
+        seed=group_seed(seed, ("compare", metric), salt="ratio"),
+    )
+
+    # per-group breakdown: everything in match_on except the seed axis
+    group_fields = tuple(field for field in match_on if field != "seed")
+    groups: dict[tuple, list[tuple[float, float]]] = {}
+    for key in ordered:
+        value_a, value_b = pairs[key]
+        if value_b == 0.0:
+            continue
+        label = tuple(
+            part for field, part in zip(match_on, key) if field != "seed"
+        )
+        groups.setdefault(label, []).append((value_a, value_b))
+    columns = list(group_fields) + [
+        "pairs", "mean_a", "mean_b", "mean_ratio",
+        "ratio_ci_low", "ratio_ci_high",
+    ]
+    rows = []
+    for label in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
+        group_pairs = groups[label]
+        values = [a / b for a, b in group_pairs]
+        low, high = bootstrap_ci(
+            values,
+            confidence=confidence,
+            resamples=resamples,
+            seed=group_seed(seed, label, salt="compare-group"),
+        )
+        row = dict(zip(group_fields, label))
+        row.update(
+            pairs=len(values),
+            mean_a=mean([a for a, _ in group_pairs]),
+            mean_b=mean([b for _, b in group_pairs]),
+            mean_ratio=mean(values),
+            ratio_ci_low=low,
+            ratio_ci_high=high,
+        )
+        rows.append(row)
+
+    mean_ratio = mean(ratios)
+    return AnalysisReport(
+        kind="compare",
+        params={
+            "arm_a": arm_a,
+            "arm_b": arm_b,
+            "metric": metric,
+            "match_on": list(match_on),
+            "confidence": confidence,
+            "resamples": resamples,
+            "seed": seed,
+            "filters": dict(filters or {}),
+        },
+        columns=columns,
+        rows=rows,
+        summary={
+            "title": (
+                f"compare {metric}: {arm_a} vs {arm_b} "
+                f"on matched {'/'.join(match_on)}"
+            ),
+            "rows_scanned": scanned,
+            "pairs": len(ratios),
+            "dropped_zero_pairs": dropped,
+            "mean_ratio": mean_ratio,
+            "ratio_ci_low": ci_low,
+            "ratio_ci_high": ci_high,
+            "wins": wins,
+            "losses": losses,
+            "ties": ties,
+            "sign_test_p": sign_test(wins, losses),
+            "significant": ci_low > 1.0 or ci_high < 1.0,
+        },
+    )

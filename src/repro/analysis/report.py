@@ -1,0 +1,151 @@
+"""Canonical, content-addressed analysis records.
+
+Every analysis entry point (:func:`~repro.analysis.aggregate.aggregate`,
+:func:`~repro.analysis.fit.fit_scaling`,
+:func:`~repro.analysis.compare.compare`,
+:func:`~repro.analysis.design.adaptive_sweep`) returns one
+:class:`AnalysisReport`: a fixed-schema table of rows plus a summary
+dict, rendered canonically the same way :class:`~repro.runner.RunReport`
+is. The determinism contract extends upward: because run reports are
+pure functions of their scenarios and every analysis statistic is
+seeded, an analysis over the same underlying runs renders byte-identical
+canonical JSON — which makes ``cache_key()`` (SHA-256 over the canonical
+body plus code/schema version) a valid content address for the analysis
+itself.
+
+``meta`` carries everything that is true about one particular execution
+rather than the analysis (wall time, how many scenarios actually
+executed vs. were served from the store, the store path); it is excluded
+from the canonical form, exactly like ``wall_time_s`` on a run report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro._version import __version__
+from repro.util.tables import Table
+
+__all__ = ["AnalysisReport", "ANALYSIS_SCHEMA"]
+
+#: bump on incompatible changes to the analysis report shape
+ANALYSIS_SCHEMA = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / tuples to JSON-native values, recursively."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    return str(value)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """One analysis outcome: kind, parameters, row table, summary.
+
+    ``rows`` are mappings keyed by ``columns`` (extra keys are not
+    allowed — the schema is fixed so canonical bytes are stable);
+    ``summary`` holds the headline statistics of the whole analysis.
+    """
+
+    kind: str
+    params: dict
+    columns: tuple
+    rows: list
+    summary: dict
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _jsonable(dict(self.params)))
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(
+            self, "rows", [_jsonable(dict(row)) for row in self.rows]
+        )
+        object.__setattr__(self, "summary", _jsonable(dict(self.summary)))
+        object.__setattr__(self, "meta", dict(self.meta))
+        for index, row in enumerate(self.rows):
+            if set(row) != set(self.columns):
+                raise ValueError(
+                    f"row {index} keys {sorted(row)} do not match columns "
+                    f"{sorted(self.columns)}"
+                )
+
+    # -- content addressing --------------------------------------------------
+
+    def _body(self) -> dict[str, Any]:
+        return {
+            "schema": ANALYSIS_SCHEMA,
+            "version": __version__,
+            "kind": self.kind,
+            "params": self.params,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "summary": self.summary,
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 content address of the canonical analysis body."""
+        payload = json.dumps(
+            self._body(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self, include_meta: bool = True) -> dict[str, Any]:
+        """JSON form; ``include_meta=False`` is the canonical subset."""
+        data = self._body()
+        data["cache_key"] = self.cache_key()
+        if include_meta and self.meta:
+            data["meta"] = _jsonable(self.meta)
+        return data
+
+    def to_json(self, indent: "int | None" = None, canonical: bool = False) -> str:
+        """Render as JSON; ``canonical=True`` drops ``meta`` and fixes key
+        order so equal analyses compare byte-identical."""
+        return json.dumps(
+            self.to_dict(include_meta=not canonical),
+            indent=indent,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisReport":
+        """Inverse of :meth:`to_dict` (``schema``/``version``/``cache_key``
+        are recomputed, not trusted)."""
+        return cls(
+            kind=data["kind"],
+            params=dict(data.get("params", {})),
+            columns=tuple(data["columns"]),
+            rows=[dict(row) for row in data.get("rows", [])],
+            summary=dict(data.get("summary", {})),
+            meta=dict(data.get("meta", {})),
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_table(self) -> Table:
+        """Tabulate the rows (dict-valued cells render as compact JSON)."""
+        title = self.summary.get("title") or f"analysis: {self.kind}"
+        table = Table(list(self.columns), title=str(title))
+        for row in self.rows:
+            table.add_row(
+                *(
+                    json.dumps(row[column], sort_keys=True)
+                    if isinstance(row[column], (dict, list))
+                    else row[column]
+                    for column in self.columns
+                )
+            )
+        return table

@@ -17,6 +17,13 @@ Usage::
         --store results.db --resume
     repro store results.db
     repro store results.db --export decay.json --algorithm decay
+    repro analyze aggregate results.db --by algorithm,n
+    repro analyze fit results.db --by algorithm --metric rounds
+    repro analyze compare results.db --arm-a algorithm=decay \\
+        --arm-b algorithm=rlnc_decay --metric rounds_per_message
+    repro analyze adaptive results.db --algorithms decay,fastbc \\
+        --n 32,64 --fault-model receiver --p 0.3 \\
+        --target-halfwidth 10 --max-seeds 32
     repro serve --store results.db --port 8765 --workers 2
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
@@ -205,6 +212,127 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed-max", type=int, default=None, help="maximum seed (inclusive)"
     )
 
+    ana = sub.add_parser(
+        "analyze",
+        help=(
+            "statistical analysis over a result store: aggregation with "
+            "CIs, scaling-law fits, paired comparisons, adaptive sweeps"
+        ),
+    )
+    ana_sub = ana.add_subparsers(dest="action", required=True)
+
+    agg = ana_sub.add_parser(
+        "aggregate", help="group-by statistics with Wilson/bootstrap CIs"
+    )
+    agg.add_argument(
+        "--by",
+        default="algorithm",
+        help="comma-separated group dimensions (algorithm, topology, n, "
+        "adversary, fault_model, fault_p, seed, success)",
+    )
+    agg.add_argument(
+        "--percentiles",
+        default="5,50,95",
+        help="comma-separated metric percentiles per group",
+    )
+    _add_analysis_arguments(agg)
+
+    fit = ana_sub.add_parser(
+        "fit", help="fit rounds-vs-n scaling laws (power law + D+c*log^k n, AIC)"
+    )
+    fit.add_argument(
+        "--by", default="algorithm", help="comma-separated group dimensions"
+    )
+    fit.add_argument(
+        "--x", default="n", help="the scaling dimension (default: n)"
+    )
+    fit.add_argument(
+        "--max-k", type=int, default=3, help="largest log power in the model family"
+    )
+    _add_analysis_arguments(fit)
+
+    cmp = ana_sub.add_parser(
+        "compare",
+        help="paired two-arm comparison on matched seeds (sign test + "
+        "bootstrap ratio CI)",
+    )
+    cmp.add_argument(
+        "--arm-a",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        required=True,
+        help="arm A row filter (repeatable), e.g. algorithm=decay",
+    )
+    cmp.add_argument(
+        "--arm-b",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        required=True,
+        help="arm B row filter (repeatable), e.g. algorithm=rlnc_decay",
+    )
+    cmp.add_argument(
+        "--match-on",
+        default="topology,n,seed",
+        help="comma-separated dimensions pairs must agree on",
+    )
+    _add_analysis_arguments(cmp)
+
+    ada = ana_sub.add_parser(
+        "adaptive",
+        help="adaptive sequential sweep: spend seeds where CIs are widest "
+        "(resumable through the store)",
+    )
+    ada.add_argument(
+        "--algorithms",
+        default="decay",
+        help="comma-separated registered algorithm names (a grid axis)",
+    )
+    ada.add_argument("--topology", default="path", help="topology family")
+    ada.add_argument(
+        "--n", default="64", help="comma-separated topology sizes (a grid axis)"
+    )
+    ada.add_argument(
+        "--fault-model",
+        choices=("none", "sender", "receiver"),
+        default="none",
+        help="fault mechanism",
+    )
+    ada.add_argument(
+        "--p", type=float, default=0.0, help="fault probability in [0, 1)"
+    )
+    ada.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="algorithm parameter (repeatable)",
+    )
+    _add_adversary_arguments(ada)
+    ada.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget override"
+    )
+    ada.add_argument(
+        "--target-halfwidth",
+        type=float,
+        default=1.0,
+        help="stop refining a cell once its CI is within ±this",
+    )
+    ada.add_argument(
+        "--max-seeds", type=int, default=64, help="per-cell seed budget"
+    )
+    ada.add_argument(
+        "--batch", type=int, default=4, help="seeds per refinement step"
+    )
+    ada.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes per batch (1: serial)",
+    )
+    _add_analysis_arguments(ada, filters=False)
+
     bench = sub.add_parser(
         "bench",
         help="microbenchmark the simulation hot paths (vectorized vs reference)",
@@ -226,6 +354,216 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the kernel/reference consistency cross-check",
     )
     return parser
+
+
+def _add_analysis_arguments(
+    parser: argparse.ArgumentParser, filters: bool = True
+) -> None:
+    """Flags shared by every ``repro analyze`` action.
+
+    ``filters=False`` (the adaptive action) skips the store row filters:
+    adaptive sweeps *generate* runs from their scenario grid rather than
+    reading filtered rows, so the flags would be dead weight there.
+    """
+    parser.add_argument("store", help="result store database file")
+    parser.add_argument(
+        "--metric",
+        choices=("rounds", "rounds_per_message", "informed_fraction"),
+        default="rounds",
+        help="the per-run quantity analyzed",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for every interval",
+    )
+    parser.add_argument(
+        "--resamples", type=int, default=1000, help="bootstrap resamples"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="bootstrap RNG seed"
+    )
+    if filters:
+        parser.add_argument(
+            "--algorithm", default=None, help="filter by algorithm"
+        )
+        parser.add_argument(
+            "--topology-filter",
+            default=None,
+            metavar="NAME",
+            help="filter by topology family",
+        )
+        parser.add_argument(
+            "--adversary-filter",
+            default=None,
+            metavar="NAME",
+            help="filter by adversary kind ('none': fault-coin runs)",
+        )
+        parser.add_argument(
+            "--seed-min", type=int, default=None, help="minimum scenario seed"
+        )
+        parser.add_argument(
+            "--seed-max", type=int, default=None, help="maximum scenario seed"
+        )
+    parser.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="with --format json: emit the canonical bytes (no meta), the "
+        "form whose SHA-256 is the report's cache key",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+
+
+def _analysis_filters(args: argparse.Namespace) -> dict[str, Any]:
+    filters = {
+        "algorithm": args.algorithm,
+        "topology": args.topology_filter,
+        "adversary": args.adversary_filter,
+        "seed_min": args.seed_min,
+        "seed_max": args.seed_max,
+    }
+    return {key: value for key, value in filters.items() if value is not None}
+
+
+def _render_analysis(report, args: argparse.Namespace) -> int:
+    if args.format == "json":
+        text = report.to_json(indent=2, canonical=args.canonical)
+    elif args.format == "markdown":
+        text = report.to_table().to_markdown()
+    else:
+        table = report.to_table()
+        summary = {
+            key: value
+            for key, value in report.summary.items()
+            if key != "title"
+        }
+        text = table.to_text() + "\n" + json.dumps(summary, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {report.kind} analysis to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import analysis
+
+    new_store = args.action == "adaptive" and not os.path.exists(args.store)
+    if not new_store and not os.path.exists(args.store):
+        print(f"no store at {args.store!r}", file=sys.stderr)
+        return 2
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        with store:
+            if args.action == "aggregate":
+                report = analysis.aggregate(
+                    store,
+                    by=_parse_names(args.by),
+                    metric=args.metric,
+                    percentiles=[float(q) for q in _parse_names(args.percentiles)],
+                    confidence=args.confidence,
+                    resamples=args.resamples,
+                    seed=args.seed,
+                    filters=_analysis_filters(args),
+                )
+            elif args.action == "fit":
+                report = analysis.fit(
+                    store,
+                    by=_parse_names(args.by),
+                    x=args.x,
+                    metric=args.metric,
+                    max_k=args.max_k,
+                    seed=args.seed,
+                    filters=_analysis_filters(args),
+                )
+            elif args.action == "compare":
+                report = analysis.compare(
+                    store,
+                    arm_a=_parse_params(args.arm_a),
+                    arm_b=_parse_params(args.arm_b),
+                    metric=args.metric,
+                    match_on=_parse_names(args.match_on),
+                    confidence=args.confidence,
+                    resamples=args.resamples,
+                    seed=args.seed,
+                    filters=_analysis_filters(args),
+                )
+            else:  # adaptive
+                report = _run_adaptive(args, store)
+    except (KeyError, ValueError, TypeError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+    return _render_analysis(report, args)
+
+
+def _run_adaptive(args: argparse.Namespace, store):
+    from repro.analysis import adaptive_sweep
+
+    algorithms = _parse_names(args.algorithms)
+    sizes = [int(n) for n in _parse_names(args.n)]
+    if not algorithms or not sizes:
+        raise ValueError("need at least one algorithm and one n")
+    adversary = _parse_adversary(args)
+    if args.fault_model == "none":
+        faults = FaultConfig.faultless()
+    else:
+        faults = FaultConfig(FaultModel(args.fault_model), args.p)
+    if adversary is not None and not faults.is_faultless:
+        raise ValueError(
+            "--adversary replaces the fault coins; drop --fault-model/--p"
+        )
+    base = Scenario(
+        algorithm=algorithms[0],
+        topology=args.topology,
+        topology_params={"n": sizes[0]},
+        params=_parse_params(args.param),
+        faults=faults,
+        adversary=adversary,
+        seed=0,
+        max_rounds=args.max_rounds,
+    )
+    report = adaptive_sweep(
+        base,
+        grid={"algorithm": algorithms, "n": sizes},
+        target_halfwidth=args.target_halfwidth,
+        max_seeds=args.max_seeds,
+        batch=args.batch,
+        metric=args.metric,
+        confidence=args.confidence,
+        resamples=args.resamples,
+        seed=args.seed,
+        store=store,
+        processes=args.processes,
+    )
+    meta = report.meta
+    print(
+        f"adaptive: {report.summary['total_runs']} runs over "
+        f"{report.summary['cells']} cells — {meta['executed']} executed, "
+        f"{meta['served_from_store']} served from {args.store}",
+        file=sys.stderr,
+    )
+    return report
+
+
+def _parse_names(spec: str) -> list[str]:
+    """A comma-separated name list -> stripped, non-empty entries."""
+    return [part.strip() for part in spec.split(",") if part.strip()]
 
 
 def _add_adversary_arguments(parser: argparse.ArgumentParser) -> None:
@@ -531,6 +869,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "store":
         return _command_store(args)
+
+    if args.command == "analyze":
+        return _command_analyze(args)
 
     if args.command == "bench":
         return _command_bench(args)

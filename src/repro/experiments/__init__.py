@@ -30,6 +30,7 @@ from repro.experiments import (  # noqa: F401  (import = registration)
     e18_single_link_coding,
     e19_single_link_gap,
     e20_adversary_gap,
+    e21_certified_gap,
     x1_open_problem,
 )
 from repro.experiments.common import Experiment, all_experiments, get_experiment

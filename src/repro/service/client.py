@@ -12,6 +12,7 @@ import time
 import urllib.error
 import urllib.request
 from typing import Any, Optional, Sequence
+from urllib.parse import quote
 
 from repro.runner import RunReport, Scenario
 
@@ -129,9 +130,54 @@ class ServiceClient:
         return RunReport.from_dict(json.loads(self.report_bytes(cache_key)))
 
     def query(self, **filters: Any) -> list[RunReport]:
-        """Fetch reports matching store filters (see ``ResultStore.query``)."""
+        """Fetch reports matching store filters (see ``ResultStore.query``).
+
+        ``limit``/``offset``/``order_by`` page deterministically — the
+        server's ordering is total, so walking pages never duplicates or
+        drops a report.
+        """
         pairs = "&".join(
             f"{key}={value}" for key, value in filters.items() if value is not None
         )
         payload = self._json(f"/reports?{pairs}" if pairs else "/reports")
         return [RunReport.from_dict(data) for data in payload["reports"]]
+
+    def submit_adaptive(
+        self,
+        base: Scenario,
+        grid: Optional[dict[str, Sequence[Any]]] = None,
+        **spec: Any,
+    ) -> dict[str, Any]:
+        """Submit an adaptive sweep job (``repro.analysis.adaptive_sweep``).
+
+        ``spec`` passes ``target_halfwidth``, ``max_seeds``, ``batch``,
+        ``metric``, ... through; the finished job snapshot (``wait``)
+        carries the canonical analysis report under ``"result"``.
+        """
+        payload: dict[str, Any] = {"base": base.to_dict(), **spec}
+        if grid is not None:
+            payload["grid"] = {
+                key: [
+                    value.to_dict() if hasattr(value, "to_dict") else value
+                    for value in values
+                ]
+                for key, values in grid.items()
+            }
+        return self._json("/jobs", {"adaptive": payload})
+
+    def analysis(self, kind: str = "aggregate", **params: Any) -> dict[str, Any]:
+        """Run a server-side analysis (``GET /analysis``).
+
+        ``kind="aggregate"`` takes ``by`` (comma list), ``metric``,
+        ``percentiles``, store filters; ``kind="compare"`` takes arm
+        filters spelled ``a_algorithm="decay"`` / ``b_algorithm=...``
+        plus ``match_on``. Returns the analysis report dict (canonical
+        body + cache_key).
+        """
+        pairs = "&".join(
+            f"{key}={quote(str(value))}"
+            for key, value in params.items()
+            if value is not None
+        )
+        suffix = f"&{pairs}" if pairs else ""
+        return self._json(f"/analysis?kind={kind}{suffix}")

@@ -8,6 +8,12 @@ hits skip execution, and a job that repeats stored work completes in
 milliseconds. Each chunk may itself fan out across the existing
 ``multiprocessing`` pool (``processes``), so the service composes thread
 -level job concurrency with process-level scenario parallelism.
+
+Two job kinds exist: ``batch`` (a fixed scenario list) and ``adaptive``
+(an :func:`repro.analysis.design.adaptive_sweep` specification — the
+worker decides how many seeds each grid cell needs as it goes, and the
+finished job's snapshot carries the canonical
+:class:`~repro.analysis.AnalysisReport` under ``result``).
 """
 
 from __future__ import annotations
@@ -16,12 +22,40 @@ import itertools
 import queue
 import threading
 import time
-from typing import Any, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.runner import Scenario, run_batch
 from repro.store import ResultStore
 
-__all__ = ["Job", "JobManager"]
+__all__ = ["Job", "JobManager", "coerce_grid"]
+
+
+def coerce_grid(grid: Mapping[str, Any]) -> dict[str, list]:
+    """JSON grid axes -> runner grid axes (configs arrive as dicts).
+
+    Shared by the HTTP layer (batch jobs) and adaptive submission, so
+    the two paths can never drift on which axes take config objects.
+    Raises ValueError on malformed axes.
+    """
+    from repro.core.faults import AdversaryConfig, FaultConfig
+
+    coerced: dict[str, list] = {}
+    for key, values in dict(grid).items():
+        if not isinstance(values, list):
+            raise ValueError(f"grid axis {key!r} must be a list")
+        if key == "adversary":
+            coerced[key] = [
+                AdversaryConfig.from_dict(v) if isinstance(v, dict) else v
+                for v in values
+            ]
+        elif key == "faults":
+            coerced[key] = [
+                FaultConfig.from_dict(v) if isinstance(v, dict) else v
+                for v in values
+            ]
+        else:
+            coerced[key] = values
+    return coerced
 
 #: scenarios per run_batch call — the progress-reporting granularity
 DEFAULT_CHUNK_SIZE = 8
@@ -38,8 +72,16 @@ class Job:
     that were already stored).
     """
 
-    def __init__(self, job_id: str, scenarios: Sequence[Scenario]) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        scenarios: Sequence[Scenario],
+        kind: str = "batch",
+        spec: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         self.id = job_id
+        self.kind = kind
+        self.spec = dict(spec or {})
         self.scenarios = list(scenarios)
         self.cache_keys = [
             scenario.cache_key() for scenario in self.scenarios
@@ -48,19 +90,28 @@ class Job:
         self.completed = 0
         self.total = len(self.scenarios)
         self.error = ""
+        self.result: Optional[dict[str, Any]] = None
         self.submitted_at = time.time()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
 
     def snapshot(self) -> dict[str, Any]:
-        """A JSON-safe view of the job (what ``GET /jobs/<id>`` returns)."""
+        """A JSON-safe view of the job (what ``GET /jobs/<id>`` returns).
+
+        For adaptive jobs ``total`` is the seed-budget upper bound (cells
+        x max_seeds), ``completed`` counts runs resolved so far, and
+        ``result`` is the finished analysis report dict (None until
+        done).
+        """
         return {
             "id": self.id,
+            "kind": self.kind,
             "status": self.status,
             "completed": self.completed,
             "total": self.total,
             "cache_keys": list(self.cache_keys),
             "error": self.error,
+            "result": self.result,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -130,6 +181,62 @@ class JobManager:
         self._queue.put(job.id)
         return job
 
+    def submit_adaptive(self, spec: Mapping[str, Any]) -> Job:
+        """Enqueue an adaptive sweep (see ``adaptive_sweep`` for keys).
+
+        ``spec`` must hold a serializable ``base`` scenario dict and may
+        hold ``grid``, ``target_halfwidth``, ``max_seeds``, ``batch``,
+        ``metric``, ``confidence``, ``resamples``, ``seed``,
+        ``seed_start``. Every knob is validated here (fail at submit
+        time with a clear error, not later in a worker poll).
+        """
+        from repro.analysis.aggregate import METRICS
+
+        spec = dict(spec)
+        base = Scenario.from_dict(spec.get("base", {}))
+        if not base.cacheable:
+            raise ValueError("adaptive jobs require serializable scenarios")
+        grid = coerce_grid(spec.get("grid") or {})
+        max_seeds = int(spec.get("max_seeds", 64))
+        batch_size = int(spec.get("batch", 4))
+        if batch_size < 1 or max_seeds < batch_size:
+            raise ValueError(
+                f"need 1 <= batch <= max_seeds, got batch={batch_size} "
+                f"max_seeds={max_seeds}"
+            )
+        if float(spec.get("target_halfwidth", 1.0)) <= 0.0:
+            raise ValueError(
+                f"target_halfwidth must be > 0, got {spec['target_halfwidth']}"
+            )
+        if int(spec.get("resamples", 1000)) < 1:
+            raise ValueError(f"resamples must be >= 1, got {spec['resamples']}")
+        metric = str(spec.get("metric", "rounds"))
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; allowed: {METRICS}")
+        confidence = float(spec.get("confidence", 0.95))
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        from repro.runner import expand_grid
+
+        cells = expand_grid(base, seeds=[0], grid=grid)
+        if not cells:
+            raise ValueError("the adaptive grid expands to zero cells")
+        with self._lock:
+            job = Job(
+                f"job-{next(self._counter):04d}",
+                cells,
+                kind="adaptive",
+                spec={**spec, "grid": grid, "max_seeds": max_seeds,
+                      "batch": batch_size},
+            )
+            # for adaptive jobs the total is the seed-budget upper bound
+            job.total = len(cells) * max_seeds
+            self._jobs[job.id] = job
+        self._queue.put(job.id)
+        return job
+
     def get(self, job_id: str) -> Optional[Job]:
         with self._lock:
             return self._jobs.get(job_id)
@@ -157,18 +264,52 @@ class JobManager:
         job.status = "running"
         job.started_at = time.time()
         try:
-            for start in range(0, job.total, self.chunk_size):
-                if self._stop.is_set():
-                    raise RuntimeError("service shutting down")
-                chunk = job.scenarios[start : start + self.chunk_size]
-                run_batch(chunk, processes=self.processes, store=self.store)
-                job.completed = min(start + len(chunk), job.total)
+            if job.kind == "adaptive":
+                self._execute_adaptive(job)
+            else:
+                self._execute_batch(job)
             job.status = "done"
         except Exception as error:  # noqa: BLE001 - report, don't kill worker
             job.status = "failed"
             job.error = f"{type(error).__name__}: {error}"
         finally:
             job.finished_at = time.time()
+
+    def _execute_batch(self, job: Job) -> None:
+        for start in range(0, job.total, self.chunk_size):
+            if self._stop.is_set():
+                raise RuntimeError("service shutting down")
+            chunk = job.scenarios[start : start + self.chunk_size]
+            run_batch(chunk, processes=self.processes, store=self.store)
+            job.completed = min(start + len(chunk), job.total)
+
+    def _execute_adaptive(self, job: Job) -> None:
+        from repro.analysis.design import adaptive_sweep
+
+        spec = job.spec
+
+        def on_progress(done: int, _bound: int) -> None:
+            if self._stop.is_set():
+                raise RuntimeError("service shutting down")
+            job.completed = min(done, job.total)
+
+        report = adaptive_sweep(
+            Scenario.from_dict(spec["base"]),
+            grid=spec.get("grid") or {},
+            target_halfwidth=float(spec.get("target_halfwidth", 1.0)),
+            max_seeds=int(spec["max_seeds"]),
+            batch=int(spec["batch"]),
+            metric=str(spec.get("metric", "rounds")),
+            confidence=float(spec.get("confidence", 0.95)),
+            resamples=int(spec.get("resamples", 1000)),
+            seed=int(spec.get("seed", 0)),
+            seed_start=int(spec.get("seed_start", 0)),
+            store=self.store,
+            processes=self.processes,
+            progress=on_progress,
+        )
+        job.result = report.to_dict()
+        job.completed = job.total
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop the workers (the job in flight finishes its chunk)."""

@@ -12,12 +12,25 @@ sweeps in the background. Endpoints:
                             (``?adversaries=1`` for adversaries only)
 ``POST /jobs``              submit scenarios: ``{"scenarios": [dict, ...]}``
                             or ``{"base": dict, "seeds": [...],
-                            "grid": {...}}`` -> job snapshot + cache keys
+                            "grid": {...}}`` -> job snapshot + cache keys;
+                            or an adaptive sweep: ``{"adaptive": {"base":
+                            dict, "grid": {...}, "target_halfwidth": ...,
+                            "max_seeds": ..., "batch": ...}}`` (the
+                            finished snapshot carries the canonical
+                            analysis report under ``result``)
 ``GET  /jobs``              all jobs, submission order
 ``GET  /jobs/<id>``         one job's status/progress
 ``GET  /reports/<key>``     the stored canonical report JSON, byte-exact
 ``GET  /reports?...``       query: algorithm, topology, adversary,
-                            fault_model, seed_min, seed_max, success, limit
+                            fault_model, seed_min, seed_max, success,
+                            limit, offset, order_by (stable pagination:
+                            every ordering is total)
+``GET  /analysis?...``      server-side analysis over the store:
+                            ``kind=aggregate`` (``by``, ``metric``,
+                            ``percentiles``, ...) or ``kind=compare``
+                            (arm filters as ``a_<field>``/``b_<field>``,
+                            ``match_on``, ...) -> canonical
+                            :class:`~repro.analysis.AnalysisReport` dict
 ==========================  =================================================
 
 Every response is JSON. Errors use ``{"error": message}`` with a 4xx/5xx
@@ -32,10 +45,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
 
-from repro.core.faults import AdversaryConfig, FaultConfig
 from repro.introspect import registry_dump
 from repro.runner import Scenario, expand_grid
-from repro.service.jobs import JobManager
+from repro.service.jobs import JobManager, coerce_grid
 from repro.store import ResultStore
 
 __all__ = ["ReproService", "serve"]
@@ -43,33 +55,48 @@ __all__ = ["ReproService", "serve"]
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: /reports query parameters forwarded to ResultStore.query
-_QUERY_STRING_FILTERS = ("algorithm", "topology", "adversary", "fault_model")
-_QUERY_INT_FILTERS = ("seed_min", "seed_max", "limit")
+_QUERY_STRING_FILTERS = (
+    "algorithm", "topology", "adversary", "fault_model", "order_by",
+)
+_QUERY_INT_FILTERS = ("seed_min", "seed_max", "limit", "offset")
+
+#: /analysis store filters (subset of the /reports filters)
+_ANALYSIS_STRING_FILTERS = ("algorithm", "topology", "adversary", "fault_model")
+_ANALYSIS_INT_FILTERS = ("seed_min", "seed_max")
 
 
 class _BadRequest(ValueError):
     """A client error that maps to HTTP 400."""
 
 
+def _int_param(text: str, name: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise _BadRequest(f"{name} must be an integer") from None
+
+
+def _float_param(text: str, name: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise _BadRequest(f"{name} must be a number") from None
+
+
+def _arm_value(text: str) -> Any:
+    """Arm filter values arrive as strings; give numerics their type."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
 def _coerce_grid(grid: dict[str, Any]) -> dict[str, list[Any]]:
-    """JSON grid axes -> runner grid axes (configs arrive as dicts)."""
-    coerced: dict[str, list[Any]] = {}
-    for key, values in grid.items():
-        if not isinstance(values, list):
-            raise _BadRequest(f"grid axis {key!r} must be a list")
-        if key == "adversary":
-            coerced[key] = [
-                AdversaryConfig.from_dict(v) if isinstance(v, dict) else v
-                for v in values
-            ]
-        elif key == "faults":
-            coerced[key] = [
-                FaultConfig.from_dict(v) if isinstance(v, dict) else v
-                for v in values
-            ]
-        else:
-            coerced[key] = values
-    return coerced
+    """JSON grid axes -> runner grid axes (see :func:`coerce_grid`)."""
+    try:
+        return coerce_grid(grid)
+    except ValueError as error:
+        raise _BadRequest(str(error)) from error
 
 
 def _scenarios_from_payload(payload: Any) -> list[Scenario]:
@@ -159,6 +186,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_job(parts[1])
             elif parts == ["reports"]:
                 self._get_reports_query(parse_qs(url.query))
+            elif parts == ["analysis"]:
+                self._get_analysis(parse_qs(url.query))
             elif len(parts) == 2 and parts[0] == "reports":
                 self._get_report(parts[1])
             else:
@@ -243,9 +272,92 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _get_analysis(self, query: dict[str, list[str]]) -> None:
+        from repro import analysis
+
+        service = self.server.service
+        params = {name: values[0] for name, values in query.items()}
+        kind = params.pop("kind", "aggregate")
+        filters: dict[str, Any] = {}
+        for name in _ANALYSIS_STRING_FILTERS:
+            if name in params:
+                filters[name] = params.pop(name)
+        for name in _ANALYSIS_INT_FILTERS:
+            if name in params:
+                filters[name] = _int_param(params.pop(name), name)
+        # only forward knobs the client actually sent, so each analysis
+        # function keeps its own defaults (aggregate and compare differ)
+        knobs: dict[str, Any] = {}
+        knobs["metric"] = params.pop("metric", "rounds")
+        if "confidence" in params:
+            knobs["confidence"] = _float_param(
+                params.pop("confidence"), "confidence"
+            )
+        if "resamples" in params:
+            knobs["resamples"] = _int_param(params.pop("resamples"), "resamples")
+        if "seed" in params:
+            knobs["seed"] = _int_param(params.pop("seed"), "seed")
+        # pop every kind-specific parameter BEFORE running anything, so a
+        # typo fails instantly instead of after a full store scan
+        if kind == "aggregate":
+            by = tuple(params.pop("by", "algorithm").split(","))
+            percentiles = params.pop("percentiles", "5,50,95").split(",")
+        elif kind == "compare":
+            arm_a: dict[str, Any] = {}
+            arm_b: dict[str, Any] = {}
+            for name in list(params):
+                if name.startswith("a_"):
+                    arm_a[name[2:]] = _arm_value(params.pop(name))
+                elif name.startswith("b_"):
+                    arm_b[name[2:]] = _arm_value(params.pop(name))
+            match_on = tuple(params.pop("match_on", "topology,n,seed").split(","))
+        else:
+            raise _BadRequest(
+                f"unknown analysis kind {kind!r}; expected "
+                "'aggregate' or 'compare'"
+            )
+        if params:
+            raise _BadRequest(f"unknown query parameters {sorted(params)}")
+        try:
+            if kind == "aggregate":
+                report = analysis.aggregate(
+                    service.store,
+                    by=by,
+                    percentiles=[float(q) for q in percentiles],
+                    filters=filters,
+                    **knobs,
+                )
+            else:
+                report = analysis.compare(
+                    service.store,
+                    arm_a=arm_a,
+                    arm_b=arm_b,
+                    match_on=match_on,
+                    filters=filters,
+                    **knobs,
+                )
+        except (KeyError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            raise _BadRequest(str(message)) from error
+        self._send_json(200, report.to_dict())
+
     def _post_job(self) -> None:
         service = self.server.service
-        scenarios = _scenarios_from_payload(self._read_body())
+        payload = self._read_body()
+        if isinstance(payload, dict) and "adaptive" in payload:
+            spec = payload["adaptive"]
+            if not isinstance(spec, dict) or "base" not in spec:
+                raise _BadRequest(
+                    "'adaptive' must be an object with a 'base' scenario"
+                )
+            try:
+                job = service.jobs.submit_adaptive(spec)
+            except (KeyError, ValueError, TypeError) as error:
+                message = error.args[0] if error.args else error
+                raise _BadRequest(str(message)) from error
+            self._send_json(202, job.snapshot())
+            return
+        scenarios = _scenarios_from_payload(payload)
         try:
             job = service.jobs.submit(scenarios)
         except ValueError as error:

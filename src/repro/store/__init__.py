@@ -22,6 +22,11 @@ Thread it through the runner (``run_batch(..., store=store)``), the CLI
         decay = store.query(algorithm="decay", topology="path")
 """
 
-from repro.store.store import STORE_SCHEMA_VERSION, ResultStore
+from repro.store.store import (
+    ORDERABLE_COLUMNS,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreRow,
+)
 
-__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+__all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]

@@ -23,11 +23,11 @@ import json
 import sqlite3
 import threading
 import time
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator, NamedTuple, Optional
 
 from repro.runner.report import RunReport
 
-__all__ = ["ResultStore", "STORE_SCHEMA_VERSION"]
+__all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]
 
 #: bump on incompatible table changes; opening a mismatched store raises
 STORE_SCHEMA_VERSION = 1
@@ -60,6 +60,50 @@ CREATE TABLE IF NOT EXISTS store_meta (
 
 #: deterministic result order for query()/export_json()
 _QUERY_ORDER = "ORDER BY algorithm, topology, network_n, seed, cache_key"
+
+#: columns query(order_by=...) accepts; every ordering is made total by a
+#: trailing cache_key tiebreak
+ORDERABLE_COLUMNS = (
+    "algorithm",
+    "topology",
+    "adversary",
+    "fault_model",
+    "fault_p",
+    "seed",
+    "network_n",
+    "success",
+    "rounds",
+    "wall_time_s",
+    "created_at",
+    "cache_key",
+)
+
+
+class StoreRow(NamedTuple):
+    """One denormalized store row, as streamed by :meth:`ResultStore.iter_rows`.
+
+    These are the indexed query columns only — no canonical JSON, no
+    parsing — which is what lets streaming aggregation touch hundreds of
+    thousands of rows per second.
+    """
+
+    cache_key: str
+    algorithm: str
+    topology: str
+    adversary: str
+    fault_model: str
+    fault_p: float
+    seed: int
+    network_n: int
+    success: bool
+    rounds: int
+    wall_time_s: float
+
+
+_ROW_SELECT = (
+    "SELECT cache_key, algorithm, topology, adversary, fault_model, "
+    "fault_p, seed, network_n, success, rounds, wall_time_s FROM reports"
+)
 
 
 class ResultStore:
@@ -231,21 +275,29 @@ class ResultStore:
         seed_max: Optional[int] = None,
         success: Optional[bool] = None,
         limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        order_by: Optional[str] = None,
     ) -> list[RunReport]:
         """Reports matching every given filter, in deterministic order.
 
         ``adversary`` filters on the adversary kind; pass ``"none"`` (or
         ``""``) to match runs without one. ``seed_min``/``seed_max`` are
         an inclusive range. ``None`` filters are inactive.
+
+        ``order_by`` names one of :data:`ORDERABLE_COLUMNS` (default: the
+        canonical algorithm/topology/n/seed order); every ordering gets a
+        ``cache_key`` tiebreak, so it is total and ``limit``/``offset``
+        paginate without duplicating or dropping rows between pages.
         """
         where, values = self._where(
             algorithm, topology, adversary, fault_model,
             seed_min, seed_max, success,
         )
-        sql = f"SELECT canonical_json, wall_time_s FROM reports {where} {_QUERY_ORDER}"
-        if limit is not None:
-            sql += " LIMIT ?"
-            values.append(int(limit))
+        sql = (
+            "SELECT canonical_json, wall_time_s FROM reports "
+            f"{where} {self._order(order_by)}"
+        )
+        sql, values = self._paginate(sql, values, limit, offset)
         with self._lock:
             rows = self._connection.execute(sql, values).fetchall()
         return [self._report_from_row(text, wall) for text, wall in rows]
@@ -295,27 +347,150 @@ class ResultStore:
             "stored_wall_time_s": wall,
         }
 
+    # -- streaming ----------------------------------------------------------
+
+    def iter_rows(
+        self, batch_size: int = 4096, **filters: Any
+    ) -> Iterator[StoreRow]:
+        """Stream denormalized :class:`StoreRow` tuples, never the JSON.
+
+        Rows come back in the same deterministic order as :meth:`query`
+        (honoring ``order_by``) but are fetched ``batch_size`` at a time
+        from one cursor, so aggregating a million-row store holds one
+        batch in memory — this is the fast path streaming aggregation is
+        built on.
+        """
+        order_by = filters.pop("order_by", None)
+        where, values = self._where_from_filters(filters)
+        sql = f"{_ROW_SELECT} {where} {self._order(order_by)}"
+        for batch in self._iter_batches(sql, values, batch_size):
+            for row in batch:
+                yield StoreRow(
+                    cache_key=row[0],
+                    algorithm=row[1],
+                    topology=row[2],
+                    adversary=row[3],
+                    fault_model=row[4],
+                    fault_p=row[5],
+                    seed=row[6],
+                    network_n=row[7],
+                    success=bool(row[8]),
+                    rounds=row[9],
+                    wall_time_s=row[10],
+                )
+
+    def iter_reports(
+        self, batch_size: int = 512, **filters: Any
+    ) -> Iterator[RunReport]:
+        """Stream full :class:`RunReport` records in :meth:`query` order.
+
+        Like :meth:`query` but chunked: only ``batch_size`` canonical
+        JSON blobs are resident at a time, which keeps exports of large
+        stores flat in memory.
+        """
+        order_by = filters.pop("order_by", None)
+        where, values = self._where_from_filters(filters)
+        sql = (
+            "SELECT canonical_json, wall_time_s FROM reports "
+            f"{where} {self._order(order_by)}"
+        )
+        for batch in self._iter_batches(sql, values, batch_size):
+            for text, wall in batch:
+                yield self._report_from_row(text, wall)
+
+    def _iter_batches(
+        self, sql: str, values: list[Any], batch_size: int
+    ) -> Iterator[list]:
+        """fetchmany batches from a dedicated cursor, lock held per batch."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        with self._lock:
+            cursor = self._connection.execute(sql, values)
+        try:
+            while True:
+                with self._lock:
+                    batch = cursor.fetchmany(batch_size)
+                if not batch:
+                    return
+                yield batch
+        finally:
+            cursor.close()
+
     # -- export -------------------------------------------------------------
 
-    def export_json(self, path: str, **filters: Any) -> int:
+    def export_json(self, path: str, batch_size: int = 512, **filters: Any) -> int:
         """Write matching reports (see :meth:`query`) as a JSON array.
 
         The array holds full report dicts (timing included), the same
         shape ``repro sweep --format json`` emits; returns the number of
-        reports written.
+        reports written. Reports are streamed ``batch_size`` at a time
+        (:meth:`iter_reports`), so exporting never materializes the whole
+        store; the bytes are identical to a one-shot ``json.dump`` of the
+        full list.
         """
-        reports = self.query(**filters)
+        written = 0
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(
-                [report.to_dict() for report in reports],
-                handle,
-                indent=2,
-                sort_keys=True,
-            )
-            handle.write("\n")
-        return len(reports)
+            for report in self.iter_reports(batch_size=batch_size, **filters):
+                handle.write("[\n" if written == 0 else ",\n")
+                text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                handle.write(
+                    "\n".join("  " + line for line in text.splitlines())
+                )
+                written += 1
+            handle.write("[]\n" if written == 0 else "\n]\n")
+        return written
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _order(order_by: Optional[str]) -> str:
+        if order_by is None:
+            return _QUERY_ORDER
+        if order_by not in ORDERABLE_COLUMNS:
+            raise ValueError(
+                f"unknown order_by column {order_by!r}; "
+                f"allowed: {', '.join(ORDERABLE_COLUMNS)}"
+            )
+        if order_by == "cache_key":
+            return "ORDER BY cache_key"
+        return f"ORDER BY {order_by}, cache_key"
+
+    @staticmethod
+    def _paginate(
+        sql: str,
+        values: list[Any],
+        limit: Optional[int],
+        offset: Optional[int],
+    ) -> tuple[str, list[Any]]:
+        if offset is not None and offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(int(limit))
+        elif offset is not None:
+            # SQLite requires a LIMIT clause before OFFSET; -1 = unbounded
+            sql += " LIMIT -1"
+        if offset is not None:
+            sql += " OFFSET ?"
+            values.append(int(offset))
+        return sql, values
+
+    def _where_from_filters(self, filters: dict[str, Any]) -> tuple[str, list[Any]]:
+        unknown = set(filters) - {
+            "algorithm", "topology", "adversary", "fault_model",
+            "seed_min", "seed_max", "success",
+        }
+        if unknown:
+            raise TypeError(f"unknown filters {sorted(unknown)}")
+        return self._where(
+            filters.get("algorithm"),
+            filters.get("topology"),
+            filters.get("adversary"),
+            filters.get("fault_model"),
+            filters.get("seed_min"),
+            filters.get("seed_max"),
+            filters.get("success"),
+        )
 
     @staticmethod
     def _report_from_row(canonical_json: str, wall_time_s: float) -> RunReport:

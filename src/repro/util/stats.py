@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from statistics import NormalDist
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 __all__ = [
     "Summary",
@@ -19,6 +22,8 @@ __all__ = [
     "percentile",
     "summarize",
     "geometric_tail",
+    "wilson_interval",
+    "bootstrap_ci",
 ]
 
 
@@ -65,7 +70,12 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class Summary:
-    """Five-number-plus summary of a sample of simulation measurements."""
+    """Five-number-plus summary of a sample of simulation measurements.
+
+    ``mean_ci_low``/``mean_ci_high`` are a seeded-bootstrap confidence
+    interval for the mean; they are NaN unless :func:`summarize` was
+    asked to compute them (``ci=True``).
+    """
 
     count: int
     mean: float
@@ -76,19 +86,39 @@ class Summary:
     p75: float
     p95: float
     maximum: float
+    mean_ci_low: float = math.nan
+    mean_ci_high: float = math.nan
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"n={self.count} mean={self.mean:.2f} sd={self.stddev:.2f} "
             f"min={self.minimum:.0f} p50={self.median:.0f} "
             f"p95={self.p95:.0f} max={self.maximum:.0f}"
         )
+        if not math.isnan(self.mean_ci_low):
+            text += f" ci=[{self.mean_ci_low:.2f}, {self.mean_ci_high:.2f}]"
+        return text
 
 
-def summarize(values: Sequence[float]) -> Summary:
-    """Build a :class:`Summary` of a non-empty sample."""
+def summarize(
+    values: Sequence[float],
+    ci: bool = False,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> Summary:
+    """Build a :class:`Summary` of a non-empty sample.
+
+    With ``ci=True`` the summary also carries a seeded-bootstrap
+    confidence interval for the mean (see :func:`bootstrap_ci`).
+    """
     if not values:
         raise ValueError("summarize of empty sequence")
+    ci_low = ci_high = math.nan
+    if ci:
+        ci_low, ci_high = bootstrap_ci(
+            values, confidence=confidence, resamples=resamples, seed=seed
+        )
     return Summary(
         count=len(values),
         mean=mean(values),
@@ -99,7 +129,82 @@ def summarize(values: Sequence[float]) -> Summary:
         p75=percentile(values, 75.0),
         p95=percentile(values, 95.0),
         maximum=float(max(values)),
+        mean_ci_low=ci_low,
+        mean_ci_high=ci_high,
     )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the boundaries (0 or ``trials`` successes never
+    produce a degenerate [x, x] interval), which is why success rates in
+    the analysis layer use it instead of the normal approximation.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    phat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (phat + z2 / (2.0 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    low = max(0.0, center - margin)
+    high = min(1.0, center + margin)
+    # at the boundaries the score bound is exactly 0 (resp. 1); clamp the
+    # floating-point residue of center - margin
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (low, high)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Seeded percentile-bootstrap confidence interval for a statistic.
+
+    ``statistic`` maps a ``(resamples, n)`` matrix of resampled values to
+    a length-``resamples`` vector, one statistic per resample row
+    (default: the row mean). The resampling is vectorized — one numpy
+    index matrix, one statistic call — and fully determined by ``seed``,
+    so equal inputs give byte-equal intervals.
+    """
+    if not len(values):
+        raise ValueError("bootstrap_ci of empty sequence")
+    if resamples < 1:
+        raise ValueError(f"resamples must be >= 1, got {resamples}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    index = rng.integers(0, data.size, size=(resamples, data.size))
+    samples = data[index]
+    stats = np.mean(samples, axis=1) if statistic is None else statistic(samples)
+    stats = np.asarray(stats, dtype=float)
+    if stats.shape != (resamples,):
+        raise ValueError(
+            f"statistic must return one value per resample row: expected "
+            f"shape ({resamples},), got {stats.shape}"
+        )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return (float(low), float(high))
 
 
 def geometric_tail(p: float, t: int) -> float:

@@ -1,0 +1,91 @@
+"""AnalysisReport: canonical form, content addressing, rendering."""
+
+import json
+
+import pytest
+
+from repro.analysis import AnalysisReport
+
+
+def _sample(meta=None):
+    return AnalysisReport(
+        kind="aggregate",
+        params={"by": ["algorithm"], "metric": "rounds"},
+        columns=("algorithm", "count", "mean"),
+        rows=[
+            {"algorithm": "decay", "count": 5, "mean": 102.8},
+            {"algorithm": "rlnc_decay", "count": 5, "mean": 585.8},
+        ],
+        summary={"title": "t", "groups": 2},
+        meta=meta or {},
+    )
+
+
+class TestCanonicalForm:
+    def test_round_trip(self):
+        report = _sample(meta={"wall_time_s": 1.5})
+        clone = AnalysisReport.from_dict(report.to_dict())
+        assert clone.to_json(canonical=True) == report.to_json(canonical=True)
+        assert clone.meta == report.meta
+
+    def test_meta_excluded_from_canonical(self):
+        plain = _sample()
+        timed = _sample(meta={"wall_time_s": 123.0, "executed": 7})
+        assert timed.to_json(canonical=True) == plain.to_json(canonical=True)
+        assert "meta" in timed.to_dict()
+        assert "meta" not in timed.to_dict(include_meta=False)
+
+    def test_cache_key_ignores_meta_and_is_stable(self):
+        assert _sample().cache_key() == _sample(meta={"x": 1}).cache_key()
+        different = AnalysisReport.from_dict(
+            {**_sample().to_dict(), "kind": "compare"}
+        )
+        assert different.cache_key() != _sample().cache_key()
+
+    def test_cache_key_present_in_dict(self):
+        data = _sample().to_dict()
+        assert data["cache_key"] == _sample().cache_key()
+        # canonical bytes parse back to the same payload
+        parsed = json.loads(_sample().to_json(canonical=True))
+        assert parsed["cache_key"] == data["cache_key"]
+
+    def test_row_schema_enforced(self):
+        with pytest.raises(ValueError):
+            AnalysisReport(
+                kind="aggregate",
+                params={},
+                columns=("a", "b"),
+                rows=[{"a": 1}],
+                summary={},
+            )
+
+    def test_numpy_scalars_coerced(self):
+        import numpy as np
+
+        report = AnalysisReport(
+            kind="fit",
+            params={"seed": np.int64(3)},
+            columns=("x",),
+            rows=[{"x": np.float64(1.5)}],
+            summary={"n": np.int32(2)},
+        )
+        data = json.loads(report.to_json())
+        assert data["params"]["seed"] == 3
+        assert data["rows"][0]["x"] == 1.5
+
+
+class TestRendering:
+    def test_to_table_renders_all_formats(self):
+        table = _sample().to_table()
+        assert len(table) == 2
+        assert table.to_text() and table.to_csv() and table.to_markdown()
+
+    def test_dict_cells_render_as_json(self):
+        report = AnalysisReport(
+            kind="adaptive",
+            params={},
+            columns=("cell", "mean"),
+            rows=[{"cell": {"n": 16}, "mean": 5.0}],
+            summary={},
+        )
+        assert '{"n": 16}' in report.to_table().to_text()

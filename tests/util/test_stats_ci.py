@@ -1,0 +1,139 @@
+"""Property tests for the confidence-interval helpers.
+
+Wilson intervals are checked against the closed-form score formula and
+exact binomial edge cases; the bootstrap is checked for determinism,
+ordering, and coverage against closed-form binomial sampling.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.stats import bootstrap_ci, summarize, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_matches_closed_form(self):
+        # the score interval has a closed form; cross-check a hand
+        # computation at z=1.96-ish for 8/10
+        low, high = wilson_interval(8, 10, confidence=0.95)
+        from statistics import NormalDist
+
+        z = NormalDist().inv_cdf(0.975)
+        phat = 0.8
+        denom = 1 + z * z / 10
+        center = (phat + z * z / 20) / denom
+        margin = z * math.sqrt(phat * 0.2 / 10 + z * z / 400) / denom
+        assert math.isclose(low, center - margin, rel_tol=1e-12)
+        assert math.isclose(high, center + margin, rel_tol=1e-12)
+
+    @pytest.mark.parametrize("trials", [1, 5, 20, 400])
+    def test_boundaries_are_not_degenerate(self, trials):
+        low0, high0 = wilson_interval(0, trials)
+        lown, highn = wilson_interval(trials, trials)
+        assert low0 == 0.0 and 0.0 < high0 < 1.0
+        assert highn == 1.0 and 0.0 < lown < 1.0
+
+    @pytest.mark.parametrize("successes,trials", [(0, 4), (2, 4), (7, 9), (50, 100)])
+    def test_contains_point_estimate_and_ordered(self, successes, trials):
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= successes / trials <= high <= 1.0
+
+    def test_interval_tightens_with_trials(self):
+        w10 = wilson_interval(5, 10)
+        w1000 = wilson_interval(500, 1000)
+        assert (w1000[1] - w1000[0]) < (w10[1] - w10[0])
+
+    def test_higher_confidence_is_wider(self):
+        narrow = wilson_interval(30, 50, confidence=0.5)
+        wide = wilson_interval(30, 50, confidence=0.99)
+        assert wide[0] < narrow[0] and wide[1] > narrow[1]
+
+    def test_coverage_on_exact_binomial(self):
+        # property check against the closed-form binomial: over every
+        # outcome k of Binomial(n=30, p=0.4), the Wilson intervals that
+        # contain p must carry >= ~95% of the exact probability mass
+        n, p = 30, 0.4
+        covered = 0.0
+        for k in range(n + 1):
+            mass = math.comb(n, k) * p**k * (1 - p) ** (n - k)
+            low, high = wilson_interval(k, n)
+            if low <= p <= high:
+                covered += mass
+        assert covered >= 0.93
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, confidence=1.0)
+
+
+class TestBootstrapCI:
+    def test_deterministic_per_seed(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+        assert bootstrap_ci(values, seed=7) != bootstrap_ci(values, seed=8)
+
+    def test_contains_mean_for_well_behaved_sample(self):
+        values = list(range(1, 51))
+        low, high = bootstrap_ci(values, seed=0)
+        assert low <= 25.5 <= high
+
+    def test_constant_sample_collapses(self):
+        low, high = bootstrap_ci([4.0] * 20, seed=0)
+        assert low == high == 4.0
+
+    def test_arbitrary_statistic(self):
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        low, high = bootstrap_ci(
+            values, statistic=lambda rows: np.median(rows, axis=1), seed=0
+        )
+        assert low <= 4.0  # the median never chases the outlier to 100
+        assert high <= 100.0
+
+    def test_bad_statistic_shape_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], statistic=lambda rows: rows.sum(), seed=0)
+
+    def test_coverage_against_closed_form_binomial(self):
+        # the mean of Bernoulli(p) draws is Binomial(n, p)/n: bootstrap
+        # intervals from independent samples must cover p at roughly the
+        # nominal rate (closed-form target 0.95; tolerance for n=60)
+        rng = np.random.default_rng(1234)
+        p, n, trials = 0.3, 60, 200
+        hits = 0
+        for trial in range(trials):
+            sample = (rng.random(n) < p).astype(float)
+            low, high = bootstrap_ci(sample, seed=trial, resamples=500)
+            if low <= p <= high:
+                hits += 1
+        assert hits / trials >= 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0)
+
+
+class TestSummaryCI:
+    def test_default_has_nan_ci(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert math.isnan(s.mean_ci_low) and math.isnan(s.mean_ci_high)
+        assert "ci=" not in str(s)
+
+    def test_ci_fields_populated_and_rendered(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0], ci=True, seed=3)
+        assert s.mean_ci_low <= s.mean <= s.mean_ci_high
+        assert "ci=" in str(s)
+
+    def test_ci_deterministic(self):
+        a = summarize([5.0, 6.0, 9.0], ci=True, seed=11)
+        b = summarize([5.0, 6.0, 9.0], ci=True, seed=11)
+        assert (a.mean_ci_low, a.mean_ci_high) == (b.mean_ci_low, b.mean_ci_high)
