@@ -1,0 +1,292 @@
+"""Farm throughput benchmarks: worker scaling and lease recovery.
+
+``python benchmarks/bench_farm.py [--scale smoke|full] [--output PATH]``
+emits ``BENCH_farm.json`` with two measurements over real processes
+(one ``repro serve --workers remote`` coordinator, N ``repro worker``
+subprocesses):
+
+* ``farm_scaling``   — scenarios/sec for the same sweep at 1 worker vs
+  4 workers, with the ISSUE-6 acceptance bar (>= 2.5x, enforced when
+  the machine has >= 4 CPUs — worker processes scale with cores);
+* ``lease_recovery`` — SIGKILL a worker holding a lease and measure how
+  long the farm takes to finish the sweep anyway (the expiry-requeue
+  path, dominated by the lease timeout).
+
+``pytest benchmarks/bench_farm.py --benchmark-only -o python_files='bench_*.py'``
+runs the same measurements under pytest-benchmark.
+"""
+
+import argparse
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.faults import FaultConfig
+from repro.farm.smoke import (
+    _free_port,
+    _kill_leaseholder,
+    _spawn_worker,
+    _wait_for_health,
+)
+from repro.runner import Scenario, expand_grid
+from repro.service.client import ServiceClient
+
+SCHEMA = "repro.bench_farm/1"
+
+#: the ISSUE-6 acceptance bar: 4 workers >= 2.5x the 1-worker throughput
+SCALING_BAR = 2.5
+
+#: the bar is only meaningful when worker processes can use real cores
+MIN_CPUS_FOR_BAR = 4
+
+_SCALES = {
+    "smoke": {"scenarios": 64, "n": 48, "chunk": 4},
+    "full": {"scenarios": 240, "n": 64, "chunk": 8},
+}
+
+#: recovery measurement: small sweep, short leases, a double-size victim
+RECOVERY = {"scenarios": 40, "n": 32, "chunk": 4, "lease_timeout": 2.0,
+            "victim_chunk": 12}
+
+
+def _sweep(count, n):
+    base = Scenario(
+        algorithm="decay",
+        topology="path",
+        topology_params={"n": n},
+        faults=FaultConfig.receiver(0.3),
+    )
+    return expand_grid(base, seeds=range(count))
+
+
+def _start_coordinator(store_path, chunk, lease_timeout=30.0):
+    port = _free_port()
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", store_path, "--port", str(port),
+            "--workers", "remote",
+            "--lease-scenarios", str(chunk),
+            "--lease-timeout", str(lease_timeout),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+    _wait_for_health(client)
+    return server, client
+
+
+def _wait_registered(client, count, deadline_s=60.0):
+    deadline = time.monotonic() + deadline_s
+    while len(client.workers()["workers"]) < count:
+        assert time.monotonic() < deadline, "workers never registered"
+        time.sleep(0.02)
+
+
+def _stop_all(server, workers):
+    for process in workers:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+    for process in workers:
+        try:
+            process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+    server.terminate()
+    try:
+        server.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        server.kill()
+
+
+def _timed_farm_run(tmp_dir, tag, worker_count, scenarios, chunk):
+    """Seconds for ``worker_count`` workers to drain ``scenarios``.
+
+    Workers register *before* the clock starts, so subprocess startup
+    is excluded and the measurement is pure sweep throughput.
+    """
+    store_path = str(Path(tmp_dir) / tag)
+    server, client = _start_coordinator(store_path, chunk)
+    url = client.base_url
+    workers = [
+        _spawn_worker(url, f"{tag}-w{i}", until_idle=False)
+        for i in range(worker_count)
+    ]
+    try:
+        _wait_registered(client, worker_count)
+        start = time.perf_counter()
+        job = client.submit(scenarios=scenarios)
+        client.wait(job["id"], timeout=600.0, poll=0.05)
+        elapsed = time.perf_counter() - start
+        snapshot = client.workers()
+    finally:
+        _stop_all(server, workers)
+    queue = snapshot["queue"]
+    assert queue["scenarios_completed"] == len(scenarios), queue
+    return elapsed
+
+
+def bench_farm_scaling(tmp_dir, scenario_count, n, chunk):
+    scenarios = _sweep(scenario_count, n)
+    runs = {}
+    for count in (1, 4):
+        elapsed = _timed_farm_run(
+            tmp_dir, f"scaling-{count}", count, scenarios, chunk
+        )
+        runs[str(count)] = {
+            "seconds": round(elapsed, 6),
+            "scenarios_per_sec": round(scenario_count / elapsed, 2),
+        }
+    speedup = runs["4"]["scenarios_per_sec"] / runs["1"]["scenarios_per_sec"]
+    return {
+        "name": "farm_scaling",
+        "scenarios": scenario_count,
+        "lease_scenarios": chunk,
+        "workers": runs,
+        "speedup": round(speedup, 2),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_lease_recovery(tmp_dir):
+    """SIGKILL a leaseholder; seconds from the kill to sweep completion."""
+    sizes = RECOVERY
+    scenarios = _sweep(sizes["scenarios"], sizes["n"])
+    store_path = str(Path(tmp_dir) / "recovery")
+    server, client = _start_coordinator(
+        store_path, sizes["chunk"], lease_timeout=sizes["lease_timeout"]
+    )
+    url = client.base_url
+    workers = {}
+    try:
+        job = client.submit(scenarios=scenarios)
+        # the victim takes triple-size leases so the kill lands mid-lease
+        workers["victim"] = _spawn_worker(
+            url, "victim", sizes["victim_chunk"]
+        )
+        workers["survivor"] = _spawn_worker(url, "survivor")
+        killed = _kill_leaseholder(client, workers)
+        start = time.perf_counter()
+        client.wait(job["id"], timeout=300.0, poll=0.02)
+        recovery = time.perf_counter() - start
+        snapshot = client.workers()
+    finally:
+        _stop_all(server, list(workers.values()))
+    queue = snapshot["queue"]
+    assert queue["leases_expired"] >= 1, queue
+    assert queue["scenarios_completed"] == len(scenarios), queue
+    return {
+        "name": "lease_recovery",
+        "scenarios": sizes["scenarios"],
+        "killed": killed,
+        "lease_timeout_s": sizes["lease_timeout"],
+        "recovery_seconds": round(recovery, 6),
+        "leases_expired": queue["leases_expired"],
+        "duplicates": queue["duplicates"],
+    }
+
+
+def run_farm_benchmarks(scale="smoke"):
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    sizes = _SCALES[scale]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as tmp_dir:
+        results = [
+            bench_farm_scaling(
+                tmp_dir, sizes["scenarios"], sizes["n"], sizes["chunk"]
+            ),
+            bench_lease_recovery(tmp_dir),
+        ]
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    parser.add_argument("--output", default="BENCH_farm.json")
+    args = parser.parse_args(argv)
+
+    report = run_farm_benchmarks(scale=args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    scaling, recovery = report["results"]
+    for count in ("1", "4"):
+        run = scaling["workers"][count]
+        print(
+            f"farm_scaling      {count} worker(s): "
+            f"{run['scenarios_per_sec']:>8.2f} scenarios/s "
+            f"({run['seconds']:.3f}s)"
+        )
+    print(f"farm_scaling      speedup {scaling['speedup']}x at 4 workers")
+    print(
+        f"lease_recovery    {recovery['recovery_seconds']:.3f}s from kill "
+        f"to done ({recovery['lease_timeout_s']}s lease timeout, "
+        f"{recovery['leases_expired']} expired)"
+    )
+    print(f"wrote {args.output}")
+
+    cpus = os.cpu_count() or 1
+    if scaling["speedup"] < SCALING_BAR:
+        if cpus >= MIN_CPUS_FOR_BAR:
+            print(
+                f"FAIL: {scaling['speedup']}x at 4 workers is below the "
+                f"{SCALING_BAR}x bar"
+            )
+            return 1
+        print(
+            f"NOTE: {scaling['speedup']}x at 4 workers on {cpus} CPU(s); "
+            f"the {SCALING_BAR}x bar needs >= {MIN_CPUS_FOR_BAR} cores"
+        )
+    return 0
+
+
+# -- pytest-benchmark wrappers ----------------------------------------------
+
+
+def test_farm_scaling(benchmark, repro_scale, tmp_path):
+    sizes = _SCALES[repro_scale]
+    result = benchmark.pedantic(
+        lambda: bench_farm_scaling(
+            str(tmp_path), sizes["scenarios"], sizes["n"], sizes["chunk"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result
+    assert result["workers"]["1"]["scenarios_per_sec"] > 0
+    if (os.cpu_count() or 1) >= MIN_CPUS_FOR_BAR:
+        # the ISSUE-6 acceptance bar, on hardware that can express it
+        assert result["speedup"] >= SCALING_BAR
+
+
+def test_lease_recovery(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: bench_lease_recovery(str(tmp_path)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result
+    assert result["leases_expired"] >= 1
+    assert result["duplicates"] == 0
+    # recovery is bounded by the lease timeout plus the redone chunk
+    assert result["recovery_seconds"] < result["lease_timeout_s"] + 60.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

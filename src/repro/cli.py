@@ -25,6 +25,10 @@ Usage::
         --n 32,64 --fault-model receiver --p 0.3 \\
         --target-halfwidth 10 --max-seeds 32
     repro serve --store results.db --port 8765 --workers 2
+    repro serve --store farm.db --workers remote --shards 4 \\
+        --lease-scenarios 8 --lease-timeout 30
+    repro worker --connect http://127.0.0.1:8765 --processes 4
+    repro store farm.db --stats
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
@@ -176,9 +180,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--workers",
-        type=int,
-        default=2,
-        help="background worker threads draining the job queue",
+        default="2",
+        help=(
+            "background worker threads draining the job queue, or "
+            "'remote': coordinate external 'repro worker' processes "
+            "through chunked leases instead"
+        ),
     )
     srv.add_argument(
         "--processes",
@@ -186,12 +193,88 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-job process fan-out for run_batch (default: in-thread)",
     )
+    srv.add_argument(
+        "--lease-scenarios",
+        type=int,
+        default=None,
+        help="scenarios per lease chunk (--workers remote)",
+    )
+    srv.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        help=(
+            "seconds a lease survives without a heartbeat before its "
+            "scenarios requeue (--workers remote)"
+        ),
+    )
+    srv.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "open/create the store sharded over this many SQLite files "
+            "(PATH becomes a directory of shard-NN.db)"
+        ),
+    )
+
+    wrk = sub.add_parser(
+        "worker",
+        help=(
+            "join a farm: pull scenario leases from a 'repro serve "
+            "--workers remote' coordinator, execute, push reports back"
+        ),
+    )
+    wrk.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="the coordinator's base URL (e.g. http://127.0.0.1:8765)",
+    )
+    wrk.add_argument(
+        "--name",
+        default="",
+        help="worker name reported to the coordinator (default: host:pid)",
+    )
+    wrk.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap scenarios per lease (default: the coordinator's size)",
+    )
+    wrk.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="per-lease process fan-out for run_batch (default: in-thread)",
+    )
+    wrk.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between lease polls when the queue is idle",
+    )
+    wrk.add_argument(
+        "--until-idle",
+        action="store_true",
+        help="exit once the queue drains instead of polling forever",
+    )
 
     sto = sub.add_parser(
         "store",
         help="inspect a result store, or export matching reports to JSON",
     )
-    sto.add_argument("path", help="store database file")
+    sto.add_argument("path", help="store database file (or shard directory)")
+    sto.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "human-readable store summary: per-shard row counts and the "
+            "dedup ratio (duplicate put offers absorbed by content "
+            "addressing)"
+        ),
+    )
     sto.add_argument(
         "--export",
         default=None,
@@ -767,14 +850,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_store(path: str):
+def _open_store(path: str, shards: Optional[int] = None):
     """Open a ResultStore, or print a one-line error and return None."""
     import sqlite3
 
     from repro.store import ResultStore
 
     try:
-        return ResultStore(path)
+        return ResultStore(path, shards=shards)
     except (sqlite3.DatabaseError, ValueError) as error:
         print(f"cannot open store {path!r}: {error}", file=sys.stderr)
         return None
@@ -783,12 +866,25 @@ def _open_store(path: str):
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.service import serve
 
-    if args.workers < 1:
-        print("--workers must be >= 1", file=sys.stderr)
-        return 2
-    # fail fast with a usage error if the store file is unusable, before
+    remote = args.workers.strip().lower() == "remote"
+    if remote:
+        workers = 0
+    else:
+        try:
+            workers = int(args.workers)
+        except ValueError:
+            print(
+                f"--workers takes a thread count or 'remote', "
+                f"got {args.workers!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if workers < 1:
+            print("--workers must be >= 1 (or 'remote')", file=sys.stderr)
+            return 2
+    # fail fast with a usage error if the store is unusable, before
     # binding the socket
-    store = _open_store(args.store)
+    store = _open_store(args.store, shards=args.shards)
     if store is None:
         return 2
     store.close()
@@ -796,8 +892,25 @@ def _command_serve(args: argparse.Namespace) -> int:
         args.store,
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=workers,
         processes=args.processes,
+        remote_workers=remote,
+        lease_scenarios=args.lease_scenarios,
+        lease_timeout=args.lease_timeout,
+        shards=args.shards,
+    )
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.farm import run_worker
+
+    return run_worker(
+        args.connect,
+        name=args.name,
+        max_scenarios=args.chunk,
+        processes=args.processes,
+        poll=args.poll,
+        until_idle=args.until_idle,
     )
 
 
@@ -823,11 +936,43 @@ def _command_store(args: argparse.Namespace) -> int:
             written = store.export_json(args.export, **filters)
             print(f"exported {written} reports to {args.export}")
             return 0
+        if args.stats:
+            print(_store_stats_text(store))
+            return 0
         stats = store.stats()
         if filters:
             stats["matching"] = store.count(**filters)
         print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
+
+
+def _store_stats_text(store) -> str:
+    """Human-readable store summary: per-shard rows + dedup (``--stats``)."""
+    from repro.util.tables import Table
+
+    stats = store.stats()
+    shards = store.shard_stats()
+    table = Table(
+        ("shard", "path", "reports", "attempted", "dedup_ratio"),
+        title=(
+            f"{stats['path']} — {stats['backend']} backend, "
+            f"{stats['shards']} shard(s)"
+        ),
+    )
+    for entry in shards:
+        attempted = entry["attempted"]
+        ratio = (
+            round(1.0 - entry["reports"] / attempted, 4) if attempted else 0.0
+        )
+        table.add_row(
+            entry["shard"], entry["path"], entry["reports"], attempted, ratio
+        )
+    summary = (
+        f"total: {stats['reports']} reports from {stats['puts_attempted']} "
+        f"put offers (dedup ratio {stats['dedup_ratio']}); "
+        f"{stats['stored_wall_time_s']:.1f}s of stored compute"
+    )
+    return table.to_text() + "\n" + summary
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -866,6 +1011,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "serve":
         return _command_serve(args)
+
+    if args.command == "worker":
+        return _command_worker(args)
 
     if args.command == "store":
         return _command_store(args)

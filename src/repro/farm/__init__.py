@@ -1,0 +1,36 @@
+"""The distributed sweep farm: coordinator, leased workers, fault recovery.
+
+One ``repro serve --workers remote`` process coordinates; any number of
+``repro worker --connect URL`` processes (on any host that can reach it)
+pull chunked scenario leases, execute them through the unified runner,
+and push canonical report bytes back into the shared content-addressed
+store. The paper's own robustness theme applies to the farm itself:
+progress must survive silently failing participants, so leases carry
+heartbeat-extended deadlines and an expired lease's scenarios return to
+the queue — a killed worker costs at most one chunk of redone work, and
+content-addressed accounting makes re-delivered results duplicates, not
+corruption. A farmed sweep's stored bytes are identical to a serial
+:func:`repro.runner.run_batch` of the same grid, which
+:mod:`repro.farm.smoke` proves while killing a worker mid-sweep.
+
+The pieces:
+
+* :mod:`repro.farm.coordinator` — :class:`Coordinator`: the leased
+  scenario queue (chunking, deadlines, expiry requeue, accounting);
+* :mod:`repro.farm.worker` — :class:`FarmWorker`: the pull-execute-push
+  loop behind ``repro worker``;
+* :mod:`repro.farm.smoke` — the kill-a-worker end-to-end check
+  (``python -m repro.farm.smoke``) CI runs.
+"""
+
+from repro.farm.coordinator import Coordinator, Lease, UnknownLease, UnknownWorker
+from repro.farm.worker import FarmWorker, run_worker
+
+__all__ = [
+    "Coordinator",
+    "FarmWorker",
+    "Lease",
+    "UnknownLease",
+    "UnknownWorker",
+    "run_worker",
+]

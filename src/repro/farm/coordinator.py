@@ -1,0 +1,456 @@
+"""The farm coordinator: chunked scenario leases with deadline recovery.
+
+One :class:`Coordinator` owns the farmed half of the job queue. Workers
+(:mod:`repro.farm.worker`) register, then pull :class:`Lease` chunks of
+N scenarios each; a lease carries a deadline that heartbeats extend, and
+a lease whose deadline lapses returns its unfinished scenarios to the
+front of the queue — so a worker killed mid-sweep costs the farm at most
+one chunk of redone work, never a stuck job.
+
+Progress accounting is content-addressed, like the store itself: a
+scenario is *done* when a report under its cache key has been absorbed,
+no matter which worker or lease delivered it. That one rule makes every
+failure mode safe by construction:
+
+* a killed worker's lease expires and is re-leased — the job's
+  ``completed`` counter never counted the lost work, so it stays
+  consistent;
+* a slow worker that completes *after* its lease expired still lands
+  its reports (they are correct bytes under a content address); any
+  scenario another worker re-finished first is counted once and the
+  surplus shows up in the ``duplicates`` counter instead of inflating
+  progress;
+* two workers racing on the same key write the same canonical bytes —
+  the store's ``INSERT OR IGNORE`` keeps exactly one.
+
+The coordinator is a plain thread-safe object; :mod:`repro.service`
+exposes it over HTTP (``POST /leases``, ``PUT /leases/<id>/heartbeat``,
+``POST /leases/<id>/complete``, ``GET/POST /workers``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
+
+from repro.runner import RunReport
+from repro.store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - circular import at type time only
+    from repro.service.jobs import Job
+
+__all__ = ["Coordinator", "Lease", "UnknownLease", "UnknownWorker"]
+
+#: scenarios handed out per lease unless the worker asks for fewer
+DEFAULT_LEASE_SCENARIOS = 8
+
+#: seconds a lease stays valid without a heartbeat
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: a scenario requeued this many times marks its job failed
+MAX_ATTEMPTS = 3
+
+
+class UnknownLease(LookupError):
+    """The lease id is not outstanding (expired, completed, or bogus)."""
+
+
+class UnknownWorker(LookupError):
+    """The worker id was never registered."""
+
+
+class Lease(object):
+    """One outstanding chunk of scenarios checked out by one worker."""
+
+    __slots__ = (
+        "id", "worker_id", "job_id", "indexes", "keys", "issued_at", "deadline"
+    )
+
+    def __init__(
+        self,
+        lease_id: str,
+        worker_id: str,
+        job_id: str,
+        indexes: list[int],
+        keys: list[str],
+        issued_at: float,
+        deadline: float,
+    ) -> None:
+        self.id = lease_id
+        self.worker_id = worker_id
+        self.job_id = job_id
+        self.indexes = indexes
+        self.keys = keys
+        self.issued_at = issued_at
+        self.deadline = deadline
+
+
+class _JobState:
+    """Coordinator-side bookkeeping for one farmed job."""
+
+    __slots__ = ("job", "done", "pending", "attempts")
+
+    def __init__(self, job: "Job") -> None:
+        self.job = job
+        self.done = [False] * len(job.scenarios)
+        self.pending: deque[int] = deque()
+        self.attempts = [0] * len(job.scenarios)
+
+
+class _WorkerState:
+    """Registration, liveness, and throughput counters for one worker."""
+
+    __slots__ = (
+        "id", "name", "registered_at", "last_seen", "leases_completed",
+        "leases_lost", "executed", "cached",
+    )
+
+    def __init__(self, worker_id: str, name: str, now: float) -> None:
+        self.id = worker_id
+        self.name = name
+        self.registered_at = now
+        self.last_seen = now
+        self.leases_completed = 0
+        self.leases_lost = 0
+        self.executed = 0
+        self.cached = 0
+
+
+class Coordinator:
+    """Store-backed scenario queue with chunked, deadline-guarded leases.
+
+    Parameters
+    ----------
+    store:
+        The shared result store completed reports land in (and cached
+        scenarios are answered from at submit time).
+    lease_scenarios:
+        Default chunk size per lease.
+    lease_timeout:
+        Seconds a lease survives without a heartbeat before its
+        unfinished scenarios return to the queue.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        lease_scenarios: int = DEFAULT_LEASE_SCENARIOS,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_scenarios < 1:
+            raise ValueError(
+                f"lease_scenarios must be >= 1, got {lease_scenarios}"
+            )
+        if lease_timeout <= 0.0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        self.store = store
+        self.lease_scenarios = int(lease_scenarios)
+        self.lease_timeout = float(lease_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _JobState] = {}
+        self._workers: dict[str, _WorkerState] = {}
+        self._leases: dict[str, Lease] = {}
+        self._key_map: dict[str, list[tuple[str, int]]] = {}
+        self._worker_ids = itertools.count(1)
+        self._lease_ids = itertools.count(1)
+        #: completions that arrived for already-done scenarios
+        self.duplicates = 0
+        self.leases_issued = 0
+        self.leases_expired = 0
+        #: scenarios completed through the farm (store-cached ones excluded)
+        self.scenarios_completed = 0
+
+    # -- job intake ---------------------------------------------------------
+
+    def add_job(self, job: "Job") -> None:
+        """Queue a job's scenarios for leasing.
+
+        Scenarios whose cache key is already stored complete instantly —
+        the farm never re-executes content the store already holds.
+        """
+        with self._lock:
+            state = _JobState(job)
+            self._jobs[job.id] = state
+            for index, key in enumerate(job.cache_keys):
+                if key in self.store:
+                    state.done[index] = True
+                    job.completed += 1
+                else:
+                    state.pending.append(index)
+                    self._key_map.setdefault(key, []).append((job.id, index))
+            if job.completed >= job.total:
+                job.status = "done"
+                job.started_at = job.started_at or time.time()
+                job.finished_at = time.time()
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def register(self, name: str = "") -> dict[str, Any]:
+        """Register a worker; returns its id and the lease protocol knobs."""
+        with self._lock:
+            worker_id = f"w-{next(self._worker_ids):04d}"
+            self._workers[worker_id] = _WorkerState(
+                worker_id, name or worker_id, self._clock()
+            )
+        return {
+            "worker": worker_id,
+            "lease_scenarios": self.lease_scenarios,
+            "lease_timeout_s": self.lease_timeout,
+            "heartbeat_s": self.lease_timeout / 3.0,
+        }
+
+    def lease(
+        self, worker_id: str, max_scenarios: Optional[int] = None
+    ) -> Optional[dict[str, Any]]:
+        """Check out the next chunk of scenarios (None when queue is idle)."""
+        limit = self.lease_scenarios if max_scenarios is None else max_scenarios
+        if limit < 1:
+            raise ValueError(f"max_scenarios must be >= 1, got {limit}")
+        now = self._clock()
+        with self._lock:
+            worker = self._touch(worker_id, now)
+            self._expire(now)
+            for state in self._jobs.values():
+                if state.job.status == "failed":
+                    continue
+                indexes = self._pop_pending(state, limit)
+                if not indexes:
+                    continue
+                job = state.job
+                if job.status == "queued":
+                    job.status = "running"
+                    job.started_at = time.time()
+                lease = Lease(
+                    f"lease-{next(self._lease_ids):06d}",
+                    worker.id,
+                    job.id,
+                    indexes,
+                    [job.cache_keys[i] for i in indexes],
+                    now,
+                    now + self.lease_timeout,
+                )
+                self._leases[lease.id] = lease
+                self.leases_issued += 1
+                return {
+                    "id": lease.id,
+                    "worker": worker.id,
+                    "job": job.id,
+                    "scenarios": [
+                        job.scenarios[i].to_dict() for i in indexes
+                    ],
+                    "deadline_s": self.lease_timeout,
+                    "heartbeat_s": self.lease_timeout / 3.0,
+                }
+            return None
+
+    def heartbeat(self, lease_id: str, worker_id: str) -> dict[str, Any]:
+        """Extend a lease's deadline; raises :class:`UnknownLease` when gone."""
+        now = self._clock()
+        with self._lock:
+            self._touch(worker_id, now)
+            self._expire(now)
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                raise UnknownLease(
+                    f"lease {lease_id!r} is not outstanding (expired?)"
+                )
+            lease.deadline = now + self.lease_timeout
+            return {"id": lease.id, "deadline_s": self.lease_timeout}
+
+    def complete(
+        self,
+        lease_id: str,
+        worker_id: str,
+        reports: Sequence[RunReport],
+        executed: int = 0,
+        cached: int = 0,
+    ) -> dict[str, Any]:
+        """Absorb a lease's finished reports and advance job progress.
+
+        Reports from a lease that already expired are still absorbed
+        (``late: true`` in the response) — the bytes are correct under
+        their content address; only the accounting differs.
+        """
+        now = self._clock()
+        stored = self.store.put_many(
+            [report for report in reports if report.cache_key]
+        )
+        with self._lock:
+            worker = self._touch(worker_id, now)
+            self._expire(now)
+            lease = self._leases.pop(lease_id, None)
+            fresh, duplicates = self._mark_done(
+                [report.cache_key for report in reports]
+            )
+            worker.executed += int(executed)
+            worker.cached += int(cached)
+            if lease is not None:
+                worker.leases_completed += 1
+            return {
+                "stored": stored,
+                "completed": fresh,
+                "duplicates": duplicates,
+                "late": lease is None,
+            }
+
+    def fail(
+        self, lease_id: str, worker_id: str, message: str
+    ) -> dict[str, Any]:
+        """A worker reports a lease it could not finish; requeue its work.
+
+        Each scenario gets :data:`MAX_ATTEMPTS` tries across all
+        workers; one that keeps failing marks its job ``failed`` instead
+        of looping forever.
+        """
+        now = self._clock()
+        with self._lock:
+            self._touch(worker_id, now)
+            self._expire(now)
+            lease = self._leases.pop(lease_id, None)
+            if lease is None:
+                raise UnknownLease(
+                    f"lease {lease_id!r} is not outstanding (expired?)"
+                )
+            requeued = self._requeue(lease, error=message)
+            return {"requeued": requeued}
+
+    # -- inspection ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The farm's state (what ``GET /workers`` serves)."""
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            leases_by_worker: dict[str, int] = {}
+            for lease in self._leases.values():
+                leases_by_worker[lease.worker_id] = (
+                    leases_by_worker.get(lease.worker_id, 0) + 1
+                )
+            pending = sum(
+                1
+                for state in self._jobs.values()
+                for index in state.pending
+                if not state.done[index]
+            )
+            return {
+                "workers": [
+                    {
+                        "id": worker.id,
+                        "name": worker.name,
+                        "idle_s": round(now - worker.last_seen, 3),
+                        "active_leases": leases_by_worker.get(worker.id, 0),
+                        "leases_completed": worker.leases_completed,
+                        "leases_lost": worker.leases_lost,
+                        "executed": worker.executed,
+                        "cached": worker.cached,
+                    }
+                    for worker in self._workers.values()
+                ],
+                "queue": {
+                    "pending_scenarios": pending,
+                    "outstanding_leases": len(self._leases),
+                    "leases_issued": self.leases_issued,
+                    "leases_expired": self.leases_expired,
+                    "scenarios_completed": self.scenarios_completed,
+                    "duplicates": self.duplicates,
+                },
+                "lease_timeout_s": self.lease_timeout,
+                "lease_scenarios": self.lease_scenarios,
+            }
+
+    def idle(self) -> bool:
+        """True when no scenario is pending or leased."""
+        with self._lock:
+            self._expire(self._clock())
+            if self._leases:
+                return False
+            return all(
+                state.done[index]
+                for state in self._jobs.values()
+                for index in state.pending
+            )
+
+    # -- internals (call with the lock held) --------------------------------
+
+    def _touch(self, worker_id: str, now: float) -> _WorkerState:
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            raise UnknownWorker(f"worker {worker_id!r} is not registered")
+        worker.last_seen = now
+        return worker
+
+    def _pop_pending(self, state: _JobState, limit: int) -> list[int]:
+        """Up to ``limit`` not-yet-done indexes off the job's queue."""
+        indexes: list[int] = []
+        while state.pending and len(indexes) < limit:
+            index = state.pending.popleft()
+            if not state.done[index]:
+                indexes.append(index)
+        return indexes
+
+    def _mark_done(self, keys: Sequence[str]) -> tuple[int, int]:
+        """Mark scenarios done by cache key; returns (fresh, duplicate)."""
+        fresh = 0
+        duplicates = 0
+        for key in keys:
+            for job_id, index in self._key_map.get(key, ()):
+                state = self._jobs.get(job_id)
+                if state is None:
+                    continue
+                if state.done[index]:
+                    duplicates += 1
+                    continue
+                state.done[index] = True
+                fresh += 1
+                job = state.job
+                job.completed += 1
+                if job.completed >= job.total and job.status != "failed":
+                    job.status = "done"
+                    job.finished_at = time.time()
+        self.scenarios_completed += fresh
+        self.duplicates += duplicates
+        return fresh, duplicates
+
+    def _requeue(self, lease: Lease, error: str = "") -> int:
+        """Return a dead lease's unfinished scenarios to the queue front."""
+        state = self._jobs.get(lease.job_id)
+        if state is None:  # pragma: no cover - jobs are never deleted
+            return 0
+        requeued = 0
+        for index in reversed(lease.indexes):
+            if state.done[index]:
+                continue
+            state.attempts[index] += 1
+            if state.attempts[index] >= MAX_ATTEMPTS and error:
+                job = state.job
+                job.status = "failed"
+                job.error = (
+                    f"scenario {index} failed {state.attempts[index]} "
+                    f"times; last error: {error}"
+                )
+                job.finished_at = time.time()
+                continue
+            state.pending.appendleft(index)
+            requeued += 1
+        return requeued
+
+    def _expire(self, now: float) -> None:
+        """Requeue every lease whose deadline has lapsed."""
+        for lease_id in [
+            lease_id
+            for lease_id, lease in self._leases.items()
+            if lease.deadline < now
+        ]:
+            lease = self._leases.pop(lease_id)
+            self._requeue(lease)
+            self.leases_expired += 1
+            worker = self._workers.get(lease.worker_id)
+            if worker is not None:
+                worker.leases_lost += 1

@@ -1,0 +1,256 @@
+"""The farm worker: pull leases, execute, push canonical bytes back.
+
+``repro worker --connect URL`` runs one :class:`FarmWorker` against a
+coordinator (``repro serve --workers remote``). The loop is the whole
+protocol:
+
+1. ``POST /workers`` — register, learn the lease chunk size and the
+   heartbeat interval;
+2. ``POST /leases`` — check out up to N scenarios (sleep briefly when
+   the queue is idle);
+3. execute the chunk through the exact same
+   :func:`repro.runner.run_batch` path a local sweep uses, against a
+   private in-memory :class:`~repro.store.ResultStore` — so a scenario
+   the worker has seen before is a local cache hit, and the canonical
+   bytes produced are identical to any other worker's by the
+   determinism contract;
+4. a daemon heartbeat thread extends the lease while step 3 runs;
+5. ``POST /leases/<id>/complete`` — push every canonical report dict
+   plus the executed/cached split for the coordinator's accounting.
+
+A worker that dies anywhere in 2–5 needs no cleanup: its lease expires
+at the coordinator and the scenarios are re-leased. A worker whose lease
+expired under it (a long GC pause, a network partition) still pushes its
+reports — the coordinator absorbs late results by content address.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Optional
+
+from repro.runner import RunReport, Scenario, run_batch
+from repro.service.client import ServiceClient, ServiceError
+from repro.store import ResultStore
+
+__all__ = ["FarmWorker", "run_worker"]
+
+
+class FarmWorker:
+    """One lease-pulling worker process (see module docstring).
+
+    Parameters
+    ----------
+    url:
+        The coordinator's base URL.
+    name:
+        Reported on registration (default: ``host:pid``).
+    max_scenarios:
+        Cap on scenarios per lease (None: the coordinator's chunk size).
+    processes:
+        Per-chunk ``run_batch`` process fan-out (None: in-thread).
+    poll:
+        Seconds to sleep between lease polls when the queue is idle.
+    until_idle:
+        Exit the loop once the coordinator reports an idle queue
+        (used by the smoke and the benchmark; the CLI default runs
+        until interrupted).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        name: str = "",
+        max_scenarios: Optional[int] = None,
+        processes: Optional[int] = None,
+        poll: float = 0.5,
+        until_idle: bool = False,
+        verbose: bool = False,
+    ) -> None:
+        import os
+
+        self.client = ServiceClient(url)
+        self.name = name or f"{socket.gethostname()}:{os.getpid()}"
+        self.max_scenarios = max_scenarios
+        self.processes = processes
+        self.poll = poll
+        self.until_idle = until_idle
+        self.verbose = verbose
+        self.worker_id = ""
+        self.heartbeat_s = 10.0
+        #: private dedup cache: scenarios repeated across leases are hits
+        self.cache = ResultStore(":memory:")
+        self.leases_done = 0
+        self.executed = 0
+        self.cached = 0
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def register(self) -> str:
+        ack = self.client.register_worker(self.name)
+        self.worker_id = ack["worker"]
+        self.heartbeat_s = float(ack.get("heartbeat_s", self.heartbeat_s))
+        self._log(f"registered as {self.worker_id} ({self.name})")
+        return self.worker_id
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def run(self) -> int:
+        """The worker loop; returns the number of leases completed."""
+        if not self.worker_id:
+            self.register()
+        while not self._stop.is_set():
+            lease = self.client.lease(
+                self.worker_id, max_scenarios=self.max_scenarios
+            )
+            if lease is None:
+                if self.until_idle and self._queue_idle():
+                    break
+                self._stop.wait(self.poll)
+                continue
+            self.run_lease(lease)
+        self._log(
+            f"done: {self.leases_done} leases, {self.executed} executed, "
+            f"{self.cached} cache hits"
+        )
+        return self.leases_done
+
+    # -- one lease ----------------------------------------------------------
+
+    def run_lease(self, lease: dict[str, Any]) -> None:
+        """Execute one lease and push its reports (heartbeating throughout)."""
+        scenarios = [Scenario.from_dict(data) for data in lease["scenarios"]]
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease["id"], heartbeat_stop),
+            name=f"heartbeat-{lease['id']}",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            reports, executed, cached = self._execute(scenarios)
+        except Exception as error:  # noqa: BLE001 - report, keep the worker up
+            heartbeat_stop.set()
+            heartbeat.join(timeout=2.0)
+            self._report_failure(lease["id"], error)
+            return
+        heartbeat_stop.set()
+        heartbeat.join(timeout=2.0)
+        try:
+            ack = self.client.complete(
+                lease["id"],
+                self.worker_id,
+                reports,
+                executed=executed,
+                cached=cached,
+            )
+        except ServiceError as error:
+            # the coordinator is the source of truth; a rejected
+            # completion (e.g. unknown worker after a restart) is logged
+            # and the work is re-leased to someone
+            self._log(f"completion rejected for {lease['id']}: {error}")
+            return
+        self.leases_done += 1
+        self.executed += executed
+        self.cached += cached
+        self._log(
+            f"{lease['id']}: {len(reports)} reports "
+            f"({executed} executed, {cached} cached"
+            f"{', late' if ack.get('late') else ''})"
+        )
+
+    def _execute(
+        self, scenarios: list[Scenario]
+    ) -> tuple[list[RunReport], int, int]:
+        cached_before = sum(
+            1
+            for scenario in scenarios
+            if scenario.cacheable and scenario.cache_key() in self.cache
+        )
+        reports = run_batch(
+            scenarios,
+            processes=self.processes,
+            store=self.cache,
+            reuse=True,
+        )
+        return reports, len(scenarios) - cached_before, cached_before
+
+    def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_s):
+            try:
+                self.client.heartbeat(lease_id, self.worker_id)
+            except ServiceError as error:
+                if error.status in (404, 410):
+                    # the lease expired under us; finish anyway — the
+                    # coordinator absorbs late completions by key
+                    self._log(f"lease {lease_id} expired mid-run: {error}")
+                    return
+            except Exception:  # noqa: BLE001 - transient; retry next tick
+                pass
+
+    def _report_failure(self, lease_id: str, error: Exception) -> None:
+        try:
+            self.client.fail(
+                lease_id, self.worker_id, f"{type(error).__name__}: {error}"
+            )
+        except Exception:  # noqa: BLE001 - the lease will expire instead
+            pass
+        self._log(f"lease {lease_id} failed: {error}")
+
+    def _queue_idle(self) -> bool:
+        try:
+            snapshot = self.client.workers()
+            queue = snapshot["queue"]
+            return (
+                queue["pending_scenarios"] == 0
+                and queue["outstanding_leases"] == 0
+            )
+        except Exception:  # noqa: BLE001 - treat a flaky poll as busy
+            return False
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[{self.name}] {message}", flush=True)
+
+
+def run_worker(
+    url: str,
+    name: str = "",
+    max_scenarios: Optional[int] = None,
+    processes: Optional[int] = None,
+    poll: float = 0.5,
+    until_idle: bool = False,
+    verbose: bool = True,
+) -> int:
+    """Run one worker until interrupted (the ``repro worker`` command)."""
+    worker = FarmWorker(
+        url,
+        name=name,
+        max_scenarios=max_scenarios,
+        processes=processes,
+        poll=poll,
+        until_idle=until_idle,
+        verbose=verbose,
+    )
+    # retry registration briefly so workers can start before the
+    # coordinator finishes binding its socket
+    deadline = time.monotonic() + 30.0
+    while True:
+        try:
+            worker.register()
+            break
+        except Exception as error:  # noqa: BLE001 - connect errors, mostly
+            if time.monotonic() >= deadline:
+                print(f"cannot reach coordinator at {url}: {error}")
+                return 1
+            time.sleep(0.2)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    return 0

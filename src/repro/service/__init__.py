@@ -7,14 +7,22 @@ pool executes them through the unified runner (with the existing
 content-addressed :class:`~repro.store.ResultStore`, and repeat queries
 are answered with one SQLite read instead of a recompute.
 
+``repro serve --workers remote`` swaps the local worker pool for a
+:mod:`repro.farm` coordinator: the same jobs become chunked scenario
+leases that external ``repro worker`` processes pull, execute, and push
+back — clients cannot tell which mode ran their sweep.
+
 The pieces:
 
-* :mod:`repro.service.jobs`   — :class:`JobManager`: queue + workers;
+* :mod:`repro.service.jobs`   — :class:`JobManager`: queue + workers
+  (or the farm coordinator in remote mode);
 * :mod:`repro.service.server` — :class:`ReproService`: the stdlib
   ``ThreadingHTTPServer`` JSON API (``/health``, ``/registry``,
-  ``/jobs``, ``/reports``);
+  ``/jobs``, ``/reports``, and the farm's ``/workers``/``/leases``)
+  behind a bounded handler thread pool;
 * :mod:`repro.service.client` — :class:`ServiceClient`: a stdlib client
-  for scripts, tests, and the CI smoke;
+  for scripts, tests, workers, and the CI smoke; idempotent calls
+  retry transport failures with bounded backoff and jitter;
 * :mod:`repro.service.smoke`  — the end-to-end smoke
   (``python -m repro.service.smoke``) CI runs against a real
   ``repro serve`` subprocess.

@@ -1,13 +1,26 @@
 """A minimal stdlib client for the repro service JSON API.
 
-Used by the tests, the CI smoke, and scripts that farm sweeps out to a
-running ``repro serve`` instance; it is also executable documentation of
-the wire protocol (every method maps to exactly one endpoint).
+Used by the tests, the CI smoke, farm workers, and scripts that farm
+sweeps out to a running ``repro serve`` instance; it is also executable
+documentation of the wire protocol (every method maps to exactly one
+endpoint).
+
+Transport errors on *idempotent* calls — every GET, plus lease
+heartbeats — are retried with bounded exponential backoff and jitter: a
+coordinator restarting, a dropped keep-alive socket, or a transient
+``ConnectionResetError`` under load costs a short sleep, not a dead
+sweep. Non-idempotent POSTs are never retried automatically (a lease
+checkout or job submission must not silently double), and an HTTP error
+*response* is never retried — the server answered; retrying would not
+change its mind.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -17,6 +30,15 @@ from urllib.parse import quote
 from repro.runner import RunReport, Scenario
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: transport-level failures worth retrying on idempotent calls
+_RETRYABLE = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    TimeoutError,
+)
 
 
 class ServiceError(RuntimeError):
@@ -28,15 +50,61 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Talk to a :class:`~repro.service.ReproService` at ``base_url``."""
+    """Talk to a :class:`~repro.service.ReproService` at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running service.
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Extra attempts for idempotent calls that die in transport.
+    backoff:
+        First retry delay in seconds; doubles per attempt up to
+        ``backoff_max``, with jitter so a worker fleet never retries in
+        lockstep.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        backoff_max: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._random = random.Random()
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, path: str, payload: Any = None) -> bytes:
+    def _request(
+        self,
+        path: str,
+        payload: Any = None,
+        method: Optional[str] = None,
+        idempotent: bool = False,
+    ) -> bytes:
+        attempts = 1 + (self.retries if idempotent else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request_once(path, payload, method)
+            except ServiceError:
+                raise  # the server answered; retrying cannot help
+            except _RETRYABLE:
+                if attempt + 1 >= attempts:
+                    raise
+                self._sleep(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self, path: str, payload: Any, method: Optional[str]
+    ) -> bytes:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=(
@@ -45,6 +113,7 @@ class ServiceClient:
                 else json.dumps(payload).encode("utf-8")
             ),
             headers={"Content-Type": "application/json"},
+            method=method,
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -57,17 +126,34 @@ class ServiceClient:
                 message = body.decode("utf-8", "replace")
             raise ServiceError(error.code, message) from None
 
-    def _json(self, path: str, payload: Any = None) -> Any:
-        return json.loads(self._request(path, payload))
+    def _sleep(self, attempt: int) -> None:
+        delay = min(self.backoff_max, self.backoff * (2.0 ** attempt))
+        # full jitter: anywhere in (delay/2, delay], so a fleet of
+        # workers hitting the same hiccup spreads out
+        time.sleep(delay * (0.5 + 0.5 * self._random.random()))
+
+    def _json(
+        self,
+        path: str,
+        payload: Any = None,
+        method: Optional[str] = None,
+        idempotent: bool = False,
+    ) -> Any:
+        return json.loads(
+            self._request(path, payload, method=method, idempotent=idempotent)
+        )
+
+    def _get(self, path: str) -> Any:
+        return self._json(path, idempotent=True)
 
     # -- endpoints ----------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
-        return self._json("/health")
+        return self._get("/health")
 
     def registry(self, adversaries_only: bool = False) -> dict[str, Any]:
         suffix = "?adversaries=1" if adversaries_only else ""
-        return self._json(f"/registry{suffix}")
+        return self._get(f"/registry{suffix}")
 
     def submit(
         self,
@@ -98,10 +184,10 @@ class ServiceClient:
         return self._json("/jobs", payload)
 
     def jobs(self) -> list[dict[str, Any]]:
-        return self._json("/jobs")["jobs"]
+        return self._get("/jobs")["jobs"]
 
     def job(self, job_id: str) -> dict[str, Any]:
-        return self._json(f"/jobs/{job_id}")
+        return self._get(f"/jobs/{job_id}")
 
     def wait(
         self, job_id: str, timeout: float = 120.0, poll: float = 0.05
@@ -112,8 +198,11 @@ class ServiceClient:
             snapshot = self.job(job_id)
             if snapshot["status"] == "done":
                 return snapshot
-            if snapshot["status"] == "failed":
-                raise ServiceError(500, f"job {job_id} failed: {snapshot['error']}")
+            if snapshot["status"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    500,
+                    f"job {job_id} {snapshot['status']}: {snapshot['error']}",
+                )
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {snapshot['status']} "
@@ -124,7 +213,7 @@ class ServiceClient:
 
     def report_bytes(self, cache_key: str) -> bytes:
         """The stored canonical report JSON, byte-exact."""
-        return self._request(f"/reports/{cache_key}")
+        return self._request(f"/reports/{cache_key}", idempotent=True)
 
     def report(self, cache_key: str) -> RunReport:
         return RunReport.from_dict(json.loads(self.report_bytes(cache_key)))
@@ -139,7 +228,7 @@ class ServiceClient:
         pairs = "&".join(
             f"{key}={value}" for key, value in filters.items() if value is not None
         )
-        payload = self._json(f"/reports?{pairs}" if pairs else "/reports")
+        payload = self._get(f"/reports?{pairs}" if pairs else "/reports")
         return [RunReport.from_dict(data) for data in payload["reports"]]
 
     def submit_adaptive(
@@ -180,4 +269,69 @@ class ServiceClient:
             if value is not None
         )
         suffix = f"&{pairs}" if pairs else ""
-        return self._json(f"/analysis?kind={kind}{suffix}")
+        return self._get(f"/analysis?kind={kind}{suffix}")
+
+    # -- the farm protocol --------------------------------------------------
+
+    def register_worker(self, name: str = "") -> dict[str, Any]:
+        """``POST /workers`` — join the farm; returns id + lease knobs."""
+        return self._json("/workers", {"name": name})
+
+    def workers(self) -> dict[str, Any]:
+        """``GET /workers`` — worker fleet + queue counters snapshot."""
+        return self._get("/workers")
+
+    def lease(
+        self, worker_id: str, max_scenarios: Optional[int] = None
+    ) -> Optional[dict[str, Any]]:
+        """``POST /leases`` — check out a chunk (None when the queue is idle)."""
+        payload: dict[str, Any] = {"worker": worker_id}
+        if max_scenarios is not None:
+            payload["max_scenarios"] = int(max_scenarios)
+        return self._json("/leases", payload)["lease"]
+
+    def heartbeat(self, lease_id: str, worker_id: str) -> dict[str, Any]:
+        """``PUT /leases/<id>/heartbeat`` — extend the lease deadline.
+
+        Idempotent, so transport failures retry with backoff; an expired
+        lease answers 410 (:class:`ServiceError`), which is a signal,
+        not a transport failure.
+        """
+        return self._json(
+            f"/leases/{lease_id}/heartbeat",
+            {"worker": worker_id},
+            method="PUT",
+            idempotent=True,
+        )
+
+    def complete(
+        self,
+        lease_id: str,
+        worker_id: str,
+        reports: Sequence[RunReport],
+        executed: int = 0,
+        cached: int = 0,
+    ) -> dict[str, Any]:
+        """``POST /leases/<id>/complete`` — push a lease's finished reports.
+
+        Safe to call on an expired lease: the coordinator absorbs late
+        results by content address and reports ``late: true``.
+        """
+        return self._json(
+            f"/leases/{lease_id}/complete",
+            {
+                "worker": worker_id,
+                "reports": [report.to_dict() for report in reports],
+                "executed": int(executed),
+                "cached": int(cached),
+            },
+        )
+
+    def fail(
+        self, lease_id: str, worker_id: str, message: str
+    ) -> dict[str, Any]:
+        """``POST /leases/<id>/complete`` with an error — requeue the chunk."""
+        return self._json(
+            f"/leases/{lease_id}/complete",
+            {"worker": worker_id, "error": str(message)},
+        )

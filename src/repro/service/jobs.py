@@ -14,6 +14,15 @@ Two job kinds exist: ``batch`` (a fixed scenario list) and ``adaptive``
 worker decides how many seeds each grid cell needs as it goes, and the
 finished job's snapshot carries the canonical
 :class:`~repro.analysis.AnalysisReport` under ``result``).
+
+With a farm :class:`~repro.farm.Coordinator` attached (``repro serve
+--workers remote``), the manager keeps the same submission/inspection
+API but executes nothing itself: batch jobs are handed to the
+coordinator's lease queue and remote worker processes drain them.
+
+Shutdown drains instead of dropping: in-flight jobs stop at their next
+chunk boundary and are marked ``cancelled`` (with queued jobs), so no
+job is ever left reading ``running`` forever after the service stops.
 """
 
 from __future__ import annotations
@@ -22,12 +31,19 @@ import itertools
 import queue
 import threading
 import time
-from typing import Any, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
 
 from repro.runner import Scenario, run_batch
 from repro.store import ResultStore
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle at type time only
+    from repro.farm import Coordinator
+
 __all__ = ["Job", "JobManager", "coerce_grid"]
+
+
+class _Cancelled(Exception):
+    """Internal: the service is shutting down; stop at the chunk boundary."""
 
 
 def coerce_grid(grid: Mapping[str, Any]) -> dict[str, list]:
@@ -132,6 +148,10 @@ class JobManager:
     chunk_size:
         Scenarios per ``run_batch`` call; smaller chunks mean finer
         progress reporting and more frequent store commits.
+    coordinator:
+        A farm :class:`~repro.farm.Coordinator`. When given, no local
+        worker threads start — submitted batches go to the lease queue
+        and remote ``repro worker`` processes execute them.
     """
 
     def __init__(
@@ -140,14 +160,16 @@ class JobManager:
         workers: int = 2,
         processes: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        coordinator: "Optional[Coordinator]" = None,
     ) -> None:
-        if workers < 1:
+        if workers < 1 and coordinator is None:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.store = store
         self.processes = processes
         self.chunk_size = chunk_size
+        self.coordinator = coordinator
         self._queue: "queue.Queue[str]" = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
@@ -157,7 +179,7 @@ class JobManager:
             threading.Thread(
                 target=self._worker, name=f"repro-job-worker-{i}", daemon=True
             )
-            for i in range(workers)
+            for i in range(0 if coordinator is not None else workers)
         ]
         for thread in self._threads:
             thread.start()
@@ -166,6 +188,8 @@ class JobManager:
 
     def submit(self, scenarios: Sequence[Scenario]) -> Job:
         """Enqueue a batch; every scenario must be serializable."""
+        if self._stop.is_set():
+            raise RuntimeError("the job manager is shut down")
         batch = list(scenarios)
         if not batch:
             raise ValueError("cannot submit an empty batch")
@@ -178,7 +202,10 @@ class JobManager:
         with self._lock:
             job = Job(f"job-{next(self._counter):04d}", batch)
             self._jobs[job.id] = job
-        self._queue.put(job.id)
+        if self.coordinator is not None:
+            self.coordinator.add_job(job)
+        else:
+            self._queue.put(job.id)
         return job
 
     def submit_adaptive(self, spec: Mapping[str, Any]) -> Job:
@@ -192,6 +219,13 @@ class JobManager:
         """
         from repro.analysis.aggregate import METRICS
 
+        if self._stop.is_set():
+            raise RuntimeError("the job manager is shut down")
+        if self.coordinator is not None:
+            raise ValueError(
+                "adaptive jobs need local workers; this service farms "
+                "batches to remote workers (serve without --workers remote)"
+            )
         spec = dict(spec)
         base = Scenario.from_dict(spec.get("base", {}))
         if not base.cacheable:
@@ -269,6 +303,13 @@ class JobManager:
             else:
                 self._execute_batch(job)
             job.status = "done"
+        except _Cancelled:
+            # shutdown drained this job at a chunk boundary: completed
+            # chunks are in the store (a resubmission is a cache replay),
+            # and the terminal status is visible instead of a forever
+            # "running"
+            job.status = "cancelled"
+            job.error = "service shut down before the job finished"
         except Exception as error:  # noqa: BLE001 - report, don't kill worker
             job.status = "failed"
             job.error = f"{type(error).__name__}: {error}"
@@ -278,7 +319,7 @@ class JobManager:
     def _execute_batch(self, job: Job) -> None:
         for start in range(0, job.total, self.chunk_size):
             if self._stop.is_set():
-                raise RuntimeError("service shutting down")
+                raise _Cancelled()
             chunk = job.scenarios[start : start + self.chunk_size]
             run_batch(chunk, processes=self.processes, store=self.store)
             job.completed = min(start + len(chunk), job.total)
@@ -290,7 +331,7 @@ class JobManager:
 
         def on_progress(done: int, _bound: int) -> None:
             if self._stop.is_set():
-                raise RuntimeError("service shutting down")
+                raise _Cancelled()
             job.completed = min(done, job.total)
 
         report = adaptive_sweep(
@@ -312,7 +353,39 @@ class JobManager:
         job.completed = job.total
 
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop the workers (the job in flight finishes its chunk)."""
+        """Drain and stop: no job is left looking ``queued``/``running``.
+
+        In-flight jobs stop at their next chunk boundary and end up
+        ``cancelled`` (their finished chunks are already in the store,
+        so resubmitting one after a restart replays the done part from
+        cache). Jobs still waiting in the queue are marked ``cancelled``
+        without starting. Worker threads are joined — daemon teardown is
+        the backstop, not the mechanism — and if one is still wedged
+        after ``timeout`` its job is cancelled anyway so clients polling
+        the snapshot always see a terminal status.
+        """
         self._stop.set()
+        while True:  # jobs the workers will never pick up
+            try:
+                job_id = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            job = self.get(job_id)
+            if job is not None and job.status == "queued":
+                self._cancel(job)
         for thread in self._threads:
             thread.join(timeout=timeout)
+        with self._lock:
+            stuck = [
+                job
+                for job in self._jobs.values()
+                if job.status in ("queued", "running")
+            ]
+        for job in stuck:
+            self._cancel(job)
+
+    @staticmethod
+    def _cancel(job: Job) -> None:
+        job.status = "cancelled"
+        job.error = job.error or "service shut down before the job finished"
+        job.finished_at = job.finished_at or time.time()

@@ -33,24 +33,46 @@ sweeps in the background. Endpoints:
                             :class:`~repro.analysis.AnalysisReport` dict
 ==========================  =================================================
 
+With ``remote_workers=True`` (``repro serve --workers remote``) the
+service coordinates a worker farm instead of executing jobs itself, and
+the lease protocol appears:
+
+==============================  =============================================
+``POST /workers``               register: ``{"name": ...}`` -> worker id
+                                + lease knobs
+``GET  /workers``               fleet + queue counters snapshot
+``POST /leases``                ``{"worker": id, "max_scenarios": N?}``
+                                -> ``{"lease": {...}}`` or
+                                ``{"lease": null}`` when idle
+``PUT  /leases/<id>/heartbeat`` extend the deadline (410 when expired)
+``POST /leases/<id>/complete``  push finished reports (or ``{"error":
+                                ...}`` to requeue the chunk)
+==============================  =============================================
+
 Every response is JSON. Errors use ``{"error": message}`` with a 4xx/5xx
-status.
+status. The HTTP front end runs handler threads on a bounded pool, so
+thousands of concurrent report fetches queue instead of spawning
+thousands of threads.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.introspect import registry_dump
-from repro.runner import Scenario, expand_grid
+from repro.runner import RunReport, Scenario, expand_grid
 from repro.service.jobs import JobManager, coerce_grid
 from repro.store import ResultStore
 
 __all__ = ["ReproService", "serve"]
+
+#: handler threads in the pooled front end
+DEFAULT_HTTP_THREADS = 32
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
@@ -188,6 +210,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_reports_query(parse_qs(url.query))
             elif parts == ["analysis"]:
                 self._get_analysis(parse_qs(url.query))
+            elif parts == ["workers"]:
+                self._send_json(200, self._coordinator().snapshot())
             elif len(parts) == 2 and parts[0] == "reports":
                 self._get_report(parts[1])
             else:
@@ -198,15 +222,50 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(500, f"{type(error).__name__}: {error}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        from repro.farm import UnknownLease, UnknownWorker
+
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
         try:
             if parts == ["jobs"]:
                 self._post_job()
+            elif parts == ["workers"]:
+                self._post_worker()
+            elif parts == ["leases"]:
+                self._post_lease()
+            elif len(parts) == 3 and parts[0] == "leases" and parts[2] == "complete":
+                self._post_complete(parts[1])
             else:
                 self._error(404, f"unknown path {url.path!r}")
         except _BadRequest as error:
             self._error(400, str(error))
+        except UnknownWorker as error:
+            self._error(404, str(error))
+        except UnknownLease as error:
+            self._error(410, str(error))
+        except Exception as error:  # noqa: BLE001 - never kill the handler
+            self._error(500, f"{type(error).__name__}: {error}")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        from repro.farm import UnknownLease, UnknownWorker
+
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if len(parts) == 3 and parts[0] == "leases" and parts[2] == "heartbeat":
+                body = self._read_body() or {}
+                worker_id = self._worker_id(body)
+                self._send_json(
+                    200, self._coordinator().heartbeat(parts[1], worker_id)
+                )
+            else:
+                self._error(404, f"unknown path {url.path!r}")
+        except _BadRequest as error:
+            self._error(400, str(error))
+        except UnknownWorker as error:
+            self._error(404, str(error))
+        except UnknownLease as error:
+            self._error(410, str(error))
         except Exception as error:  # noqa: BLE001 - never kill the handler
             self._error(500, f"{type(error).__name__}: {error}")
 
@@ -364,10 +423,100 @@ class _Handler(BaseHTTPRequestHandler):
             raise _BadRequest(str(error)) from error
         self._send_json(202, job.snapshot())
 
+    # -- the farm (lease protocol) ------------------------------------------
+
+    def _coordinator(self):
+        coordinator = self.server.service.coordinator
+        if coordinator is None:
+            raise _BadRequest(
+                "this service runs local workers; start it with "
+                "--workers remote to coordinate a farm"
+            )
+        return coordinator
+
+    @staticmethod
+    def _worker_id(body: Any) -> str:
+        if not isinstance(body, dict) or not body.get("worker"):
+            raise _BadRequest("body must carry the registered 'worker' id")
+        return str(body["worker"])
+
+    def _post_worker(self) -> None:
+        coordinator = self._coordinator()
+        body = self._read_body() or {}
+        if not isinstance(body, dict):
+            raise _BadRequest("body must be a JSON object")
+        self._send_json(201, coordinator.register(str(body.get("name") or "")))
+
+    def _post_lease(self) -> None:
+        coordinator = self._coordinator()
+        body = self._read_body() or {}
+        worker_id = self._worker_id(body)
+        max_scenarios = body.get("max_scenarios")
+        if max_scenarios is not None:
+            try:
+                max_scenarios = int(max_scenarios)
+            except (TypeError, ValueError):
+                raise _BadRequest("max_scenarios must be an integer") from None
+        try:
+            lease = coordinator.lease(worker_id, max_scenarios=max_scenarios)
+        except ValueError as error:
+            raise _BadRequest(str(error)) from error
+        self._send_json(200, {"lease": lease})
+
+    def _post_complete(self, lease_id: str) -> None:
+        coordinator = self._coordinator()
+        body = self._read_body() or {}
+        worker_id = self._worker_id(body)
+        if "error" in body:
+            self._send_json(
+                200, coordinator.fail(lease_id, worker_id, str(body["error"]))
+            )
+            return
+        dicts = body.get("reports")
+        if not isinstance(dicts, list):
+            raise _BadRequest("'reports' must be a list of report dicts")
+        try:
+            reports = [RunReport.from_dict(data) for data in dicts]
+        except (KeyError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            raise _BadRequest(f"malformed report: {message}") from error
+        self._send_json(
+            200,
+            coordinator.complete(
+                lease_id,
+                worker_id,
+                reports,
+                executed=int(body.get("executed") or 0),
+                cached=int(body.get("cached") or 0),
+            ),
+        )
+
 
 class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a bounded handler pool.
+
+    The stock mixin spawns one thread per connection — fine for a test
+    client, pathological for thousands of concurrent report fetches.
+    Routing ``process_request`` through a fixed :class:`ThreadPoolExecutor`
+    caps handler concurrency; excess connections wait in the accept
+    queue instead of exhausting memory.
+    """
+
     daemon_threads = True
     service: "ReproService"
+
+    def __init__(self, address, handler, http_threads: int = DEFAULT_HTTP_THREADS):
+        super().__init__(address, handler)
+        self._pool = ThreadPoolExecutor(
+            max_workers=http_threads, thread_name_prefix="repro-http"
+        )
+
+    def process_request(self, request, client_address) -> None:
+        self._pool.submit(self.process_request_thread, request, client_address)
+
+    def server_close(self) -> None:
+        super().server_close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
 
 
 class ReproService:
@@ -375,6 +524,11 @@ class ReproService:
 
     ``port=0`` binds an ephemeral port (see :attr:`port` after
     :meth:`start`), which is what the tests and the CI smoke use.
+
+    ``remote_workers=True`` swaps the local worker threads for a farm
+    :class:`~repro.farm.Coordinator`: jobs become leases that external
+    ``repro worker`` processes pull over HTTP. ``shards`` opens (or
+    creates) a sharded store backend.
     """
 
     def __init__(
@@ -385,11 +539,34 @@ class ReproService:
         workers: int = 2,
         processes: Optional[int] = None,
         verbose: bool = False,
+        remote_workers: bool = False,
+        lease_scenarios: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        shards: Optional[int] = None,
+        http_threads: int = DEFAULT_HTTP_THREADS,
     ) -> None:
-        self.store = ResultStore(store_path)
-        self.jobs = JobManager(self.store, workers=workers, processes=processes)
+        self.store = ResultStore(store_path, shards=shards)
+        self.coordinator = None
+        if remote_workers:
+            from repro.farm import Coordinator
+            from repro.farm.coordinator import (
+                DEFAULT_LEASE_SCENARIOS,
+                DEFAULT_LEASE_TIMEOUT,
+            )
+
+            self.coordinator = Coordinator(
+                self.store,
+                lease_scenarios=lease_scenarios or DEFAULT_LEASE_SCENARIOS,
+                lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+            )
+        self.jobs = JobManager(
+            self.store,
+            workers=workers,
+            processes=processes,
+            coordinator=self.coordinator,
+        )
         self.verbose = verbose
-        self._server = _Server((host, port), _Handler)
+        self._server = _Server((host, port), _Handler, http_threads=http_threads)
         self._server.service = self
         self._thread: Optional[threading.Thread] = None
 
@@ -439,6 +616,10 @@ def serve(
     port: int = 8765,
     workers: int = 2,
     processes: Optional[int] = None,
+    remote_workers: bool = False,
+    lease_scenarios: Optional[int] = None,
+    lease_timeout: Optional[float] = None,
+    shards: Optional[int] = None,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` command)."""
     service = ReproService(
@@ -448,11 +629,20 @@ def serve(
         workers=workers,
         processes=processes,
         verbose=True,
+        remote_workers=remote_workers,
+        lease_scenarios=lease_scenarios,
+        lease_timeout=lease_timeout,
+        shards=shards,
+    )
+    mode = (
+        "coordinating remote workers (repro worker --connect "
+        f"{service.url})"
+        if remote_workers
+        else f"{workers} workers"
     )
     print(
         f"repro service on {service.url} "
-        f"(store: {store_path}, {len(service.store)} reports; "
-        f"{workers} workers)"
+        f"(store: {store_path}, {len(service.store)} reports; {mode})"
     )
     try:
         service.serve_forever()

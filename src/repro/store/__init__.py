@@ -22,6 +22,13 @@ Thread it through the runner (``run_batch(..., store=store)``), the CLI
         decay = store.query(algorithm="decay", topology="path")
 """
 
+from repro.store.backend import (
+    ShardedSQLiteBackend,
+    SQLiteBackend,
+    StoreBackend,
+    open_backend,
+    shard_index,
+)
 from repro.store.store import (
     ORDERABLE_COLUMNS,
     STORE_SCHEMA_VERSION,
@@ -29,4 +36,14 @@ from repro.store.store import (
     StoreRow,
 )
 
-__all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]
+__all__ = [
+    "ResultStore",
+    "StoreRow",
+    "ORDERABLE_COLUMNS",
+    "STORE_SCHEMA_VERSION",
+    "StoreBackend",
+    "SQLiteBackend",
+    "ShardedSQLiteBackend",
+    "open_backend",
+    "shard_index",
+]

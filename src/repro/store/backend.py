@@ -1,0 +1,487 @@
+"""Pluggable storage engines behind :class:`~repro.store.ResultStore`.
+
+:class:`ResultStore` is the public, report-shaped API; a
+:class:`StoreBackend` is the row-shaped engine underneath it. The split
+exists so the sweep farm can outgrow one SQLite file without the queue,
+the service, or the analysis layer noticing: every backend speaks the
+same denormalized row tuples and the same deterministic orderings, so
+swapping engines changes throughput, never bytes.
+
+Two engines ship today:
+
+* :class:`SQLiteBackend` — one database file (WAL, batched
+  transactions), the engine every store used before the split;
+* :class:`ShardedSQLiteBackend` — a directory of ``shard-NN.db`` files.
+  Writes route by a hash of the cache key, so shards never contend on
+  one file's write lock; ordered reads run the same query on every
+  shard and lazily merge the sorted streams, so queries, pagination,
+  and exports stay byte-identical to the single-file engine.
+
+Because cache keys are content addresses, routing by key prefix is also
+a *placement* function: any process that knows the shard count knows
+where a report lives without asking anyone.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import re
+import sqlite3
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = [
+    "StoreBackend",
+    "SQLiteBackend",
+    "ShardedSQLiteBackend",
+    "open_backend",
+    "shard_index",
+    "STORE_SCHEMA_VERSION",
+]
+
+#: bump on incompatible table changes; opening a mismatched store raises
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS reports (
+    cache_key      TEXT PRIMARY KEY,
+    algorithm      TEXT NOT NULL,
+    topology       TEXT NOT NULL,
+    adversary      TEXT NOT NULL,
+    fault_model    TEXT NOT NULL,
+    fault_p        REAL NOT NULL,
+    seed           INTEGER NOT NULL,
+    network_n      INTEGER NOT NULL,
+    success        INTEGER NOT NULL,
+    rounds         INTEGER NOT NULL,
+    wall_time_s    REAL NOT NULL,
+    canonical_json TEXT NOT NULL,
+    created_at     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_reports_algorithm ON reports (algorithm);
+CREATE INDEX IF NOT EXISTS idx_reports_topology  ON reports (topology);
+CREATE INDEX IF NOT EXISTS idx_reports_adversary ON reports (adversary);
+CREATE INDEX IF NOT EXISTS idx_reports_seed      ON reports (seed);
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+_SHARD_PATTERN = re.compile(r"^shard-(\d{2,})\.db$")
+
+#: row-tuple column order shared by every backend (matches the INSERT)
+ROW_COLUMNS = (
+    "cache_key",
+    "algorithm",
+    "topology",
+    "adversary",
+    "fault_model",
+    "fault_p",
+    "seed",
+    "network_n",
+    "success",
+    "rounds",
+    "wall_time_s",
+    "canonical_json",
+    "created_at",
+)
+
+
+def shard_index(cache_key: str, shards: int) -> int:
+    """Which shard a cache key routes to (stable across processes).
+
+    CRC32 over the key text rather than ``int(key[:8], 16)`` so the
+    routing works for any key string, not just hex digests.
+    """
+    return zlib.crc32(cache_key.encode("utf-8")) % shards
+
+
+class StoreBackend(abc.ABC):
+    """Row-level storage engine contract.
+
+    ``where`` strings and ``values`` use SQLite ``?`` placeholders
+    (both engines are SQLite underneath); ``order`` is a sequence of
+    ascending column names, which is what lets the sharded engine do a
+    lazy sorted merge instead of parsing SQL.
+    """
+
+    #: engine name, surfaced by ``ResultStore.stats()``
+    kind: str = ""
+
+    @abc.abstractmethod
+    def insert_rows(self, rows: Sequence[tuple], replace: bool) -> int:
+        """Insert row tuples (:data:`ROW_COLUMNS` order); returns rows written."""
+
+    @abc.abstractmethod
+    def fetch_payload(
+        self, cache_key: str, columns: Sequence[str]
+    ) -> Optional[tuple]:
+        """The requested columns of one row, or None when absent."""
+
+    @abc.abstractmethod
+    def iter_select(
+        self,
+        columns: Sequence[str],
+        where: str,
+        values: Sequence[Any],
+        order: Sequence[str],
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        batch_size: int = 4096,
+    ) -> Iterator[tuple]:
+        """Stream rows of ``columns`` sorted ascending by ``order``."""
+
+    @abc.abstractmethod
+    def count_where(self, where: str, values: Sequence[Any]) -> int:
+        """How many rows match ``where``."""
+
+    @abc.abstractmethod
+    def group_counts(self, column: str) -> dict[str, int]:
+        """``column value -> row count`` over the whole store."""
+
+    @abc.abstractmethod
+    def sum_column(self, column: str) -> float:
+        """SUM over a numeric column (0.0 when empty)."""
+
+    @abc.abstractmethod
+    def attempted(self) -> int:
+        """Cumulative rows ever offered to :meth:`insert_rows`.
+
+        ``attempted - stored`` is the number of duplicate puts the
+        content addressing absorbed — the farm's free dedup, surfaced
+        by ``repro store --stats`` as the dedup ratio.
+        """
+
+    @abc.abstractmethod
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard breakdown (a single-file engine reports one shard)."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release every connection."""
+
+
+class SQLiteBackend(StoreBackend):
+    """The original engine: one SQLite file, one locked connection."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str, timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        try:
+            with self._lock, self._connection as connection:
+                connection.execute("PRAGMA journal_mode=WAL")
+                connection.execute("PRAGMA synchronous=NORMAL")
+                connection.executescript(_SCHEMA)
+                row = connection.execute(
+                    "SELECT value FROM store_meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if row is None:
+                    connection.execute(
+                        "INSERT INTO store_meta (key, value) VALUES (?, ?)",
+                        ("schema_version", str(STORE_SCHEMA_VERSION)),
+                    )
+                elif int(row[0]) != STORE_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"store {self.path!r} has schema version {row[0]}, "
+                        f"this library writes version {STORE_SCHEMA_VERSION}"
+                    )
+        except Exception:
+            self._connection.close()
+            raise
+
+    # -- writes -------------------------------------------------------------
+
+    def insert_rows(self, rows: Sequence[tuple], replace: bool) -> int:
+        if not rows:
+            return 0
+        conflict = "REPLACE" if replace else "IGNORE"
+        placeholders = ", ".join("?" * len(ROW_COLUMNS))
+        with self._lock, self._connection as connection:
+            before = connection.total_changes
+            connection.executemany(
+                f"INSERT OR {conflict} INTO reports VALUES ({placeholders})",
+                rows,
+            )
+            written = connection.total_changes - before
+            connection.execute(
+                "INSERT INTO store_meta (key, value) VALUES ('puts_attempted', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = "
+                "CAST(CAST(value AS INTEGER) + CAST(excluded.value AS INTEGER) "
+                "AS TEXT)",
+                (str(len(rows)),),
+            )
+            return written
+
+    # -- reads --------------------------------------------------------------
+
+    def fetch_payload(
+        self, cache_key: str, columns: Sequence[str]
+    ) -> Optional[tuple]:
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT {', '.join(columns)} FROM reports WHERE cache_key = ?",
+                (cache_key,),
+            ).fetchone()
+
+    def iter_select(
+        self,
+        columns: Sequence[str],
+        where: str,
+        values: Sequence[Any],
+        order: Sequence[str],
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        batch_size: int = 4096,
+    ) -> Iterator[tuple]:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        sql = (
+            f"SELECT {', '.join(columns)} FROM reports {where} "
+            f"ORDER BY {', '.join(order)}"
+        )
+        values = list(values)
+        if limit is not None:
+            sql += " LIMIT ?"
+            values.append(int(limit))
+        elif offset is not None:
+            # SQLite requires a LIMIT clause before OFFSET; -1 = unbounded
+            sql += " LIMIT -1"
+        if offset is not None:
+            sql += " OFFSET ?"
+            values.append(int(offset))
+        with self._lock:
+            cursor = self._connection.execute(sql, values)
+        try:
+            while True:
+                with self._lock:
+                    batch = cursor.fetchmany(batch_size)
+                if not batch:
+                    return
+                yield from batch
+        finally:
+            cursor.close()
+
+    def count_where(self, where: str, values: Sequence[Any]) -> int:
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT COUNT(*) FROM reports {where}", list(values)
+            ).fetchone()[0]
+
+    def group_counts(self, column: str) -> dict[str, int]:
+        with self._lock:
+            rows = self._connection.execute(
+                f"SELECT {column}, COUNT(*) FROM reports "
+                f"GROUP BY {column} ORDER BY {column}"
+            ).fetchall()
+        return dict(rows)
+
+    def sum_column(self, column: str) -> float:
+        with self._lock:
+            return self._connection.execute(
+                f"SELECT COALESCE(SUM({column}), 0.0) FROM reports"
+            ).fetchone()[0]
+
+    def attempted(self) -> int:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM store_meta WHERE key = 'puts_attempted'"
+            ).fetchone()
+        return 0 if row is None else int(row[0])
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "shard": 0,
+                "path": self.path,
+                "reports": self.count_where("", []),
+                "attempted": self.attempted(),
+            }
+        ]
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+
+class ShardedSQLiteBackend(StoreBackend):
+    """N SQLite files under one directory, routed by cache-key hash.
+
+    ``path`` is a directory holding ``shard-00.db .. shard-NN.db`` (one
+    :class:`SQLiteBackend` each). Pass ``shards`` to create a new store;
+    an existing directory's shard count is discovered from the files and
+    must match ``shards`` when both are given — the routing function is
+    part of the store's identity, so a count mismatch is a hard error,
+    never a silent re-route.
+    """
+
+    kind = "sharded-sqlite"
+
+    def __init__(
+        self,
+        path: str,
+        shards: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.path = str(path)
+        directory = Path(self.path)
+        existing = sorted(
+            entry.name
+            for entry in directory.glob("shard-*.db")
+            if _SHARD_PATTERN.match(entry.name)
+        ) if directory.is_dir() else []
+        if existing:
+            found = len(existing)
+            if shards is not None and int(shards) != found:
+                raise ValueError(
+                    f"store {self.path!r} has {found} shards, "
+                    f"but shards={shards} was requested"
+                )
+            shards = found
+        elif shards is None:
+            raise ValueError(
+                f"{self.path!r} is not a sharded store and no shard "
+                "count was given"
+            )
+        elif int(shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        directory.mkdir(parents=True, exist_ok=True)
+        self.shards = int(shards)
+        self._backends: list[SQLiteBackend] = []
+        try:
+            for index in range(self.shards):
+                self._backends.append(
+                    SQLiteBackend(
+                        str(directory / f"shard-{index:02d}.db"), timeout=timeout
+                    )
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def _route(self, cache_key: str) -> SQLiteBackend:
+        return self._backends[shard_index(cache_key, self.shards)]
+
+    # -- writes -------------------------------------------------------------
+
+    def insert_rows(self, rows: Sequence[tuple], replace: bool) -> int:
+        by_shard: dict[int, list[tuple]] = {}
+        for row in rows:
+            by_shard.setdefault(shard_index(row[0], self.shards), []).append(row)
+        return sum(
+            self._backends[index].insert_rows(shard_rows, replace)
+            for index, shard_rows in sorted(by_shard.items())
+        )
+
+    # -- reads --------------------------------------------------------------
+
+    def fetch_payload(
+        self, cache_key: str, columns: Sequence[str]
+    ) -> Optional[tuple]:
+        return self._route(cache_key).fetch_payload(cache_key, columns)
+
+    def iter_select(
+        self,
+        columns: Sequence[str],
+        where: str,
+        values: Sequence[Any],
+        order: Sequence[str],
+        limit: Optional[int] = None,
+        offset: Optional[int] = None,
+        batch_size: int = 4096,
+    ) -> Iterator[tuple]:
+        # each shard streams (order columns + requested columns) in the
+        # same sort; a lazy heap merge then reproduces the single-file
+        # engine's global order exactly. Every ordering the store issues
+        # ends with the unique cache_key, so the merge is total.
+        width = len(order)
+        # a shard never needs more than limit+offset rows to cover any
+        # global page
+        shard_limit = None if limit is None else int(limit) + int(offset or 0)
+        streams = [
+            backend.iter_select(
+                tuple(order) + tuple(columns),
+                where,
+                values,
+                order,
+                limit=shard_limit,
+                batch_size=batch_size,
+            )
+            for backend in self._backends
+        ]
+        merged = heapq.merge(*streams, key=lambda row: row[:width])
+        if offset:
+            merged = _skip(merged, int(offset))
+        produced = 0
+        for row in merged:
+            if limit is not None and produced >= int(limit):
+                return
+            produced += 1
+            yield row[width:]
+
+    def count_where(self, where: str, values: Sequence[Any]) -> int:
+        return sum(
+            backend.count_where(where, values) for backend in self._backends
+        )
+
+    def group_counts(self, column: str) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for backend in self._backends:
+            for name, count in backend.group_counts(column).items():
+                merged[name] = merged.get(name, 0) + count
+        return dict(sorted(merged.items(), key=lambda item: (item[0] is None, item[0])))
+
+    def sum_column(self, column: str) -> float:
+        return sum(backend.sum_column(column) for backend in self._backends)
+
+    def attempted(self) -> int:
+        return sum(backend.attempted() for backend in self._backends)
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "shard": index,
+                "path": backend.path,
+                "reports": backend.count_where("", []),
+                "attempted": backend.attempted(),
+            }
+            for index, backend in enumerate(self._backends)
+        ]
+
+    def close(self) -> None:
+        for backend in self._backends:
+            backend.close()
+
+
+def _skip(iterator: Iterator[tuple], count: int) -> Iterator[tuple]:
+    for _ in range(count):
+        if next(iterator, None) is None:
+            return iter(())
+    return iterator
+
+
+def open_backend(
+    path: str, timeout: float = 30.0, shards: Optional[int] = None
+) -> StoreBackend:
+    """Pick the engine for ``path``.
+
+    A directory (existing, or requested via ``shards > 1``) opens the
+    sharded engine; anything else — including ``":memory:"`` — opens the
+    single-file engine. ``shards`` on an existing sharded store must
+    match its file count.
+    """
+    import os
+
+    if os.path.isdir(path) or (shards is not None and int(shards) > 1):
+        return ShardedSQLiteBackend(path, shards=shards, timeout=timeout)
+    if shards is not None and int(shards) != 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return SQLiteBackend(path, timeout=timeout)

@@ -1,4 +1,4 @@
-"""SQLite-backed, content-addressed store for canonical run reports.
+"""Content-addressed store for canonical run reports, over any backend.
 
 One row per scenario cache key (:meth:`Scenario.cache_key
 <repro.runner.scenario.Scenario.cache_key>`): the canonical report JSON
@@ -7,59 +7,33 @@ model, seed, size, outcome). Because the runner's determinism contract
 makes the canonical report a pure function of the scenario, the key is a
 valid content address — two writers can only ever race to insert the
 same bytes, so concurrent ``put_many`` from multiple processes needs
-nothing beyond SQLite's own locking (WAL journal, ``INSERT OR IGNORE``,
-a generous busy timeout).
+nothing beyond the engine's own locking.
+
+:class:`ResultStore` is the report-shaped API; the actual storage engine
+is a pluggable :class:`~repro.store.backend.StoreBackend` — one SQLite
+file by default, or a sharded directory of them (``shards=N``, or any
+path that already is a shard directory). Every engine produces the same
+deterministic orderings, so the choice changes throughput, never bytes.
 
 The store is safe to share across the service's handler and worker
-threads (one internal lock serializes access to the single connection)
-and across processes (each process opens its own :class:`ResultStore` on
-the same path).
+threads and across processes (each process opens its own
+:class:`ResultStore` on the same path).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import sqlite3
-import threading
 import time
 from typing import Any, Iterable, Iterator, NamedTuple, Optional
 
 from repro.runner.report import RunReport
+from repro.store.backend import STORE_SCHEMA_VERSION, StoreBackend, open_backend
 
 __all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]
 
-#: bump on incompatible table changes; opening a mismatched store raises
-STORE_SCHEMA_VERSION = 1
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS reports (
-    cache_key      TEXT PRIMARY KEY,
-    algorithm      TEXT NOT NULL,
-    topology       TEXT NOT NULL,
-    adversary      TEXT NOT NULL,
-    fault_model    TEXT NOT NULL,
-    fault_p        REAL NOT NULL,
-    seed           INTEGER NOT NULL,
-    network_n      INTEGER NOT NULL,
-    success        INTEGER NOT NULL,
-    rounds         INTEGER NOT NULL,
-    wall_time_s    REAL NOT NULL,
-    canonical_json TEXT NOT NULL,
-    created_at     REAL NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_reports_algorithm ON reports (algorithm);
-CREATE INDEX IF NOT EXISTS idx_reports_topology  ON reports (topology);
-CREATE INDEX IF NOT EXISTS idx_reports_adversary ON reports (adversary);
-CREATE INDEX IF NOT EXISTS idx_reports_seed      ON reports (seed);
-CREATE TABLE IF NOT EXISTS store_meta (
-    key   TEXT PRIMARY KEY,
-    value TEXT NOT NULL
-);
-"""
-
 #: deterministic result order for query()/export_json()
-_QUERY_ORDER = "ORDER BY algorithm, topology, network_n, seed, cache_key"
+_DEFAULT_ORDER = ("algorithm", "topology", "network_n", "seed", "cache_key")
 
 #: columns query(order_by=...) accepts; every ordering is made total by a
 #: trailing cache_key tiebreak
@@ -100,58 +74,37 @@ class StoreRow(NamedTuple):
     wall_time_s: float
 
 
-_ROW_SELECT = (
-    "SELECT cache_key, algorithm, topology, adversary, fault_model, "
-    "fault_p, seed, network_n, success, rounds, wall_time_s FROM reports"
-)
-
-
 class ResultStore:
-    """A content-addressed result store on one SQLite database file.
+    """A content-addressed result store over a pluggable backend.
 
     Parameters
     ----------
     path:
-        Database file (created on first open). ``":memory:"`` works for
-        single-process, single-store use.
+        Database file (created on first open), or a shard directory.
+        ``":memory:"`` works for single-process, single-store use.
     timeout:
         SQLite busy timeout in seconds — how long a writer waits on a
         concurrent writer's transaction before giving up.
+    shards:
+        ``> 1`` creates (or opens) a sharded store at ``path``; ``None``
+        auto-detects (a directory opens sharded, a file single).
     """
 
-    def __init__(self, path: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        timeout: float = 30.0,
+        shards: Optional[int] = None,
+    ) -> None:
         self.path = str(path)
-        self._lock = threading.RLock()
-        self._connection = sqlite3.connect(
-            self.path, timeout=timeout, check_same_thread=False
+        self.backend: StoreBackend = open_backend(
+            self.path, timeout=timeout, shards=shards
         )
-        try:
-            with self._lock, self._connection as connection:
-                connection.execute("PRAGMA journal_mode=WAL")
-                connection.execute("PRAGMA synchronous=NORMAL")
-                connection.executescript(_SCHEMA)
-                row = connection.execute(
-                    "SELECT value FROM store_meta WHERE key = 'schema_version'"
-                ).fetchone()
-                if row is None:
-                    connection.execute(
-                        "INSERT INTO store_meta (key, value) VALUES (?, ?)",
-                        ("schema_version", str(STORE_SCHEMA_VERSION)),
-                    )
-                elif int(row[0]) != STORE_SCHEMA_VERSION:
-                    raise ValueError(
-                        f"store {self.path!r} has schema version {row[0]}, "
-                        f"this library writes version {STORE_SCHEMA_VERSION}"
-                    )
-        except Exception:
-            self._connection.close()
-            raise
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        with self._lock:
-            self._connection.close()
+        self.backend.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -205,15 +158,7 @@ class ResultStore:
             )
         if not rows:
             return 0
-        conflict = "REPLACE" if replace else "IGNORE"
-        with self._lock, self._connection as connection:
-            before = connection.total_changes
-            connection.executemany(
-                f"INSERT OR {conflict} INTO reports VALUES "
-                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                rows,
-            )
-            return connection.total_changes - before
+        return self.backend.insert_rows(rows, replace)
 
     # -- reads --------------------------------------------------------------
 
@@ -225,45 +170,32 @@ class ResultStore:
         canonical JSON exactly. ``wall_time_s`` is the original run's
         (timing is outside the canonical form).
         """
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT canonical_json, wall_time_s FROM reports "
-                "WHERE cache_key = ?",
-                (cache_key,),
-            ).fetchone()
+        row = self.backend.fetch_payload(
+            cache_key, ("canonical_json", "wall_time_s")
+        )
         if row is None:
             return None
         return self._report_from_row(row[0], row[1])
 
     def get_json(self, cache_key: str) -> Optional[str]:
         """The stored canonical JSON text itself (None when absent)."""
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT canonical_json FROM reports WHERE cache_key = ?",
-                (cache_key,),
-            ).fetchone()
+        row = self.backend.fetch_payload(cache_key, ("canonical_json",))
         return None if row is None else row[0]
 
     def __contains__(self, cache_key: str) -> bool:
-        with self._lock:
-            row = self._connection.execute(
-                "SELECT 1 FROM reports WHERE cache_key = ?", (cache_key,)
-            ).fetchone()
-        return row is not None
+        return self.backend.fetch_payload(cache_key, ("1",)) is not None
 
     def __len__(self) -> int:
-        with self._lock:
-            return self._connection.execute(
-                "SELECT COUNT(*) FROM reports"
-            ).fetchone()[0]
+        return self.backend.count_where("", [])
 
     def keys(self) -> list[str]:
         """Every stored cache key, in deterministic (sorted) order."""
-        with self._lock:
-            rows = self._connection.execute(
-                "SELECT cache_key FROM reports ORDER BY cache_key"
-            ).fetchall()
-        return [row[0] for row in rows]
+        return [
+            row[0]
+            for row in self.backend.iter_select(
+                ("cache_key",), "", [], ("cache_key",)
+            )
+        ]
 
     def query(
         self,
@@ -289,18 +221,23 @@ class ResultStore:
         ``cache_key`` tiebreak, so it is total and ``limit``/``offset``
         paginate without duplicating or dropping rows between pages.
         """
+        if offset is not None and offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
         where, values = self._where(
             algorithm, topology, adversary, fault_model,
             seed_min, seed_max, success,
         )
-        sql = (
-            "SELECT canonical_json, wall_time_s FROM reports "
-            f"{where} {self._order(order_by)}"
-        )
-        sql, values = self._paginate(sql, values, limit, offset)
-        with self._lock:
-            rows = self._connection.execute(sql, values).fetchall()
-        return [self._report_from_row(text, wall) for text, wall in rows]
+        return [
+            self._report_from_row(text, wall)
+            for text, wall in self.backend.iter_select(
+                ("canonical_json", "wall_time_s"),
+                where,
+                values,
+                self._order(order_by),
+                limit=limit,
+                offset=offset,
+            )
+        ]
 
     def count(
         self,
@@ -317,35 +254,47 @@ class ResultStore:
             algorithm, topology, adversary, fault_model,
             seed_min, seed_max, success,
         )
-        with self._lock:
-            return self._connection.execute(
-                f"SELECT COUNT(*) FROM reports {where}", values
-            ).fetchone()[0]
+        return self.backend.count_where(where, values)
 
     def stats(self) -> dict[str, Any]:
-        """A summary of the store: totals and per-dimension breakdowns."""
-        with self._lock:
-            connection = self._connection
-            total = connection.execute("SELECT COUNT(*) FROM reports").fetchone()[0]
-            breakdown = {}
-            for column in ("algorithm", "topology", "adversary"):
-                rows = connection.execute(
-                    f"SELECT {column}, COUNT(*) FROM reports "
-                    f"GROUP BY {column} ORDER BY {column}"
-                ).fetchall()
-                breakdown[column] = {name or "none": count for name, count in rows}
-            wall = connection.execute(
-                "SELECT COALESCE(SUM(wall_time_s), 0.0) FROM reports"
-            ).fetchone()[0]
+        """A summary of the store: totals and per-dimension breakdowns.
+
+        Beyond the per-dimension counts, ``backend``/``shards`` describe
+        the engine and ``puts_attempted``/``dedup_ratio`` how much
+        duplicate work the content addressing absorbed (farmed sweeps
+        re-offering already-stored keys cost one ignored insert, not a
+        recompute).
+        """
+        backend = self.backend
+        total = backend.count_where("", [])
+        breakdown = {
+            column: {
+                name or "none": count
+                for name, count in backend.group_counts(column).items()
+            }
+            for column in ("algorithm", "topology", "adversary")
+        }
+        attempted = backend.attempted()
         return {
             "path": self.path,
             "schema_version": STORE_SCHEMA_VERSION,
+            "backend": backend.kind,
+            "shards": len(backend.shard_stats()),
             "reports": total,
             "by_algorithm": breakdown["algorithm"],
             "by_topology": breakdown["topology"],
             "by_adversary": breakdown["adversary"],
-            "stored_wall_time_s": wall,
+            "stored_wall_time_s": backend.sum_column("wall_time_s"),
+            "puts_attempted": attempted,
+            "dedup_ratio": (
+                round(1.0 - total / attempted, 4) if attempted else 0.0
+            ),
         }
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard row counts and put-attempt counters (one entry for
+        single-file stores)."""
+        return self.backend.shard_stats()
 
     # -- streaming ----------------------------------------------------------
 
@@ -362,22 +311,14 @@ class ResultStore:
         """
         order_by = filters.pop("order_by", None)
         where, values = self._where_from_filters(filters)
-        sql = f"{_ROW_SELECT} {where} {self._order(order_by)}"
-        for batch in self._iter_batches(sql, values, batch_size):
-            for row in batch:
-                yield StoreRow(
-                    cache_key=row[0],
-                    algorithm=row[1],
-                    topology=row[2],
-                    adversary=row[3],
-                    fault_model=row[4],
-                    fault_p=row[5],
-                    seed=row[6],
-                    network_n=row[7],
-                    success=bool(row[8]),
-                    rounds=row[9],
-                    wall_time_s=row[10],
-                )
+        for row in self.backend.iter_select(
+            StoreRow._fields,
+            where,
+            values,
+            self._order(order_by),
+            batch_size=batch_size,
+        ):
+            yield StoreRow(*row[:8], bool(row[8]), row[9], row[10])
 
     def iter_reports(
         self, batch_size: int = 512, **filters: Any
@@ -390,31 +331,14 @@ class ResultStore:
         """
         order_by = filters.pop("order_by", None)
         where, values = self._where_from_filters(filters)
-        sql = (
-            "SELECT canonical_json, wall_time_s FROM reports "
-            f"{where} {self._order(order_by)}"
-        )
-        for batch in self._iter_batches(sql, values, batch_size):
-            for text, wall in batch:
-                yield self._report_from_row(text, wall)
-
-    def _iter_batches(
-        self, sql: str, values: list[Any], batch_size: int
-    ) -> Iterator[list]:
-        """fetchmany batches from a dedicated cursor, lock held per batch."""
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        with self._lock:
-            cursor = self._connection.execute(sql, values)
-        try:
-            while True:
-                with self._lock:
-                    batch = cursor.fetchmany(batch_size)
-                if not batch:
-                    return
-                yield batch
-        finally:
-            cursor.close()
+        for text, wall in self.backend.iter_select(
+            ("canonical_json", "wall_time_s"),
+            where,
+            values,
+            self._order(order_by),
+            batch_size=batch_size,
+        ):
+            yield self._report_from_row(text, wall)
 
     # -- export -------------------------------------------------------------
 
@@ -443,37 +367,17 @@ class ResultStore:
     # -- internals ----------------------------------------------------------
 
     @staticmethod
-    def _order(order_by: Optional[str]) -> str:
+    def _order(order_by: Optional[str]) -> tuple[str, ...]:
         if order_by is None:
-            return _QUERY_ORDER
+            return _DEFAULT_ORDER
         if order_by not in ORDERABLE_COLUMNS:
             raise ValueError(
                 f"unknown order_by column {order_by!r}; "
                 f"allowed: {', '.join(ORDERABLE_COLUMNS)}"
             )
         if order_by == "cache_key":
-            return "ORDER BY cache_key"
-        return f"ORDER BY {order_by}, cache_key"
-
-    @staticmethod
-    def _paginate(
-        sql: str,
-        values: list[Any],
-        limit: Optional[int],
-        offset: Optional[int],
-    ) -> tuple[str, list[Any]]:
-        if offset is not None and offset < 0:
-            raise ValueError(f"offset must be >= 0, got {offset}")
-        if limit is not None:
-            sql += " LIMIT ?"
-            values.append(int(limit))
-        elif offset is not None:
-            # SQLite requires a LIMIT clause before OFFSET; -1 = unbounded
-            sql += " LIMIT -1"
-        if offset is not None:
-            sql += " OFFSET ?"
-            values.append(int(offset))
-        return sql, values
+            return ("cache_key",)
+        return (order_by, "cache_key")
 
     def _where_from_filters(self, filters: dict[str, Any]) -> tuple[str, list[Any]]:
         unknown = set(filters) - {

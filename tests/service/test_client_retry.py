@@ -1,0 +1,135 @@
+"""Client retry policy against a deliberately flaky HTTP server.
+
+Transport failures on idempotent calls (GETs, heartbeat PUTs) retry
+with bounded backoff; non-idempotent POSTs and answered HTTP errors
+never do.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+
+class FlakyHandler(BaseHTTPRequestHandler):
+    """Drops the connection mid-request ``fail_remaining`` times, then
+    answers; every arrival is appended to ``hits``."""
+
+    fail_remaining = 0
+    hits: list[str] = []
+
+    def _handle(self) -> None:
+        cls = type(self)
+        cls.hits.append(f"{self.command} {self.path}")
+        if cls.fail_remaining > 0:
+            cls.fail_remaining -= 1
+            self.connection.close()  # no status line: a transport failure
+            return
+        if self.path == "/error":
+            body = json.dumps({"error": "boom"}).encode()
+            self.send_response(500)
+        else:
+            body = json.dumps({"ok": True, "path": self.path}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = do_PUT = _handle
+
+    def log_message(self, *args) -> None:  # quiet
+        pass
+
+
+@pytest.fixture()
+def flaky():
+    FlakyHandler.fail_remaining = 0
+    FlakyHandler.hits = []
+    server = ThreadingHTTPServer(("127.0.0.1", 0), FlakyHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture()
+def client(flaky):
+    client = ServiceClient(
+        f"http://127.0.0.1:{flaky.server_address[1]}",
+        timeout=5.0,
+        retries=3,
+        backoff=0.001,
+        backoff_max=0.004,
+    )
+    client._random.seed(0)
+    return client
+
+
+class TestIdempotentRetry:
+    def test_get_retries_through_transport_failures(self, client):
+        FlakyHandler.fail_remaining = 2
+        assert client.health()["ok"] is True
+        assert len(FlakyHandler.hits) == 3  # 2 drops + 1 success
+
+    def test_heartbeat_put_retries(self, client):
+        FlakyHandler.fail_remaining = 1
+        ack = client.heartbeat("lease-000001", "w-0001")
+        assert ack["ok"] is True
+        assert FlakyHandler.hits == [
+            "PUT /leases/lease-000001/heartbeat",
+            "PUT /leases/lease-000001/heartbeat",
+        ]
+
+    def test_retries_exhaust_and_raise(self, client):
+        FlakyHandler.fail_remaining = 99
+        with pytest.raises(Exception):
+            client.health()
+        assert len(FlakyHandler.hits) == 4  # 1 try + 3 retries
+
+
+class TestNoRetry:
+    def test_post_never_retries(self, client):
+        FlakyHandler.fail_remaining = 1
+        with pytest.raises(Exception):
+            client.register_worker("once")
+        assert FlakyHandler.hits == ["POST /workers"]
+
+    def test_http_error_response_never_retries(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client._get("/error")
+        assert caught.value.status == 500
+        assert "boom" in str(caught.value)
+        assert FlakyHandler.hits == ["GET /error"]
+
+    def test_zero_retries_fails_on_first_drop(self, flaky):
+        FlakyHandler.fail_remaining = 1
+        client = ServiceClient(
+            f"http://127.0.0.1:{flaky.server_address[1]}",
+            timeout=5.0,
+            retries=0,
+        )
+        with pytest.raises(Exception):
+            client.health()
+        assert len(FlakyHandler.hits) == 1
+
+
+class TestBackoffShape:
+    def test_delays_double_and_stay_bounded_with_jitter(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=5, backoff=0.1, backoff_max=0.4
+        )
+        client._random.seed(42)
+        slept: list[float] = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", slept.append
+        )
+        for attempt in range(5):
+            client._sleep(attempt)
+        ceilings = [0.1, 0.2, 0.4, 0.4, 0.4]  # doubling, capped
+        for delay, ceiling in zip(slept, ceilings):
+            assert ceiling / 2.0 <= delay <= ceiling  # jitter in (1/2, 1]

@@ -1,0 +1,127 @@
+"""The farm endpoints over a real socket: register, lease, heartbeat,
+complete — plus the error statuses workers key their behavior on."""
+
+import pytest
+
+from repro.core.faults import FaultConfig
+from repro.runner import Scenario, expand_grid, run_batch
+from repro.service import ReproService, ServiceClient, ServiceError
+
+BASE = Scenario(
+    algorithm="decay",
+    topology="path",
+    topology_params={"n": 12},
+    faults=FaultConfig.receiver(0.2),
+)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    store_path = str(tmp_path_factory.mktemp("farm-http") / "farm.db")
+    with ReproService(
+        store_path,
+        port=0,
+        remote_workers=True,
+        lease_scenarios=4,
+        lease_timeout=30.0,
+    ) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url, timeout=10.0)
+
+
+class TestRegistration:
+    def test_register_returns_id_and_knobs(self, client):
+        ack = client.register_worker("unit")
+        assert ack["worker"].startswith("w-")
+        assert ack["lease_scenarios"] == 4
+        assert ack["lease_timeout_s"] == 30.0
+        assert 0 < ack["heartbeat_s"] < 30.0
+
+    def test_workers_snapshot_lists_registered(self, client):
+        worker = client.register_worker("listed")["worker"]
+        snapshot = client.workers()
+        assert worker in {entry["id"] for entry in snapshot["workers"]}
+        assert "pending_scenarios" in snapshot["queue"]
+
+    def test_lease_with_unregistered_worker_is_404(self, client):
+        with pytest.raises(ServiceError) as caught:
+            client.lease("w-9999")
+        assert caught.value.status == 404
+
+
+class TestLeaseLifecycle:
+    def test_full_protocol_round_trip(self, client, service):
+        scenarios = expand_grid(BASE, seeds=[100, 101, 102])
+        job = client.submit(scenarios=scenarios)
+        worker = client.register_worker("rt")["worker"]
+
+        lease = client.lease(worker)
+        assert lease is not None
+        assert lease["worker"] == worker
+        leased = [Scenario.from_dict(s) for s in lease["scenarios"]]
+        assert [s.cache_key() for s in leased] == job["cache_keys"]
+
+        beat = client.heartbeat(lease["id"], worker)
+        assert beat["id"] == lease["id"]
+
+        reports = run_batch(leased)
+        ack = client.complete(
+            lease["id"], worker, reports, executed=len(reports)
+        )
+        assert ack["completed"] == len(scenarios)
+        assert ack["late"] is False
+
+        assert client.job(job["id"])["status"] == "done"
+        for scenario, report in zip(leased, reports):
+            assert client.report_bytes(
+                scenario.cache_key()
+            ) == report.to_json(canonical=True).encode()
+        assert client.lease(worker) is None  # queue drained
+
+    def test_heartbeat_on_dead_lease_is_410(self, client):
+        worker = client.register_worker("dead-beat")["worker"]
+        with pytest.raises(ServiceError) as caught:
+            client.heartbeat("lease-999999", worker)
+        assert caught.value.status == 410
+
+    def test_fail_requeues_for_another_worker(self, client):
+        scenarios = expand_grid(BASE, seeds=[200, 201])
+        job = client.submit(scenarios=scenarios)
+        quitter = client.register_worker("quitter")["worker"]
+        lease = client.lease(quitter)
+        assert client.fail(lease["id"], quitter, "simulated crash") == {
+            "requeued": 2
+        }
+        finisher = client.register_worker("finisher")["worker"]
+        retry = client.lease(finisher)
+        leased = [Scenario.from_dict(s) for s in retry["scenarios"]]
+        client.complete(retry["id"], finisher, run_batch(leased))
+        assert client.job(job["id"])["status"] == "done"
+
+    def test_malformed_lease_body_is_400(self, client, service):
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{service.url}/leases",
+            data=json.dumps({"not-worker": 1}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert caught.value.code == 400
+
+
+class TestLocalModeGuards:
+    def test_farm_endpoints_refused_without_coordinator(self, tmp_path):
+        store_path = str(tmp_path / "local.db")
+        with ReproService(store_path, port=0, workers=1) as running:
+            client = ServiceClient(running.url, timeout=10.0)
+            with pytest.raises(ServiceError) as caught:
+                client.register_worker("nope")
+            assert caught.value.status == 400
+            assert "remote" in str(caught.value)

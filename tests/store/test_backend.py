@@ -1,0 +1,182 @@
+"""The store backend split: sharded and single-file engines agree."""
+
+import pytest
+
+from repro.core.faults import FaultConfig
+from repro.runner import Scenario, expand_grid, run_batch
+from repro.store import (
+    ResultStore,
+    ShardedSQLiteBackend,
+    SQLiteBackend,
+    open_backend,
+    shard_index,
+)
+
+BASE = Scenario(
+    algorithm="decay",
+    topology="path",
+    topology_params={"n": 16},
+    faults=FaultConfig.receiver(0.2),
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_batch(
+        expand_grid(
+            BASE, seeds=range(10), grid={"algorithm": ["decay", "fastbc"]}
+        )
+    )
+
+
+def _strip_timing(rows):
+    """Wall time is outside the canonical form, so equality ignores it."""
+    return [row._replace(wall_time_s=0.0) for row in rows]
+
+
+class TestOpenBackend:
+    def test_file_path_opens_single_sqlite(self, tmp_path):
+        backend = open_backend(str(tmp_path / "one.db"))
+        assert isinstance(backend, SQLiteBackend)
+        backend.close()
+
+    def test_shards_parameter_creates_directory(self, tmp_path):
+        path = tmp_path / "farm"
+        backend = open_backend(str(path), shards=3)
+        assert isinstance(backend, ShardedSQLiteBackend)
+        backend.close()
+        names = sorted(p.name for p in path.iterdir())
+        assert names == ["shard-00.db", "shard-01.db", "shard-02.db"]
+
+    def test_existing_directory_autodetects_shard_count(self, tmp_path):
+        path = str(tmp_path / "farm")
+        open_backend(path, shards=4).close()
+        backend = open_backend(path)  # no shards= needed on reopen
+        assert len(backend.shard_stats()) == 4
+        backend.close()
+
+    def test_shard_count_mismatch_is_a_hard_error(self, tmp_path):
+        path = str(tmp_path / "farm")
+        open_backend(path, shards=2).close()
+        with pytest.raises(ValueError, match="2"):
+            open_backend(path, shards=3)
+
+    def test_shards_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_backend(str(tmp_path / "farm"), shards=0)
+
+
+class TestShardRouting:
+    def test_shard_index_is_stable_and_in_range(self):
+        keys = [f"{i:064x}" for i in range(100)]
+        for key in keys:
+            index = shard_index(key, 4)
+            assert 0 <= index < 4
+            assert index == shard_index(key, 4)
+
+    def test_rows_land_on_their_routed_shard(self, tmp_path, reports):
+        store = ResultStore(str(tmp_path / "farm"), shards=3)
+        store.put_many(reports)
+        per_shard = {
+            entry["shard"]: entry["reports"] for entry in store.shard_stats()
+        }
+        expected = {0: 0, 1: 0, 2: 0}
+        for report in reports:
+            expected[shard_index(report.cache_key, 3)] += 1
+        assert per_shard == expected
+        store.close()
+
+
+class TestShardedEquivalence:
+    """The sharded engine is indistinguishable from the single file."""
+
+    @pytest.fixture()
+    def pair(self, tmp_path, reports):
+        single = ResultStore(str(tmp_path / "single.db"))
+        sharded = ResultStore(str(tmp_path / "farm"), shards=3)
+        single.put_many(reports)
+        sharded.put_many(reports)
+        yield single, sharded
+        single.close()
+        sharded.close()
+
+    def test_keys_identical(self, pair):
+        single, sharded = pair
+        assert single.keys() == sharded.keys()
+
+    def test_payload_bytes_identical(self, pair, reports):
+        single, sharded = pair
+        for report in reports:
+            assert single.get_json(report.cache_key) == sharded.get_json(
+                report.cache_key
+            )
+
+    def test_iter_rows_order_identical(self, pair):
+        single, sharded = pair
+        assert _strip_timing(single.iter_rows()) == _strip_timing(
+            sharded.iter_rows()
+        )
+
+    def test_query_with_filters_identical(self, pair):
+        single, sharded = pair
+        for filters in (
+            {"algorithm": "decay"},
+            {"seed_min": 3, "seed_max": 7},
+            {"order_by": "seed"},
+        ):
+            assert [r.cache_key for r in single.query(**filters)] == [
+                r.cache_key for r in sharded.query(**filters)
+            ]
+
+    def test_pagination_walks_without_gaps_or_dupes(self, pair):
+        single, sharded = pair
+        full = [r.cache_key for r in single.query()]
+        paged = []
+        offset = 0
+        while True:
+            page = sharded.query(limit=7, offset=offset)
+            if not page:
+                break
+            paged.extend(r.cache_key for r in page)
+            offset += 7
+        assert paged == full
+
+    def test_stats_counts_agree(self, pair):
+        single, sharded = pair
+        lhs, rhs = single.stats(), sharded.stats()
+        for key in ("reports", "by_algorithm", "by_topology", "by_adversary"):
+            assert lhs[key] == rhs[key]
+        assert lhs["backend"] == "sqlite"
+        assert rhs["backend"] == "sharded-sqlite"
+        assert rhs["shards"] == 3
+
+
+class TestDedupAccounting:
+    def test_duplicate_puts_raise_attempted_not_reports(self, tmp_path, reports):
+        store = ResultStore(str(tmp_path / "farm"), shards=2)
+        assert store.put_many(reports) == len(reports)
+        assert store.put_many(reports) == 0  # every offer a duplicate
+        stats = store.stats()
+        assert stats["reports"] == len(reports)
+        assert stats["puts_attempted"] == 2 * len(reports)
+        assert stats["dedup_ratio"] == 0.5
+        store.close()
+
+    def test_attempted_survives_reopen(self, tmp_path, reports):
+        path = str(tmp_path / "farm")
+        store = ResultStore(path, shards=2)
+        store.put_many(reports)
+        store.put_many(reports[:5])
+        store.close()
+        reopened = ResultStore(path)
+        assert reopened.stats()["puts_attempted"] == len(reports) + 5
+        reopened.close()
+
+    def test_shard_stats_partition_the_totals(self, tmp_path, reports):
+        store = ResultStore(str(tmp_path / "farm"), shards=3)
+        store.put_many(reports)
+        store.put_many(reports)
+        entries = store.shard_stats()
+        assert sum(e["reports"] for e in entries) == len(reports)
+        assert sum(e["attempted"] for e in entries) == 2 * len(reports)
+        store.close()

@@ -210,7 +210,7 @@ class TestConcurrentWriters:
         assert sum(written) == 60
         with ResultStore(path) as store:
             assert len(store) == 60
-            check = store._connection.execute(
+            check = store.backend._connection.execute(
                 "PRAGMA integrity_check"
             ).fetchone()[0]
             assert check == "ok"
