@@ -1,7 +1,7 @@
-"""Farm throughput benchmarks: worker scaling and lease recovery.
+"""Farm throughput benchmarks: scaling, recovery, and journal cost.
 
 ``python benchmarks/bench_farm.py [--scale smoke|full] [--output PATH]``
-emits ``BENCH_farm.json`` with two measurements over real processes
+emits ``BENCH_farm.json`` with four measurements over real processes
 (one ``repro serve --workers remote`` coordinator, N ``repro worker``
 subprocesses):
 
@@ -10,7 +10,16 @@ subprocesses):
   the machine has >= 4 CPUs — worker processes scale with cores);
 * ``lease_recovery`` — SIGKILL a worker holding a lease and measure how
   long the farm takes to finish the sweep anyway (the expiry-requeue
-  path, dominated by the lease timeout).
+  path, dominated by the lease timeout);
+* ``journal_overhead`` — the same sweep with and without the durable
+  coordinator journal (``--no-journal``), with the ISSUE-7 acceptance
+  bar (journaling costs <= 10% of scenarios/s);
+* ``coordinator_recovery`` — SIGKILL the *coordinator* mid-sweep,
+  restart it with ``--recover`` on the same port, and measure restart-
+  to-healthy (``recovery_seconds``) plus kill-to-sweep-done.
+
+``--only NAME[,NAME...]`` runs a subset (bars are only enforced for
+measurements that ran).
 
 ``pytest benchmarks/bench_farm.py --benchmark-only -o python_files='bench_*.py'``
 runs the same measurements under pytest-benchmark.
@@ -54,6 +63,9 @@ _SCALES = {
 RECOVERY = {"scenarios": 40, "n": 32, "chunk": 4, "lease_timeout": 2.0,
             "victim_chunk": 12}
 
+#: the ISSUE-7 acceptance bar: journaling costs <= 10% of scenarios/s
+JOURNAL_OVERHEAD_BAR = 0.10
+
 
 def _sweep(count, n):
     base = Scenario(
@@ -65,8 +77,9 @@ def _sweep(count, n):
     return expand_grid(base, seeds=range(count))
 
 
-def _start_coordinator(store_path, chunk, lease_timeout=30.0):
-    port = _free_port()
+def _start_coordinator(store_path, chunk, lease_timeout=30.0, port=None,
+                       extra=()):
+    port = _free_port() if port is None else port
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro", "serve",
@@ -74,6 +87,7 @@ def _start_coordinator(store_path, chunk, lease_timeout=30.0):
             "--workers", "remote",
             "--lease-scenarios", str(chunk),
             "--lease-timeout", str(lease_timeout),
+            *extra,
         ],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
@@ -106,14 +120,14 @@ def _stop_all(server, workers):
         server.kill()
 
 
-def _timed_farm_run(tmp_dir, tag, worker_count, scenarios, chunk):
+def _timed_farm_run(tmp_dir, tag, worker_count, scenarios, chunk, extra=()):
     """Seconds for ``worker_count`` workers to drain ``scenarios``.
 
     Workers register *before* the clock starts, so subprocess startup
     is excluded and the measurement is pure sweep throughput.
     """
     store_path = str(Path(tmp_dir) / tag)
-    server, client = _start_coordinator(store_path, chunk)
+    server, client = _start_coordinator(store_path, chunk, extra=extra)
     url = client.base_url
     workers = [
         _spawn_worker(url, f"{tag}-w{i}", until_idle=False)
@@ -193,17 +207,116 @@ def bench_lease_recovery(tmp_dir):
     }
 
 
-def run_farm_benchmarks(scale="smoke"):
+def bench_journal_overhead(tmp_dir, scenario_count, n, chunk):
+    """The same single-worker sweep with and without the journal.
+
+    Every lease grant, heartbeat, and release writes the coordinator
+    journal (``farm_journal`` on shard 0); this prices that durability
+    in scenarios/s against ``repro serve --no-journal``.
+    """
+    scenarios = _sweep(scenario_count, n)
+    runs = {}
+    for tag, extra in (("without", ("--no-journal",)), ("with", ())):
+        elapsed = _timed_farm_run(
+            tmp_dir, f"journal-{tag}", 1, scenarios, chunk, extra=extra
+        )
+        runs[tag] = {
+            "seconds": round(elapsed, 6),
+            "scenarios_per_sec": round(scenario_count / elapsed, 2),
+        }
+    overhead = (
+        runs["with"]["seconds"] - runs["without"]["seconds"]
+    ) / runs["without"]["seconds"]
+    return {
+        "name": "journal_overhead",
+        "scenarios": scenario_count,
+        "lease_scenarios": chunk,
+        "runs": runs,
+        "overhead_fraction": round(max(0.0, overhead), 4),
+    }
+
+
+def bench_coordinator_recovery(tmp_dir):
+    """SIGKILL the coordinator mid-sweep; restart it with ``--recover``.
+
+    ``recovery_seconds`` is restart-to-healthy (journal replay plus
+    service startup); ``kill_to_done_seconds`` is the full outage cost
+    including worker retry backoff and expired-lease requeues.
+    """
+    sizes = RECOVERY
+    scenarios = _sweep(sizes["scenarios"], sizes["n"])
+    store_path = str(Path(tmp_dir) / "coordinator-recovery")
+    port = _free_port()
+    server, client = _start_coordinator(
+        store_path, sizes["chunk"], lease_timeout=sizes["lease_timeout"],
+        port=port,
+    )
+    workers = []
+    try:
+        job = client.submit(scenarios=scenarios)
+        workers = [
+            _spawn_worker(client.base_url, f"cr-w{i}", until_idle=False)
+            for i in range(2)
+        ]
+        # let the sweep get properly underway before pulling the plug
+        deadline = time.monotonic() + 120.0
+        while client.job(job["id"])["completed"] < sizes["scenarios"] // 4:
+            assert time.monotonic() < deadline, "sweep never progressed"
+            time.sleep(0.02)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=10.0)
+        killed_at = time.perf_counter()
+        server, client = _start_coordinator(
+            store_path, sizes["chunk"], lease_timeout=sizes["lease_timeout"],
+            port=port, extra=("--recover",),
+        )
+        recovery = time.perf_counter() - killed_at
+        snapshot = client.workers()
+        recovered = snapshot.get("recovered") or {}
+        assert recovered.get("jobs", 0) >= 1, recovered
+        client.wait(job["id"], timeout=300.0, poll=0.02)
+        kill_to_done = time.perf_counter() - killed_at
+        completed = client.job(job["id"])["completed"]
+    finally:
+        _stop_all(server, workers)
+    assert completed == len(scenarios), completed
+    return {
+        "name": "coordinator_recovery",
+        "scenarios": sizes["scenarios"],
+        "lease_timeout_s": sizes["lease_timeout"],
+        "recovery_seconds": round(recovery, 6),
+        "kill_to_done_seconds": round(kill_to_done, 6),
+        "recovered_jobs": recovered.get("jobs", 0),
+        "recovered_leases": recovered.get("leases", 0),
+    }
+
+
+_BENCHES = ("farm_scaling", "lease_recovery", "journal_overhead",
+            "coordinator_recovery")
+
+
+def run_farm_benchmarks(scale="smoke", only=None):
     if scale not in _SCALES:
         raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    selected = tuple(only) if only else _BENCHES
+    unknown = set(selected) - set(_BENCHES)
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
     sizes = _SCALES[scale]
+    results = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-farm-") as tmp_dir:
-        results = [
-            bench_farm_scaling(
+        if "farm_scaling" in selected:
+            results.append(bench_farm_scaling(
                 tmp_dir, sizes["scenarios"], sizes["n"], sizes["chunk"]
-            ),
-            bench_lease_recovery(tmp_dir),
-        ]
+            ))
+        if "lease_recovery" in selected:
+            results.append(bench_lease_recovery(tmp_dir))
+        if "journal_overhead" in selected:
+            results.append(bench_journal_overhead(
+                tmp_dir, sizes["scenarios"], sizes["n"], sizes["chunk"]
+            ))
+        if "coordinator_recovery" in selected:
+            results.append(bench_coordinator_recovery(tmp_dir))
     return {
         "schema": SCHEMA,
         "scale": scale,
@@ -218,42 +331,77 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
     parser.add_argument("--output", default="BENCH_farm.json")
+    parser.add_argument(
+        "--only", default=None, metavar="NAME[,NAME...]",
+        help=f"run a subset of {', '.join(_BENCHES)}",
+    )
     args = parser.parse_args(argv)
 
-    report = run_farm_benchmarks(scale=args.scale)
+    only = args.only.split(",") if args.only else None
+    report = run_farm_benchmarks(scale=args.scale, only=only)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    scaling, recovery = report["results"]
-    for count in ("1", "4"):
-        run = scaling["workers"][count]
+    by_name = {result["name"]: result for result in report["results"]}
+    scaling = by_name.get("farm_scaling")
+    if scaling:
+        for count in ("1", "4"):
+            run = scaling["workers"][count]
+            print(
+                f"farm_scaling         {count} worker(s): "
+                f"{run['scenarios_per_sec']:>8.2f} scenarios/s "
+                f"({run['seconds']:.3f}s)"
+            )
+        print(f"farm_scaling         speedup {scaling['speedup']}x at 4 workers")
+    recovery = by_name.get("lease_recovery")
+    if recovery:
         print(
-            f"farm_scaling      {count} worker(s): "
-            f"{run['scenarios_per_sec']:>8.2f} scenarios/s "
-            f"({run['seconds']:.3f}s)"
+            f"lease_recovery       {recovery['recovery_seconds']:.3f}s from "
+            f"kill to done ({recovery['lease_timeout_s']}s lease timeout, "
+            f"{recovery['leases_expired']} expired)"
         )
-    print(f"farm_scaling      speedup {scaling['speedup']}x at 4 workers")
-    print(
-        f"lease_recovery    {recovery['recovery_seconds']:.3f}s from kill "
-        f"to done ({recovery['lease_timeout_s']}s lease timeout, "
-        f"{recovery['leases_expired']} expired)"
-    )
+    journal = by_name.get("journal_overhead")
+    if journal:
+        print(
+            f"journal_overhead     "
+            f"{journal['runs']['with']['scenarios_per_sec']:.2f} scenarios/s "
+            f"journaled vs "
+            f"{journal['runs']['without']['scenarios_per_sec']:.2f} without "
+            f"({journal['overhead_fraction'] * 100:.1f}% overhead)"
+        )
+    coordinator = by_name.get("coordinator_recovery")
+    if coordinator:
+        print(
+            f"coordinator_recovery {coordinator['recovery_seconds']:.3f}s "
+            f"restart-to-healthy, {coordinator['kill_to_done_seconds']:.3f}s "
+            f"kill-to-done ({coordinator['recovered_jobs']} job(s), "
+            f"{coordinator['recovered_leases']} lease(s) replayed)"
+        )
     print(f"wrote {args.output}")
 
+    failed = False
     cpus = os.cpu_count() or 1
-    if scaling["speedup"] < SCALING_BAR:
+    if scaling and scaling["speedup"] < SCALING_BAR:
         if cpus >= MIN_CPUS_FOR_BAR:
             print(
                 f"FAIL: {scaling['speedup']}x at 4 workers is below the "
                 f"{SCALING_BAR}x bar"
             )
-            return 1
+            failed = True
+        else:
+            print(
+                f"NOTE: {scaling['speedup']}x at 4 workers on {cpus} CPU(s); "
+                f"the {SCALING_BAR}x bar needs >= {MIN_CPUS_FOR_BAR} cores"
+            )
+    if journal and journal["overhead_fraction"] > JOURNAL_OVERHEAD_BAR:
         print(
-            f"NOTE: {scaling['speedup']}x at 4 workers on {cpus} CPU(s); "
-            f"the {SCALING_BAR}x bar needs >= {MIN_CPUS_FOR_BAR} cores"
+            f"FAIL: journal overhead "
+            f"{journal['overhead_fraction'] * 100:.1f}% is above the "
+            f"{JOURNAL_OVERHEAD_BAR * 100:.0f}% bar"
         )
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 # -- pytest-benchmark wrappers ----------------------------------------------
@@ -286,6 +434,31 @@ def test_lease_recovery(benchmark, tmp_path):
     assert result["duplicates"] == 0
     # recovery is bounded by the lease timeout plus the redone chunk
     assert result["recovery_seconds"] < result["lease_timeout_s"] + 60.0
+
+
+def test_journal_overhead(benchmark, repro_scale, tmp_path):
+    sizes = _SCALES[repro_scale]
+    result = benchmark.pedantic(
+        lambda: bench_journal_overhead(
+            str(tmp_path), sizes["scenarios"], sizes["n"], sizes["chunk"]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result
+    # the ISSUE-7 acceptance bar: durability costs <= 10% throughput
+    assert result["overhead_fraction"] <= JOURNAL_OVERHEAD_BAR
+
+
+def test_coordinator_recovery(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: bench_coordinator_recovery(str(tmp_path)),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result
+    assert result["recovered_jobs"] >= 1
+    assert result["recovery_seconds"] < 30.0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,14 @@
+"""Fault injection for the farm: a chaos proxy and a chaos smoke.
+
+The paper's algorithms are judged under adversarial noise; this package
+holds the infrastructure to the same standard. :class:`ChaosProxy` sits
+between farm workers and the coordinator and injects transport faults —
+dropped connections, delays, spurious 500s, black holes — from a seeded
+schedule, and :mod:`repro.chaos.smoke` drives a full sweep through
+proxy faults *plus* a coordinator SIGKILL and worker self-kills,
+asserting the final store is byte-identical to a serial run.
+"""
+
+from repro.chaos.proxy import ChaosProxy
+
+__all__ = ["ChaosProxy"]

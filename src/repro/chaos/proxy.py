@@ -1,0 +1,260 @@
+"""A fault-injecting HTTP proxy for chaos-testing the farm.
+
+:class:`ChaosProxy` listens on its own port and forwards every request
+to one upstream service, injecting transport faults on the way:
+
+``drop``
+    close the connection without answering (the client sees a reset —
+    a retryable transport error, never an HTTP response);
+``delay``
+    sleep a sampled interval, then forward normally (stresses timeouts
+    and heartbeat margins without losing anything);
+``error``
+    answer ``500`` *without forwarding* — the upstream never sees the
+    request, so a retried non-idempotent call cannot double-execute;
+``black-hole``
+    accept the connection, read the request, and never answer (the
+    pathology that per-attempt socket timeouts alone cannot bound —
+    this is what :class:`~repro.service.client.ServiceClient`'s total
+    per-call ``deadline`` exists for).
+
+The fault schedule is drawn from one seeded :class:`random.Random`
+under a lock: the *i*-th request the proxy accepts gets the *i*-th
+decision, so a given seed produces a reproducible fault sequence for a
+given request order (with concurrent clients the arrival order itself
+may vary, which is the point of chaos, not a defect of the schedule).
+
+The proxy is HTTP-level, not TCP-level: it parses each request, so
+faults land on whole protocol operations, and responses are relayed
+with ``Connection: close`` so no keep-alive socket ever spans a fault
+decision.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from random import Random
+from typing import Any, Optional
+from urllib.parse import urlparse
+
+__all__ = ["ChaosProxy"]
+
+#: request headers never forwarded (hop-by-hop, or recomputed)
+_HOP_HEADERS = frozenset(
+    ("host", "connection", "keep-alive", "content-length", "te",
+     "transfer-encoding", "upgrade", "proxy-connection")
+)
+
+
+class _ProxyHandler(BaseHTTPRequestHandler):
+    """One proxied request: draw a fault decision, act on it."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_ProxyServer"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.proxy.verbose:
+            super().log_message(format, *args)
+
+    # every method funnels through the same fault path
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._proxy()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._proxy()
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._proxy()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._proxy()
+
+    def _proxy(self) -> None:
+        proxy = self.server.proxy
+        fault, delay_s = proxy._decide()
+        if fault == "drop":
+            # no response at all: the client sees the connection die
+            self.close_connection = True
+            return
+        if fault == "error":
+            self._send(500, b'{"error": "chaos: injected 500"}')
+            return
+        if fault == "blackhole":
+            # hold the socket open, answer nothing; release early only
+            # when the proxy itself shuts down
+            proxy._stopping.wait(proxy.blackhole_s)
+            self.close_connection = True
+            return
+        if fault == "delay":
+            time.sleep(delay_s)
+        try:
+            status, body = self._forward()
+        except Exception as error:  # noqa: BLE001 - upstream really down
+            proxy._count("upstream_errors")
+            self._send(502, f'{{"error": "chaos proxy: {error}"}}'.encode())
+            return
+        self._send(status, body)
+
+    def _forward(self) -> tuple[int, bytes]:
+        proxy = self.server.proxy
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else None
+        headers = {
+            name: value
+            for name, value in self.headers.items()
+            if name.lower() not in _HOP_HEADERS
+        }
+        connection = http.client.HTTPConnection(
+            proxy.upstream_host, proxy.upstream_port, timeout=proxy.upstream_timeout
+        )
+        try:
+            connection.request(self.command, self.path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _send(self, status: int, body: bytes) -> None:
+        self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client gave up first; its problem is handled
+
+
+class _ProxyServer(ThreadingHTTPServer):
+    daemon_threads = True
+    proxy: "ChaosProxy"
+
+
+class ChaosProxy:
+    """Seeded fault-injecting proxy in front of one upstream service.
+
+    Parameters
+    ----------
+    upstream:
+        Base URL of the real service (``http://host:port``).
+    seed:
+        Seeds the fault schedule; the same seed yields the same decision
+        sequence.
+    drop, delay, error, blackhole:
+        Per-request fault probabilities (the remainder forwards
+        cleanly). Probabilities are checked to sum to <= 1.
+    delay_s:
+        ``(low, high)`` seconds for the ``delay`` fault.
+    blackhole_s:
+        Seconds a black-holed request holds its silent socket.
+    upstream_timeout:
+        Socket timeout for proxied upstream calls.
+    """
+
+    def __init__(
+        self,
+        upstream: str,
+        seed: int = 0,
+        drop: float = 0.05,
+        delay: float = 0.10,
+        error: float = 0.05,
+        blackhole: float = 0.0,
+        delay_s: tuple[float, float] = (0.02, 0.2),
+        blackhole_s: float = 10.0,
+        upstream_timeout: float = 30.0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        for name, rate in (("drop", drop), ("delay", delay),
+                           ("error", error), ("blackhole", blackhole)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if drop + delay + error + blackhole > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+        parsed = urlparse(upstream)
+        if not parsed.hostname or not parsed.port:
+            raise ValueError(f"upstream must be http://host:port, got {upstream!r}")
+        self.upstream_host = parsed.hostname
+        self.upstream_port = parsed.port
+        self.rates = {
+            "drop": drop, "delay": delay, "error": error, "blackhole": blackhole
+        }
+        self.delay_s = delay_s
+        self.blackhole_s = blackhole_s
+        self.upstream_timeout = upstream_timeout
+        self.verbose = verbose
+        self._random = Random(seed)
+        self._lock = threading.Lock()
+        self._counts = {
+            "requests": 0, "forwarded": 0, "dropped": 0, "delayed": 0,
+            "errors": 0, "blackholed": 0, "upstream_errors": 0,
+        }
+        self._stopping = threading.Event()
+        self._server = _ProxyServer((host, port), _ProxyHandler)
+        self._server.proxy = self
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ChaosProxy":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="chaos-proxy",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._stopping.set()  # releases black-holed sockets
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- the schedule --------------------------------------------------------
+
+    def _decide(self) -> tuple[str, float]:
+        """The next fault decision: ``(kind, delay_seconds)``."""
+        with self._lock:
+            self._counts["requests"] += 1
+            roll = self._random.random()
+            delay_s = self._random.uniform(*self.delay_s)
+            edge = 0.0
+            for kind in ("drop", "delay", "error", "blackhole"):
+                edge += self.rates[kind]
+                if roll < edge:
+                    self._counts[
+                        {"drop": "dropped", "delay": "delayed",
+                         "error": "errors", "blackhole": "blackholed"}[kind]
+                    ] += 1
+                    return kind, delay_s
+            self._counts["forwarded"] += 1
+            return "forward", 0.0
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counts[name] += 1
+
+    def stats(self) -> dict[str, int]:
+        """Requests seen and faults injected so far."""
+        with self._lock:
+            return dict(self._counts)

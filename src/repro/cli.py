@@ -217,6 +217,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "(PATH becomes a directory of shard-NN.db)"
         ),
     )
+    srv.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "rebuild the coordinator from the store's farm journal: jobs "
+            "and in-flight leases a crashed coordinator left behind "
+            "resume under their original ids (--workers remote only)"
+        ),
+    )
+    srv.add_argument(
+        "--no-journal",
+        action="store_true",
+        help=(
+            "disable write-ahead journaling of coordinator state "
+            "(a crash then orphans running sweeps; exists to measure "
+            "the journal's overhead)"
+        ),
+    )
 
     wrk = sub.add_parser(
         "worker",
@@ -259,6 +277,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--until-idle",
         action="store_true",
         help="exit once the queue drains instead of polling forever",
+    )
+    wrk.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "total per-call deadline in seconds (attempts + retries); "
+            "bounds how long a black-holed coordinator can stall a call"
+        ),
+    )
+    wrk.add_argument(
+        "--chaos-kill-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault injection: hard-kill this worker after N completed leases",
+    )
+    wrk.add_argument(
+        "--chaos-heartbeat-factor",
+        type=float,
+        default=1.0,
+        metavar="F",
+        help=(
+            "fault injection: multiply the heartbeat interval by F "
+            "(values > 3 let leases expire mid-run)"
+        ),
     )
 
     sto = sub.add_parser(
@@ -888,6 +933,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     if store is None:
         return 2
     store.close()
+    if args.recover and not remote:
+        print("--recover requires --workers remote", file=sys.stderr)
+        return 2
     return serve(
         args.store,
         host=args.host,
@@ -898,6 +946,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         lease_scenarios=args.lease_scenarios,
         lease_timeout=args.lease_timeout,
         shards=args.shards,
+        recover=args.recover,
+        journal=not args.no_journal,
     )
 
 
@@ -911,6 +961,9 @@ def _command_worker(args: argparse.Namespace) -> int:
         processes=args.processes,
         poll=args.poll,
         until_idle=args.until_idle,
+        deadline=args.deadline,
+        chaos_kill_after=args.chaos_kill_after,
+        chaos_heartbeat_factor=args.chaos_heartbeat_factor,
     )
 
 
@@ -972,7 +1025,22 @@ def _store_stats_text(store) -> str:
         f"put offers (dedup ratio {stats['dedup_ratio']}); "
         f"{stats['stored_wall_time_s']:.1f}s of stored compute"
     )
-    return table.to_text() + "\n" + summary
+    lines = [table.to_text(), summary]
+    if stats.get("journal_records"):
+        lines.append(
+            f"farm journal: {stats['journal_records']} record(s) "
+            "(coordinator state; 'repro serve --recover' replays it)"
+        )
+    from repro.farm.coordinator import read_quarantined
+
+    quarantined = read_quarantined(store)
+    if quarantined:
+        lines.append(f"quarantined scenarios: {len(quarantined)}")
+        for entry in quarantined:
+            lines.append(
+                f"  {entry['key']} (job {entry['job']}): {entry['error']}"
+            )
+    return "\n".join(lines)
 
 
 def _command_bench(args: argparse.Namespace) -> int:

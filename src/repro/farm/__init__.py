@@ -13,17 +13,32 @@ corruption. A farmed sweep's stored bytes are identical to a serial
 :func:`repro.runner.run_batch` of the same grid, which
 :mod:`repro.farm.smoke` proves while killing a worker mid-sweep.
 
+The coordinator is held to the same standard as the workers: every
+state transition is write-ahead journaled into the store's
+``farm_journal`` table, and :meth:`Coordinator.recover` rebuilds the
+exact queue/lease/progress state after a coordinator crash — in-flight
+leases resume their remaining deadlines, jobs keep their ids, and the
+chaos harness (:mod:`repro.chaos`) proves a sweep survives a
+coordinator SIGKILL plus injected network faults byte-identically.
+
 The pieces:
 
-* :mod:`repro.farm.coordinator` — :class:`Coordinator`: the leased
-  scenario queue (chunking, deadlines, expiry requeue, accounting);
+* :mod:`repro.farm.coordinator` — :class:`Coordinator`: the journaled
+  scenario queue (chunking, deadlines, expiry requeue, quarantine,
+  crash recovery, accounting);
 * :mod:`repro.farm.worker` — :class:`FarmWorker`: the pull-execute-push
-  loop behind ``repro worker``;
+  loop behind ``repro worker``, resilient to coordinator restarts;
 * :mod:`repro.farm.smoke` — the kill-a-worker end-to-end check
   (``python -m repro.farm.smoke``) CI runs.
 """
 
-from repro.farm.coordinator import Coordinator, Lease, UnknownLease, UnknownWorker
+from repro.farm.coordinator import (
+    Coordinator,
+    Lease,
+    UnknownLease,
+    UnknownWorker,
+    read_quarantined,
+)
 from repro.farm.worker import FarmWorker, run_worker
 
 __all__ = [
@@ -32,5 +47,6 @@ __all__ = [
     "Lease",
     "UnknownLease",
     "UnknownWorker",
+    "read_quarantined",
     "run_worker",
 ]

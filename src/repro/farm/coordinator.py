@@ -1,4 +1,4 @@
-"""The farm coordinator: chunked scenario leases with deadline recovery.
+"""The farm coordinator: journaled scenario leases with crash recovery.
 
 One :class:`Coordinator` owns the farmed half of the job queue. Workers
 (:mod:`repro.farm.worker`) register, then pull :class:`Lease` chunks of
@@ -23,6 +23,30 @@ failure mode safe by construction:
 * two workers racing on the same key write the same canonical bytes —
   the store's ``INSERT OR IGNORE`` keeps exactly one.
 
+The coordinator itself is held to the same fault model it imposes on
+workers: every state transition (job intake, lease grant, heartbeat,
+release, quarantine) is **journaled** into the store's ``farm_journal``
+table under the same lock that applies it — no caller is ever
+acknowledged a transition the journal doesn't hold — and
+:meth:`Coordinator.recover` rebuilds the exact queue/lease/progress
+state from that journal plus the reports table — done-ness is never
+journaled at all, because "the report is in the store" *is* the durable
+completion record. In-flight leases resume with whatever deadline time
+they had left (journal deadlines are wall-clock, so coordinator
+downtime counts against them), which means a restart mid-lease neither
+double-executes — the content addressing absorbs re-delivery — nor
+stalls waiting on a dead worker. The journal is compacted in place every
+``compact_every`` appends down to one record per job, per live attempt
+counter, per quarantined scenario, and per outstanding lease, so its
+size is bounded by live state, not by history.
+
+A scenario that keeps *failing* (a worker reports an error, not a lost
+lease) is requeued up to :data:`MAX_ATTEMPTS` times and then
+**quarantined**: the job finishes ``partial`` (or ``failed`` when
+nothing completed) with a per-scenario error map instead of one poison
+scenario sinking the whole sweep. Lease expiries never count toward
+quarantine — a chaos-killed worker must not poison innocent scenarios.
+
 The coordinator is a plain thread-safe object; :mod:`repro.service`
 exposes it over HTTP (``POST /leases``, ``PUT /leases/<id>/heartbeat``,
 ``POST /leases/<id>/complete``, ``GET/POST /workers``).
@@ -31,18 +55,25 @@ exposes it over HTTP (``POST /leases``, ``PUT /leases/<id>/heartbeat``,
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 import time
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
-from repro.runner import RunReport
+from repro.runner import RunReport, Scenario
 from repro.store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - circular import at type time only
     from repro.service.jobs import Job
 
-__all__ = ["Coordinator", "Lease", "UnknownLease", "UnknownWorker"]
+__all__ = [
+    "Coordinator",
+    "Lease",
+    "UnknownLease",
+    "UnknownWorker",
+    "read_quarantined",
+]
 
 #: scenarios handed out per lease unless the worker asks for fewer
 DEFAULT_LEASE_SCENARIOS = 8
@@ -50,8 +81,11 @@ DEFAULT_LEASE_SCENARIOS = 8
 #: seconds a lease stays valid without a heartbeat
 DEFAULT_LEASE_TIMEOUT = 30.0
 
-#: a scenario requeued this many times marks its job failed
+#: a scenario failed (not lost) this many times is quarantined
 MAX_ATTEMPTS = 3
+
+#: journal appends between in-place compactions
+DEFAULT_COMPACT_EVERY = 256
 
 
 class UnknownLease(LookupError):
@@ -59,7 +93,8 @@ class UnknownLease(LookupError):
 
 
 class UnknownWorker(LookupError):
-    """The worker id was never registered."""
+    """The worker id is not registered (never was, or the coordinator
+    restarted since) — workers answer by re-registering."""
 
 
 class Lease(object):
@@ -91,13 +126,15 @@ class Lease(object):
 class _JobState:
     """Coordinator-side bookkeeping for one farmed job."""
 
-    __slots__ = ("job", "done", "pending", "attempts")
+    __slots__ = ("job", "done", "pending", "attempts", "quarantined")
 
     def __init__(self, job: "Job") -> None:
         self.job = job
         self.done = [False] * len(job.scenarios)
         self.pending: deque[int] = deque()
         self.attempts = [0] * len(job.scenarios)
+        #: index -> last error, for scenarios pulled out of rotation
+        self.quarantined: dict[int, str] = {}
 
 
 class _WorkerState:
@@ -120,13 +157,14 @@ class _WorkerState:
 
 
 class Coordinator:
-    """Store-backed scenario queue with chunked, deadline-guarded leases.
+    """Store-backed scenario queue with journaled, deadline-guarded leases.
 
     Parameters
     ----------
     store:
         The shared result store completed reports land in (and cached
-        scenarios are answered from at submit time).
+        scenarios are answered from at submit time). Its ``farm_journal``
+        table holds the coordinator's durable state.
     lease_scenarios:
         Default chunk size per lease.
     lease_timeout:
@@ -134,6 +172,17 @@ class Coordinator:
         unfinished scenarios return to the queue.
     clock:
         Monotonic time source (injectable for tests).
+    wall:
+        Wall-clock source for journaled deadlines (injectable for
+        tests); wall time is what lets a restarted coordinator charge
+        its own downtime against in-flight leases.
+    journal:
+        Write-ahead journal every state transition (default). A fresh
+        coordinator *discards* any stale journal left by a previous
+        process — resuming one is an explicit :meth:`recover` call, not
+        an accident.
+    compact_every:
+        Journal appends between in-place compactions.
     """
 
     def __init__(
@@ -142,6 +191,9 @@ class Coordinator:
         lease_scenarios: int = DEFAULT_LEASE_SCENARIOS,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         clock: Callable[[], float] = time.monotonic,
+        wall: Callable[[], float] = time.time,
+        journal: bool = True,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         if lease_scenarios < 1:
             raise ValueError(
@@ -149,10 +201,13 @@ class Coordinator:
             )
         if lease_timeout <= 0.0:
             raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
         self.store = store
         self.lease_scenarios = int(lease_scenarios)
         self.lease_timeout = float(lease_timeout)
         self._clock = clock
+        self._wall = wall
         self._lock = threading.Lock()
         self._jobs: dict[str, _JobState] = {}
         self._workers: dict[str, _WorkerState] = {}
@@ -160,12 +215,174 @@ class Coordinator:
         self._key_map: dict[str, list[tuple[str, int]]] = {}
         self._worker_ids = itertools.count(1)
         self._lease_ids = itertools.count(1)
+        self._journal_enabled = bool(journal)
+        self.compact_every = int(compact_every)
+        self._appends_since_compact = 0
+        #: set by :meth:`recover`: what the journal replay rebuilt
+        self.recovered: Optional[dict[str, int]] = None
         #: completions that arrived for already-done scenarios
         self.duplicates = 0
         self.leases_issued = 0
         self.leases_expired = 0
         #: scenarios completed through the farm (store-cached ones excluded)
         self.scenarios_completed = 0
+        if self._journal_enabled and store.journal_size():
+            # a fresh coordinator on a store with a leftover journal:
+            # starting clean is the contract (recovery is recover())
+            store.journal_replace([])
+
+    # -- crash recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        store: ResultStore,
+        lease_scenarios: int = DEFAULT_LEASE_SCENARIOS,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        clock: Callable[[], float] = time.monotonic,
+        wall: Callable[[], float] = time.time,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+    ) -> "Coordinator":
+        """Rebuild a coordinator from a store's journal + reports table.
+
+        Replays the ``farm_journal`` records a crashed (or cleanly
+        stopped) coordinator left behind: jobs are re-created from their
+        journaled specs, done-ness is re-derived from the reports table
+        (a report under the cache key *is* the completion record, no
+        matter who wrote it or when), attempt counters and quarantines
+        are restored, and leases that were outstanding at the crash
+        resume with the wall-clock deadline time they had left — zero
+        remaining means the next :meth:`lease` call requeues them. A
+        worker holding a resumed lease can keep heartbeating and
+        complete as if nothing happened; every other worker gets
+        :class:`UnknownWorker` (HTTP 404) on its next call and simply
+        re-registers.
+
+        Works on an empty journal too (an empty coordinator), so a
+        service can call this unconditionally at startup.
+        """
+        from repro.service.jobs import Job
+
+        coordinator = cls(
+            store,
+            lease_scenarios=lease_scenarios,
+            lease_timeout=lease_timeout,
+            clock=clock,
+            wall=wall,
+            journal=False,  # nothing to write while replaying
+            compact_every=compact_every,
+        )
+        job_specs: list[dict[str, Any]] = []
+        grants: dict[str, dict[str, Any]] = {}
+        attempts: dict[str, dict[int, int]] = {}
+        quarantined: dict[str, dict[int, str]] = {}
+        max_worker = 0
+        max_lease = 0
+        for _seq, kind, payload in store.journal_records():
+            data = json.loads(payload)
+            if kind == "job":
+                job_specs.append(data)
+            elif kind == "grant":
+                grants[data["lease"]] = data
+                max_worker = max(max_worker, _id_number(data["worker"]))
+                max_lease = max(max_lease, _id_number(data["lease"]))
+            elif kind == "beat":
+                grant = grants.get(data["lease"])
+                if grant is not None:
+                    grant["expires"] = data["expires"]
+            elif kind == "release":
+                grant = grants.pop(data["lease"], None)
+                if grant is not None and data.get("requeue") and data.get("error"):
+                    per_job = attempts.setdefault(grant["job"], {})
+                    for index in grant["indexes"]:
+                        per_job[index] = per_job.get(index, 0) + 1
+            elif kind == "quarantine":
+                quarantined.setdefault(data["job"], {})[
+                    int(data["index"])
+                ] = data["error"]
+            elif kind == "attempts":
+                per_job = attempts.setdefault(data["job"], {})
+                for index, count in data["attempts"].items():
+                    per_job[int(index)] = max(per_job.get(int(index), 0), count)
+
+        now = clock()
+        wall_now = wall()
+        leased: dict[str, set[int]] = {}
+        for grant in grants.values():
+            leased.setdefault(grant["job"], set()).update(grant["indexes"])
+        for spec in job_specs:
+            job = Job(
+                spec["id"],
+                [Scenario.from_dict(data) for data in spec["scenarios"]],
+            )
+            job.submitted_at = spec.get("submitted_at", job.submitted_at)
+            state = _JobState(job)
+            per_job = attempts.get(job.id, {})
+            for index, count in per_job.items():
+                if 0 <= index < job.total:
+                    state.attempts[index] = count
+            for index, error in quarantined.get(job.id, {}).items():
+                if 0 <= index < job.total:
+                    state.quarantined[index] = error
+                    job.quarantined[job.cache_keys[index]] = error
+            out = leased.get(job.id, set())
+            for index, key in enumerate(job.cache_keys):
+                if key in store:
+                    state.done[index] = True
+                    job.completed += 1
+                    continue
+                coordinator._key_map.setdefault(key, []).append((job.id, index))
+                if index not in state.quarantined and index not in out:
+                    state.pending.append(index)
+            coordinator._jobs[job.id] = state
+            coordinator._maybe_finish(state)
+            if job.status == "queued" and (job.completed or out or per_job):
+                job.status = "running"
+                job.started_at = job.started_at or time.time()
+        for lease_id, grant in grants.items():
+            state = coordinator._jobs.get(grant["job"])
+            if state is None:  # pragma: no cover - grants follow their job
+                continue
+            indexes = [
+                index for index in grant["indexes"] if not state.done[index]
+            ]
+            if not indexes:
+                continue
+            lease = Lease(
+                lease_id,
+                grant["worker"],
+                grant["job"],
+                indexes,
+                [state.job.cache_keys[index] for index in indexes],
+                now,
+                now + (grant["expires"] - wall_now),
+            )
+            coordinator._leases[lease_id] = lease
+            # the holder may still be alive: recreate its registration so
+            # its heartbeats and completion land instead of 404ing
+            if lease.worker_id not in coordinator._workers:
+                coordinator._workers[lease.worker_id] = _WorkerState(
+                    lease.worker_id, lease.worker_id, now
+                )
+        coordinator._worker_ids = itertools.count(max_worker + 1)
+        coordinator._lease_ids = itertools.count(max_lease + 1)
+        coordinator.recovered = {
+            "jobs": len(coordinator._jobs),
+            "leases": len(coordinator._leases),
+            "pending_scenarios": sum(
+                len(state.pending) for state in coordinator._jobs.values()
+            ),
+        }
+        coordinator._journal_enabled = True
+        with coordinator._lock:
+            coordinator._compact()
+        return coordinator
+
+    def jobs(self) -> list["Job"]:
+        """The coordinator's jobs in intake order (for re-adoption by a
+        :class:`~repro.service.jobs.JobManager` after :meth:`recover`)."""
+        with self._lock:
+            return [state.job for state in self._jobs.values()]
 
     # -- job intake ---------------------------------------------------------
 
@@ -185,10 +402,17 @@ class Coordinator:
                 else:
                     state.pending.append(index)
                     self._key_map.setdefault(key, []).append((job.id, index))
-            if job.completed >= job.total:
-                job.status = "done"
-                job.started_at = job.started_at or time.time()
-                job.finished_at = time.time()
+            self._maybe_finish(state)
+            self._append(
+                "job",
+                {
+                    "id": job.id,
+                    "scenarios": [
+                        scenario.to_dict() for scenario in job.scenarios
+                    ],
+                    "submitted_at": job.submitted_at,
+                },
+            )
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -238,6 +462,16 @@ class Coordinator:
                 )
                 self._leases[lease.id] = lease
                 self.leases_issued += 1
+                self._append(
+                    "grant",
+                    {
+                        "lease": lease.id,
+                        "worker": worker.id,
+                        "job": job.id,
+                        "indexes": indexes,
+                        "expires": self._wall() + self.lease_timeout,
+                    },
+                )
                 return {
                     "id": lease.id,
                     "worker": worker.id,
@@ -259,9 +493,14 @@ class Coordinator:
             lease = self._leases.get(lease_id)
             if lease is None:
                 raise UnknownLease(
-                    f"lease {lease_id!r} is not outstanding (expired?)"
+                    f"lease {lease_id!r} is not outstanding (expired, or the "
+                    "coordinator restarted)"
                 )
             lease.deadline = now + self.lease_timeout
+            self._append(
+                "beat",
+                {"lease": lease.id, "expires": self._wall() + self.lease_timeout},
+            )
             return {"id": lease.id, "deadline_s": self.lease_timeout}
 
     def complete(
@@ -279,6 +518,10 @@ class Coordinator:
         their content address; only the accounting differs.
         """
         now = self._clock()
+        # durability order matters: the reports land in the store BEFORE
+        # the lease is released in the journal, so a crash between the
+        # two recovers a lease whose scenarios are already done — marked
+        # complete at replay — never a released lease with lost work
         stored = self.store.put_many(
             [report for report in reports if report.cache_key]
         )
@@ -286,6 +529,10 @@ class Coordinator:
             worker = self._touch(worker_id, now)
             self._expire(now)
             lease = self._leases.pop(lease_id, None)
+            if lease is not None:
+                self._append(
+                    "release", {"lease": lease.id, "requeue": False, "error": ""}
+                )
             fresh, duplicates = self._mark_done(
                 [report.cache_key for report in reports]
             )
@@ -305,9 +552,10 @@ class Coordinator:
     ) -> dict[str, Any]:
         """A worker reports a lease it could not finish; requeue its work.
 
-        Each scenario gets :data:`MAX_ATTEMPTS` tries across all
-        workers; one that keeps failing marks its job ``failed`` instead
-        of looping forever.
+        Each scenario gets :data:`MAX_ATTEMPTS` failed tries across all
+        workers; one that keeps failing is quarantined (the job finishes
+        ``partial`` with a per-scenario error map) instead of looping
+        forever or sinking its whole job.
         """
         now = self._clock()
         with self._lock:
@@ -316,9 +564,14 @@ class Coordinator:
             lease = self._leases.pop(lease_id, None)
             if lease is None:
                 raise UnknownLease(
-                    f"lease {lease_id!r} is not outstanding (expired?)"
+                    f"lease {lease_id!r} is not outstanding (expired, or the "
+                    "coordinator restarted)"
                 )
-            requeued = self._requeue(lease, error=message)
+            self._append(
+                "release",
+                {"lease": lease.id, "requeue": True, "error": str(message)},
+            )
+            requeued = self._requeue(lease, error=str(message))
             return {"requeued": requeued}
 
     # -- inspection ---------------------------------------------------------
@@ -339,6 +592,15 @@ class Coordinator:
                 for index in state.pending
                 if not state.done[index]
             )
+            quarantined = [
+                {
+                    "job": state.job.id,
+                    "key": state.job.cache_keys[index],
+                    "error": error,
+                }
+                for state in self._jobs.values()
+                for index, error in sorted(state.quarantined.items())
+            ]
             return {
                 "workers": [
                     {
@@ -360,7 +622,13 @@ class Coordinator:
                     "leases_expired": self.leases_expired,
                     "scenarios_completed": self.scenarios_completed,
                     "duplicates": self.duplicates,
+                    "quarantined_scenarios": len(quarantined),
                 },
+                "quarantined": quarantined,
+                "recovered": self.recovered,
+                "journal_records": (
+                    self.store.journal_size() if self._journal_enabled else 0
+                ),
                 "lease_timeout_s": self.lease_timeout,
                 "lease_scenarios": self.lease_scenarios,
             }
@@ -379,10 +647,88 @@ class Coordinator:
 
     # -- internals (call with the lock held) --------------------------------
 
+    def _append(self, kind: str, payload: dict[str, Any]) -> None:
+        """Journal one record under the coordinator lock.
+
+        The mutation it describes is applied *first*, then the record is
+        appended, and only then does the lock release — so no caller is
+        ever acknowledged a transition the journal doesn't hold, and a
+        compaction triggered by this very append (which snapshots live
+        state, replacing history) can never drop the transition.
+        """
+        if not self._journal_enabled:
+            return
+        self.store.journal_append([(kind, json.dumps(payload, sort_keys=True))])
+        self._appends_since_compact += 1
+        if self._appends_since_compact >= self.compact_every:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the journal as a snapshot of live state.
+
+        One ``job`` record per job, one ``attempts``/``quarantine``
+        record where those are non-trivial, one ``grant`` per
+        outstanding lease (with its *current* wall-clock deadline) —
+        history collapses, so journal size is bounded by live state no
+        matter how many lease cycles a long job goes through.
+        """
+        now = self._clock()
+        wall_now = self._wall()
+        records: list[tuple[str, str]] = []
+
+        def record(kind: str, payload: dict[str, Any]) -> None:
+            records.append((kind, json.dumps(payload, sort_keys=True)))
+
+        for state in self._jobs.values():
+            job = state.job
+            record(
+                "job",
+                {
+                    "id": job.id,
+                    "scenarios": [
+                        scenario.to_dict() for scenario in job.scenarios
+                    ],
+                    "submitted_at": job.submitted_at,
+                },
+            )
+            live_attempts = {
+                str(index): count
+                for index, count in enumerate(state.attempts)
+                if count
+            }
+            if live_attempts:
+                record("attempts", {"job": job.id, "attempts": live_attempts})
+            for index, error in sorted(state.quarantined.items()):
+                record(
+                    "quarantine",
+                    {
+                        "job": job.id,
+                        "index": index,
+                        "key": job.cache_keys[index],
+                        "error": error,
+                    },
+                )
+        for lease in self._leases.values():
+            record(
+                "grant",
+                {
+                    "lease": lease.id,
+                    "worker": lease.worker_id,
+                    "job": lease.job_id,
+                    "indexes": list(lease.indexes),
+                    "expires": wall_now + (lease.deadline - now),
+                },
+            )
+        self.store.journal_replace(records)
+        self._appends_since_compact = 0
+
     def _touch(self, worker_id: str, now: float) -> _WorkerState:
         worker = self._workers.get(worker_id)
         if worker is None:
-            raise UnknownWorker(f"worker {worker_id!r} is not registered")
+            raise UnknownWorker(
+                f"worker {worker_id!r} is not registered (the coordinator "
+                "may have restarted; register again)"
+            )
         worker.last_seen = now
         return worker
 
@@ -391,7 +737,7 @@ class Coordinator:
         indexes: list[int] = []
         while state.pending and len(indexes) < limit:
             index = state.pending.popleft()
-            if not state.done[index]:
+            if not state.done[index] and index not in state.quarantined:
                 indexes.append(index)
         return indexes
 
@@ -408,38 +754,74 @@ class Coordinator:
                     duplicates += 1
                     continue
                 state.done[index] = True
+                # a late success beats an earlier quarantine: the report
+                # is in the store, so the scenario is simply done
+                state.quarantined.pop(index, None)
+                state.job.quarantined.pop(key, None)
                 fresh += 1
-                job = state.job
-                job.completed += 1
-                if job.completed >= job.total and job.status != "failed":
-                    job.status = "done"
-                    job.finished_at = time.time()
+                state.job.completed += 1
+                self._maybe_finish(state)
         self.scenarios_completed += fresh
         self.duplicates += duplicates
         return fresh, duplicates
 
+    def _maybe_finish(self, state: _JobState) -> None:
+        """Move a job to its terminal status once every scenario is
+        done or quarantined: ``done`` (clean), ``partial`` (some
+        quarantined), ``failed`` (nothing completed at all)."""
+        job = state.job
+        if job.status in ("done", "partial", "failed"):
+            return
+        if job.completed + len(state.quarantined) < job.total:
+            return
+        if not state.quarantined:
+            job.status = "done"
+        elif job.completed:
+            job.status = "partial"
+        else:
+            job.status = "failed"
+        if state.quarantined:
+            job.error = (
+                f"{len(state.quarantined)} scenario(s) quarantined after "
+                f"{MAX_ATTEMPTS} failed attempts each; see 'quarantined'"
+            )
+        job.started_at = job.started_at or time.time()
+        job.finished_at = time.time()
+
     def _requeue(self, lease: Lease, error: str = "") -> int:
-        """Return a dead lease's unfinished scenarios to the queue front."""
+        """Return a dead lease's unfinished scenarios to the queue front.
+
+        ``error`` non-empty means the worker *reported* a failure: those
+        count toward :data:`MAX_ATTEMPTS` and can quarantine a scenario.
+        A plain expiry (``error=""``) requeues without prejudice — lost
+        leases are the coordinator's fault model, not the scenario's.
+        """
         state = self._jobs.get(lease.job_id)
         if state is None:  # pragma: no cover - jobs are never deleted
             return 0
         requeued = 0
         for index in reversed(lease.indexes):
-            if state.done[index]:
+            if state.done[index] or index in state.quarantined:
                 continue
-            state.attempts[index] += 1
-            if state.attempts[index] >= MAX_ATTEMPTS and error:
-                job = state.job
-                job.status = "failed"
-                job.error = (
-                    f"scenario {index} failed {state.attempts[index]} "
-                    f"times; last error: {error}"
-                )
-                job.finished_at = time.time()
-                continue
+            if error:
+                state.attempts[index] += 1
+                if state.attempts[index] >= MAX_ATTEMPTS:
+                    self._quarantine(state, index, error)
+                    continue
             state.pending.appendleft(index)
             requeued += 1
+        self._maybe_finish(state)
         return requeued
+
+    def _quarantine(self, state: _JobState, index: int, error: str) -> None:
+        job = state.job
+        key = job.cache_keys[index]
+        state.quarantined[index] = error
+        job.quarantined[key] = error
+        self._append(
+            "quarantine",
+            {"job": job.id, "index": index, "key": key, "error": error},
+        )
 
     def _expire(self, now: float) -> None:
         """Requeue every lease whose deadline has lapsed."""
@@ -449,8 +831,36 @@ class Coordinator:
             if lease.deadline < now
         ]:
             lease = self._leases.pop(lease_id)
+            self._append(
+                "release", {"lease": lease.id, "requeue": True, "error": ""}
+            )
             self._requeue(lease)
             self.leases_expired += 1
             worker = self._workers.get(lease.worker_id)
             if worker is not None:
                 worker.leases_lost += 1
+
+
+def _id_number(identifier: str) -> int:
+    """The numeric tail of a ``w-0007`` / ``lease-000042`` id (0 if odd)."""
+    try:
+        return int(identifier.rsplit("-", 1)[-1])
+    except (ValueError, IndexError):
+        return 0
+
+
+def read_quarantined(store: ResultStore) -> list[dict[str, Any]]:
+    """Quarantined scenarios recorded in a store's farm journal.
+
+    Reads the durable record (no live coordinator needed), which is what
+    lets ``repro store PATH --stats`` report poison scenarios after the
+    farm is gone. Each entry: ``{"job", "key", "error"}``.
+    """
+    seen: dict[tuple[str, str], dict[str, Any]] = {}
+    for _seq, kind, payload in store.journal_records():
+        if kind != "quarantine":
+            continue
+        data = json.loads(payload)
+        entry = {"job": data["job"], "key": data["key"], "error": data["error"]}
+        seen[(data["job"], data["key"])] = entry
+    return list(seen.values())

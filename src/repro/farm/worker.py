@@ -20,12 +20,30 @@ protocol:
 
 A worker that dies anywhere in 2–5 needs no cleanup: its lease expires
 at the coordinator and the scenarios are re-leased. A worker whose lease
-expired under it (a long GC pause, a network partition) still pushes its
-reports — the coordinator absorbs late results by content address.
+expired under it (a long GC pause, a network partition) still pushes
+whatever it finished — the coordinator absorbs late results by content
+address — but the heartbeat thread also *signals the executing chunk*
+when it learns the lease is gone (HTTP 410), so execution stops at the
+next scenario boundary instead of computing a whole chunk someone else
+is already redoing.
+
+The worker survives the coordinator as well as vice versa: transport
+errors in the lease loop poll-and-retry instead of crashing, and an
+HTTP 404 ``unknown worker`` — the signature of a coordinator that
+restarted and forgot the fleet — re-registers under a fresh id and
+carries on. A coordinator bounce mid-sweep therefore costs the fleet a
+few poll intervals, not a manual restart.
+
+For the chaos harness (:mod:`repro.chaos`) the worker exposes failure
+knobs of its own: ``chaos_kill_after=N`` hard-kills the process
+(``os._exit``) after N completed leases — a real SIGKILL-style death,
+no cleanup, mid-fleet — and ``chaos_heartbeat_factor`` stretches the
+heartbeat interval past the lease timeout so expiry paths actually run.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -57,6 +75,17 @@ class FarmWorker:
         Exit the loop once the coordinator reports an idle queue
         (used by the smoke and the benchmark; the CLI default runs
         until interrupted).
+    deadline:
+        Total per-call deadline handed to the :class:`ServiceClient`
+        (None: unbounded) — the cap on how long a black-holed
+        coordinator can stall any single worker call.
+    chaos_kill_after:
+        Hard-kill the process (``os._exit(42)``) after completing this
+        many leases. Fault injection for the chaos smoke only.
+    chaos_heartbeat_factor:
+        Multiply the coordinator-advertised heartbeat interval (values
+        > 3 outrun the lease timeout, forcing expiries). Fault
+        injection for the chaos smoke only.
     """
 
     def __init__(
@@ -68,21 +97,25 @@ class FarmWorker:
         poll: float = 0.5,
         until_idle: bool = False,
         verbose: bool = False,
+        deadline: Optional[float] = None,
+        chaos_kill_after: Optional[int] = None,
+        chaos_heartbeat_factor: float = 1.0,
     ) -> None:
-        import os
-
-        self.client = ServiceClient(url)
+        self.client = ServiceClient(url, deadline=deadline)
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         self.max_scenarios = max_scenarios
         self.processes = processes
         self.poll = poll
         self.until_idle = until_idle
         self.verbose = verbose
+        self.chaos_kill_after = chaos_kill_after
+        self.chaos_heartbeat_factor = float(chaos_heartbeat_factor)
         self.worker_id = ""
         self.heartbeat_s = 10.0
         #: private dedup cache: scenarios repeated across leases are hits
         self.cache = ResultStore(":memory:")
         self.leases_done = 0
+        self.leases_abandoned = 0
         self.executed = 0
         self.cached = 0
         self._stop = threading.Event()
@@ -92,7 +125,10 @@ class FarmWorker:
     def register(self) -> str:
         ack = self.client.register_worker(self.name)
         self.worker_id = ack["worker"]
-        self.heartbeat_s = float(ack.get("heartbeat_s", self.heartbeat_s))
+        self.heartbeat_s = (
+            float(ack.get("heartbeat_s", self.heartbeat_s))
+            * self.chaos_heartbeat_factor
+        )
         self._log(f"registered as {self.worker_id} ({self.name})")
         return self.worker_id
 
@@ -100,24 +136,66 @@ class FarmWorker:
         self._stop.set()
 
     def run(self) -> int:
-        """The worker loop; returns the number of leases completed."""
+        """The worker loop; returns the number of leases completed.
+
+        The loop outlives the coordinator: transport failures poll and
+        retry, and a 404 ``unknown worker`` (the coordinator restarted
+        without recovering this registration) re-registers and carries
+        on — the only unrecoverable answer is a clean idle queue (with
+        ``until_idle``) or :meth:`stop`.
+        """
         if not self.worker_id:
             self.register()
         while not self._stop.is_set():
-            lease = self.client.lease(
-                self.worker_id, max_scenarios=self.max_scenarios
-            )
+            try:
+                lease = self.client.lease(
+                    self.worker_id, max_scenarios=self.max_scenarios
+                )
+            except ServiceError as error:
+                if error.status == 404:
+                    self._log(f"coordinator forgot us ({error}); re-registering")
+                    self._reregister()
+                    continue
+                self._log(f"lease request rejected: {error}")
+                self._stop.wait(self.poll)
+                continue
+            except Exception as error:  # noqa: BLE001 - transport: poll again
+                self._log(f"coordinator unreachable: {error}")
+                self._stop.wait(self.poll)
+                continue
             if lease is None:
                 if self.until_idle and self._queue_idle():
                     break
                 self._stop.wait(self.poll)
                 continue
             self.run_lease(lease)
+            if (
+                self.chaos_kill_after is not None
+                and self.leases_done >= self.chaos_kill_after
+            ):
+                # a real crash, not an exception: no flushing, no
+                # goodbyes — the lease-expiry path must pick up the mess
+                self._log(f"chaos: dying after {self.leases_done} leases")
+                os._exit(42)
         self._log(
             f"done: {self.leases_done} leases, {self.executed} executed, "
             f"{self.cached} cache hits"
         )
         return self.leases_done
+
+    def _reregister(self) -> None:
+        """Register under a fresh id after a coordinator restart."""
+        deadline = time.monotonic() + 30.0
+        while not self._stop.is_set():
+            try:
+                self.register()
+                return
+            except Exception as error:  # noqa: BLE001 - coordinator still down
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"cannot re-register with the coordinator: {error}"
+                    ) from error
+                self._stop.wait(self.poll)
 
     # -- one lease ----------------------------------------------------------
 
@@ -125,15 +203,16 @@ class FarmWorker:
         """Execute one lease and push its reports (heartbeating throughout)."""
         scenarios = [Scenario.from_dict(data) for data in lease["scenarios"]]
         heartbeat_stop = threading.Event()
+        abandon = threading.Event()
         heartbeat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(lease["id"], heartbeat_stop),
+            args=(lease["id"], heartbeat_stop, abandon),
             name=f"heartbeat-{lease['id']}",
             daemon=True,
         )
         heartbeat.start()
         try:
-            reports, executed, cached = self._execute(scenarios)
+            reports, executed, cached = self._execute(scenarios, abandon)
         except Exception as error:  # noqa: BLE001 - report, keep the worker up
             heartbeat_stop.set()
             heartbeat.join(timeout=2.0)
@@ -141,6 +220,14 @@ class FarmWorker:
             return
         heartbeat_stop.set()
         heartbeat.join(timeout=2.0)
+        if abandon.is_set():
+            self.leases_abandoned += 1
+            self._log(
+                f"{lease['id']}: abandoned after {len(reports)}/"
+                f"{len(scenarios)} scenarios (lease gone)"
+            )
+            if not reports:
+                return
         try:
             ack = self.client.complete(
                 lease["id"],
@@ -155,7 +242,14 @@ class FarmWorker:
             # and the work is re-leased to someone
             self._log(f"completion rejected for {lease['id']}: {error}")
             return
-        self.leases_done += 1
+        except Exception as error:  # noqa: BLE001 - transport: lease expires
+            self._log(
+                f"cannot deliver {lease['id']} ({error}); the lease will "
+                "expire and requeue"
+            )
+            return
+        if not abandon.is_set():
+            self.leases_done += 1
         self.executed += executed
         self.cached += cached
         self._log(
@@ -165,30 +259,60 @@ class FarmWorker:
         )
 
     def _execute(
-        self, scenarios: list[Scenario]
+        self, scenarios: list[Scenario], abandon: Optional[threading.Event] = None
     ) -> tuple[list[RunReport], int, int]:
-        cached_before = sum(
-            1
-            for scenario in scenarios
-            if scenario.cacheable and scenario.cache_key() in self.cache
-        )
-        reports = run_batch(
-            scenarios,
-            processes=self.processes,
-            store=self.cache,
-            reuse=True,
-        )
-        return reports, len(scenarios) - cached_before, cached_before
+        """Run the chunk, stopping at a scenario boundary on ``abandon``.
 
-    def _heartbeat_loop(self, lease_id: str, stop: threading.Event) -> None:
+        Execution proceeds in sub-chunks of ``processes`` scenarios (one
+        at a time without a pool), so the abandon signal — set by the
+        heartbeat thread when the coordinator answers 410 — is honored
+        within one scenario's runtime instead of after the whole chunk.
+        Whatever finished before the signal is still returned: the bytes
+        are correct and pushing them costs one POST.
+        """
+        stride = max(1, int(self.processes or 1))
+        reports: list[RunReport] = []
+        executed = 0
+        cached = 0
+        for start in range(0, len(scenarios), stride):
+            if abandon is not None and abandon.is_set():
+                break
+            chunk = scenarios[start : start + stride]
+            hits = sum(
+                1
+                for scenario in chunk
+                if scenario.cacheable and scenario.cache_key() in self.cache
+            )
+            reports.extend(
+                run_batch(
+                    chunk,
+                    processes=self.processes,
+                    store=self.cache,
+                    reuse=True,
+                )
+            )
+            executed += len(chunk) - hits
+            cached += hits
+        return reports, executed, cached
+
+    def _heartbeat_loop(
+        self,
+        lease_id: str,
+        stop: threading.Event,
+        abandon: Optional[threading.Event] = None,
+    ) -> None:
         while not stop.wait(self.heartbeat_s):
             try:
                 self.client.heartbeat(lease_id, self.worker_id)
             except ServiceError as error:
                 if error.status in (404, 410):
-                    # the lease expired under us; finish anyway — the
-                    # coordinator absorbs late completions by key
-                    self._log(f"lease {lease_id} expired mid-run: {error}")
+                    # the lease is gone (expired, or the coordinator
+                    # restarted): tell the executor to stop at the next
+                    # scenario boundary — finishing the chunk would
+                    # compute results someone else is already redoing
+                    self._log(f"lease {lease_id} gone mid-run: {error}")
+                    if abandon is not None:
+                        abandon.set()
                     return
             except Exception:  # noqa: BLE001 - transient; retry next tick
                 pass
@@ -226,6 +350,9 @@ def run_worker(
     poll: float = 0.5,
     until_idle: bool = False,
     verbose: bool = True,
+    deadline: Optional[float] = None,
+    chaos_kill_after: Optional[int] = None,
+    chaos_heartbeat_factor: float = 1.0,
 ) -> int:
     """Run one worker until interrupted (the ``repro worker`` command)."""
     worker = FarmWorker(
@@ -236,16 +363,19 @@ def run_worker(
         poll=poll,
         until_idle=until_idle,
         verbose=verbose,
+        deadline=deadline,
+        chaos_kill_after=chaos_kill_after,
+        chaos_heartbeat_factor=chaos_heartbeat_factor,
     )
     # retry registration briefly so workers can start before the
     # coordinator finishes binding its socket
-    deadline = time.monotonic() + 30.0
+    deadline_at = time.monotonic() + 30.0
     while True:
         try:
             worker.register()
             break
         except Exception as error:  # noqa: BLE001 - connect errors, mostly
-            if time.monotonic() >= deadline:
+            if time.monotonic() >= deadline_at:
                 print(f"cannot reach coordinator at {url}: {error}")
                 return 1
             time.sleep(0.2)

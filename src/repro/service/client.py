@@ -13,6 +13,14 @@ sweep. Non-idempotent POSTs are never retried automatically (a lease
 checkout or job submission must not silently double), and an HTTP error
 *response* is never retried — the server answered; retrying would not
 change its mind.
+
+On top of the per-attempt socket ``timeout`` there is a total per-call
+``deadline``: the whole logical call — every attempt plus every backoff
+sleep — must finish inside it or the call raises ``TimeoutError``. The
+socket timeout cannot catch a coordinator that *accepts* the connection
+and then never answers combined with retries extending the wait
+indefinitely; the deadline can, so a black-holed coordinator costs a
+worker at most ``deadline`` seconds per call, never forever.
 """
 
 from __future__ import annotations
@@ -64,6 +72,12 @@ class ServiceClient:
         First retry delay in seconds; doubles per attempt up to
         ``backoff_max``, with jitter so a worker fleet never retries in
         lockstep.
+    deadline:
+        Total wall-clock budget in seconds for one logical call,
+        attempts and backoff sleeps included (None: unbounded). Each
+        attempt's socket timeout is clipped to the time remaining, and
+        a retry that would start past the deadline raises
+        ``TimeoutError`` instead.
     """
 
     def __init__(
@@ -73,12 +87,16 @@ class ServiceClient:
         retries: int = 3,
         backoff: float = 0.1,
         backoff_max: float = 2.0,
+        deadline: Optional[float] = None,
     ) -> None:
+        if deadline is not None and deadline <= 0.0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.backoff_max = backoff_max
+        self.deadline = deadline
         self._random = random.Random()
 
     # -- transport ----------------------------------------------------------
@@ -91,19 +109,37 @@ class ServiceClient:
         idempotent: bool = False,
     ) -> bytes:
         attempts = 1 + (self.retries if idempotent else 0)
+        expires = (
+            None if self.deadline is None else time.monotonic() + self.deadline
+        )
         for attempt in range(attempts):
+            remaining = (
+                None if expires is None else expires - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0.0:
+                raise TimeoutError(
+                    f"call to {path} exceeded its {self.deadline}s deadline"
+                )
             try:
-                return self._request_once(path, payload, method)
+                return self._request_once(path, payload, method, remaining)
             except ServiceError:
                 raise  # the server answered; retrying cannot help
             except _RETRYABLE:
                 if attempt + 1 >= attempts:
                     raise
-                self._sleep(attempt)
+                if not self._sleep(attempt, expires):
+                    raise TimeoutError(
+                        f"call to {path} exceeded its {self.deadline}s "
+                        "deadline while retrying"
+                    ) from None
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _request_once(
-        self, path: str, payload: Any, method: Optional[str]
+        self,
+        path: str,
+        payload: Any,
+        method: Optional[str],
+        remaining: Optional[float] = None,
     ) -> bytes:
         request = urllib.request.Request(
             f"{self.base_url}{path}",
@@ -115,8 +151,11 @@ class ServiceClient:
             headers={"Content-Type": "application/json"},
             method=method,
         )
+        timeout = self.timeout
+        if remaining is not None:
+            timeout = max(0.001, min(timeout, remaining))
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 return response.read()
         except urllib.error.HTTPError as error:
             body = error.read()
@@ -126,11 +165,16 @@ class ServiceClient:
                 message = body.decode("utf-8", "replace")
             raise ServiceError(error.code, message) from None
 
-    def _sleep(self, attempt: int) -> None:
+    def _sleep(self, attempt: int, expires: Optional[float] = None) -> bool:
+        """Back off before a retry; False when the deadline forbids one."""
         delay = min(self.backoff_max, self.backoff * (2.0 ** attempt))
         # full jitter: anywhere in (delay/2, delay], so a fleet of
         # workers hitting the same hiccup spreads out
-        time.sleep(delay * (0.5 + 0.5 * self._random.random()))
+        delay = delay * (0.5 + 0.5 * self._random.random())
+        if expires is not None and time.monotonic() + delay >= expires:
+            return False
+        time.sleep(delay)
+        return True
 
     def _json(
         self,
@@ -192,11 +236,18 @@ class ServiceClient:
     def wait(
         self, job_id: str, timeout: float = 120.0, poll: float = 0.05
     ) -> dict[str, Any]:
-        """Poll until the job finishes; raises on failure or timeout."""
+        """Poll until the job finishes; raises on failure or timeout.
+
+        ``partial`` — a farmed job that completed except for quarantined
+        poison scenarios — counts as finished: the snapshot is returned
+        (inspect its ``quarantined`` map) rather than raised, because
+        the stored results are real and the caller decides what a few
+        quarantined scenarios mean.
+        """
         deadline = time.monotonic() + timeout
         while True:
             snapshot = self.job(job_id)
-            if snapshot["status"] == "done":
+            if snapshot["status"] in ("done", "partial"):
                 return snapshot
             if snapshot["status"] in ("failed", "cancelled"):
                 raise ServiceError(

@@ -80,12 +80,14 @@ DEFAULT_CHUNK_SIZE = 8
 class Job:
     """One submitted batch of scenarios and its execution state.
 
-    ``status`` walks ``queued -> running -> done`` (or ``failed``);
-    ``completed``/``total`` is the progress counter the status endpoint
-    reports; ``cache_keys`` are the content addresses of every scenario
-    in submission order, known at submit time — clients can fetch
-    reports by key the moment the job finishes (or earlier, for keys
-    that were already stored).
+    ``status`` walks ``queued -> running -> done`` (or ``failed``;
+    farmed jobs can also finish ``partial``, meaning some scenarios were
+    quarantined after repeated failures — see ``quarantined`` for the
+    per-scenario error map); ``completed``/``total`` is the progress
+    counter the status endpoint reports; ``cache_keys`` are the content
+    addresses of every scenario in submission order, known at submit
+    time — clients can fetch reports by key the moment the job finishes
+    (or earlier, for keys that were already stored).
     """
 
     def __init__(
@@ -105,6 +107,8 @@ class Job:
         self.status = "queued"
         self.completed = 0
         self.total = len(self.scenarios)
+        #: cache key -> error, for scenarios the farm quarantined
+        self.quarantined: dict[str, str] = {}
         self.error = ""
         self.result: Optional[dict[str, Any]] = None
         self.submitted_at = time.time()
@@ -126,6 +130,7 @@ class Job:
             "completed": self.completed,
             "total": self.total,
             "cache_keys": list(self.cache_keys),
+            "quarantined": dict(self.quarantined),
             "error": self.error,
             "result": self.result,
             "submitted_at": self.submitted_at,
@@ -151,7 +156,11 @@ class JobManager:
     coordinator:
         A farm :class:`~repro.farm.Coordinator`. When given, no local
         worker threads start — submitted batches go to the lease queue
-        and remote ``repro worker`` processes execute them.
+        and remote ``repro worker`` processes execute them. A
+        coordinator built by :meth:`~repro.farm.Coordinator.recover`
+        already carries jobs replayed from the journal; the manager
+        adopts them under their original ids, so clients polling
+        ``GET /jobs/<id>`` across a coordinator restart keep working.
     """
 
     def __init__(
@@ -183,6 +192,21 @@ class JobManager:
         ]
         for thread in self._threads:
             thread.start()
+        if coordinator is not None:
+            self._adopt(coordinator.jobs())
+
+    def _adopt(self, jobs: Sequence[Job]) -> None:
+        """Adopt journal-recovered jobs under their original ids and
+        advance the id counter past them (no id is ever reissued)."""
+        highest = 0
+        with self._lock:
+            for job in jobs:
+                self._jobs[job.id] = job
+                tail = job.id.rsplit("-", 1)[-1]
+                if tail.isdigit():
+                    highest = max(highest, int(tail))
+            if highest:
+                self._counter = itertools.count(highest + 1)
 
     # -- submission and inspection ------------------------------------------
 

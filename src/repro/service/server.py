@@ -529,6 +529,16 @@ class ReproService:
     :class:`~repro.farm.Coordinator`: jobs become leases that external
     ``repro worker`` processes pull over HTTP. ``shards`` opens (or
     creates) a sharded store backend.
+
+    ``recover=True`` (``repro serve --recover``) rebuilds the
+    coordinator from the store's farm journal instead of starting
+    clean: jobs a crashed coordinator left running resume under their
+    original ids, in-flight leases keep their remaining deadline time,
+    and the holders of those leases can heartbeat/complete as if the
+    restart never happened. Without ``--recover`` a leftover journal is
+    discarded — resuming is explicit, never an accident. ``journal=
+    False`` (``--no-journal``) turns write-ahead journaling off
+    entirely, which exists so the journal's overhead can be measured.
     """
 
     def __init__(
@@ -544,7 +554,14 @@ class ReproService:
         lease_timeout: Optional[float] = None,
         shards: Optional[int] = None,
         http_threads: int = DEFAULT_HTTP_THREADS,
+        recover: bool = False,
+        journal: bool = True,
     ) -> None:
+        if recover and not remote_workers:
+            raise ValueError(
+                "--recover replays the farm journal; it requires "
+                "--workers remote"
+            )
         self.store = ResultStore(store_path, shards=shards)
         self.coordinator = None
         if remote_workers:
@@ -554,11 +571,19 @@ class ReproService:
                 DEFAULT_LEASE_TIMEOUT,
             )
 
-            self.coordinator = Coordinator(
-                self.store,
-                lease_scenarios=lease_scenarios or DEFAULT_LEASE_SCENARIOS,
-                lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
-            )
+            if recover:
+                self.coordinator = Coordinator.recover(
+                    self.store,
+                    lease_scenarios=lease_scenarios or DEFAULT_LEASE_SCENARIOS,
+                    lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+                )
+            else:
+                self.coordinator = Coordinator(
+                    self.store,
+                    lease_scenarios=lease_scenarios or DEFAULT_LEASE_SCENARIOS,
+                    lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+                    journal=journal,
+                )
         self.jobs = JobManager(
             self.store,
             workers=workers,
@@ -620,6 +645,8 @@ def serve(
     lease_scenarios: Optional[int] = None,
     lease_timeout: Optional[float] = None,
     shards: Optional[int] = None,
+    recover: bool = False,
+    journal: bool = True,
 ) -> int:
     """Run the service until interrupted (the ``repro serve`` command)."""
     service = ReproService(
@@ -633,6 +660,8 @@ def serve(
         lease_scenarios=lease_scenarios,
         lease_timeout=lease_timeout,
         shards=shards,
+        recover=recover,
+        journal=journal,
     )
     mode = (
         "coordinating remote workers (repro worker --connect "
@@ -644,6 +673,13 @@ def serve(
         f"repro service on {service.url} "
         f"(store: {store_path}, {len(service.store)} reports; {mode})"
     )
+    if service.coordinator is not None and service.coordinator.recovered:
+        summary = service.coordinator.recovered
+        print(
+            f"recovered from journal: {summary['jobs']} job(s), "
+            f"{summary['leases']} in-flight lease(s), "
+            f"{summary['pending_scenarios']} scenario(s) requeued"
+        )
     try:
         service.serve_forever()
     except KeyboardInterrupt:

@@ -69,6 +69,11 @@ CREATE TABLE IF NOT EXISTS store_meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS farm_journal (
+    seq     INTEGER PRIMARY KEY,
+    kind    TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
 """
 
 _SHARD_PATTERN = re.compile(r"^shard-(\d{2,})\.db$")
@@ -159,6 +164,31 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard breakdown (a single-file engine reports one shard)."""
+
+    # -- the farm journal ----------------------------------------------------
+    #
+    # A small append-only table of ``(kind, payload)`` records the farm
+    # coordinator write-aheads its state transitions into, so a
+    # coordinator crash loses no queue/lease state: the journal plus the
+    # reports table *is* the coordinator's durable state. The sharded
+    # engine keeps exactly one journal (on shard 0) — the journal is
+    # coordinator state, not content-addressed data, so it never routes.
+
+    @abc.abstractmethod
+    def journal_append(self, records: Sequence[tuple[str, str]]) -> None:
+        """Append ``(kind, payload)`` records in order (one transaction)."""
+
+    @abc.abstractmethod
+    def journal_records(self) -> list[tuple[int, str, str]]:
+        """Every journal record as ``(seq, kind, payload)``, seq order."""
+
+    @abc.abstractmethod
+    def journal_replace(self, records: Sequence[tuple[str, str]]) -> None:
+        """Atomically swap the whole journal for ``records`` (compaction)."""
+
+    @abc.abstractmethod
+    def journal_size(self) -> int:
+        """How many records the journal currently holds."""
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -306,6 +336,37 @@ class SQLiteBackend(StoreBackend):
                 "attempted": self.attempted(),
             }
         ]
+
+    # -- the farm journal ----------------------------------------------------
+
+    def journal_append(self, records: Sequence[tuple[str, str]]) -> None:
+        if not records:
+            return
+        with self._lock, self._connection as connection:
+            connection.executemany(
+                "INSERT INTO farm_journal (kind, payload) VALUES (?, ?)",
+                records,
+            )
+
+    def journal_records(self) -> list[tuple[int, str, str]]:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT seq, kind, payload FROM farm_journal ORDER BY seq"
+            ).fetchall()
+
+    def journal_replace(self, records: Sequence[tuple[str, str]]) -> None:
+        with self._lock, self._connection as connection:
+            connection.execute("DELETE FROM farm_journal")
+            connection.executemany(
+                "INSERT INTO farm_journal (kind, payload) VALUES (?, ?)",
+                records,
+            )
+
+    def journal_size(self) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM farm_journal"
+            ).fetchone()[0]
 
     def close(self) -> None:
         with self._lock:
@@ -455,6 +516,20 @@ class ShardedSQLiteBackend(StoreBackend):
             }
             for index, backend in enumerate(self._backends)
         ]
+
+    # -- the farm journal (one journal per store, kept on shard 0) -----------
+
+    def journal_append(self, records: Sequence[tuple[str, str]]) -> None:
+        self._backends[0].journal_append(records)
+
+    def journal_records(self) -> list[tuple[int, str, str]]:
+        return self._backends[0].journal_records()
+
+    def journal_replace(self, records: Sequence[tuple[str, str]]) -> None:
+        self._backends[0].journal_replace(records)
+
+    def journal_size(self) -> int:
+        return self._backends[0].journal_size()
 
     def close(self) -> None:
         for backend in self._backends:

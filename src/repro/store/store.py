@@ -289,12 +289,38 @@ class ResultStore:
             "dedup_ratio": (
                 round(1.0 - total / attempted, 4) if attempted else 0.0
             ),
+            "journal_records": backend.journal_size(),
         }
 
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard row counts and put-attempt counters (one entry for
         single-file stores)."""
         return self.backend.shard_stats()
+
+    # -- the farm journal ----------------------------------------------------
+    #
+    # The farm coordinator's durable state rides in the store (a small
+    # ``farm_journal`` table; one journal per store, even sharded) so a
+    # coordinator crash orphans nothing: :meth:`repro.farm.Coordinator
+    # .recover` rebuilds the queue from these records plus the reports
+    # table. These are thin pass-throughs; the record formats belong to
+    # :mod:`repro.farm.coordinator`.
+
+    def journal_append(self, records: list[tuple[str, str]]) -> None:
+        """Append ``(kind, payload)`` journal records in one transaction."""
+        self.backend.journal_append(records)
+
+    def journal_records(self) -> list[tuple[int, str, str]]:
+        """Every journal record as ``(seq, kind, payload)``, in seq order."""
+        return self.backend.journal_records()
+
+    def journal_replace(self, records: list[tuple[str, str]]) -> None:
+        """Atomically replace the whole journal (compaction)."""
+        self.backend.journal_replace(records)
+
+    def journal_size(self) -> int:
+        """How many records the journal holds (bounded by compaction)."""
+        return self.backend.journal_size()
 
     # -- streaming ----------------------------------------------------------
 

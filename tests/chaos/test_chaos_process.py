@@ -1,0 +1,27 @@
+"""Tentpole acceptance: coordinator SIGKILLed mid-sweep, recovered.
+
+Thin pytest wrapper over :func:`repro.chaos.smoke.run_chaos_smoke`,
+which runs a real sweep through a seeded fault-injecting proxy with a
+kamikaze worker, a slow-heartbeat worker, and a steady worker, SIGKILLs
+the coordinator mid-sweep, restarts it with ``--recover``, and checks
+the sweep completes with the sharded store byte-identical to serial
+``run_batch``, no worker hung, and ``completed`` never exceeding the
+scenario count.
+"""
+
+from repro.chaos.smoke import SCENARIOS, run_chaos_smoke
+
+
+def test_kill_the_coordinator_mid_chaos_full_recovery():
+    evidence = run_chaos_smoke(verbose=False)
+    assert evidence["scenarios"] == SCENARIOS >= 90
+    assert evidence["recovery_seconds"] < 30.0
+    # the proxy really injected faults on worker traffic
+    stats = evidence["faults"]
+    injected = (
+        stats["dropped"] + stats["delayed"] + stats["errors"]
+        + stats["blackholed"]
+    )
+    assert injected > 0, stats
+    # kamikaze self-killed (42); the survivors exited cleanly — nobody hung
+    assert evidence["exit_codes"] == {"kamikaze": 42, "slowbeat": 0, "steady": 0}

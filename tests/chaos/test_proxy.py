@@ -1,0 +1,191 @@
+"""ChaosProxy semantics: seeded schedule, clean forwarding, and the
+client deadline that bounds a black-holed coordinator.
+
+The upstream here is a tiny echo server, not a ReproService — the proxy
+is HTTP-level and upstream-agnostic, and these tests pin the transport
+contract the chaos smoke relies on: injected 500s never reach the
+upstream, drops are transport errors (retryable), and a black hole
+costs a deadline-bearing client at most its deadline, never forever.
+"""
+
+import http.client
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.chaos import ChaosProxy
+from repro.service.client import ServiceClient
+
+
+class _EchoHandler(BaseHTTPRequestHandler):
+    """Answers every request with what it saw; counts arrivals."""
+
+    def log_message(self, *args):
+        pass
+
+    def _answer(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length).decode() if length else ""
+        self.server.seen.append((self.command, self.path, body))
+        payload = json.dumps(
+            {"method": self.command, "path": self.path, "body": body}
+        ).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = do_POST = do_PUT = do_DELETE = _answer
+
+
+@pytest.fixture()
+def upstream():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _EchoHandler)
+    server.seen = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield server, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read()
+
+
+class TestSchedule:
+    def test_same_seed_same_decisions(self, upstream):
+        _, url = upstream
+        kwargs = dict(drop=0.2, delay=0.2, error=0.2, blackhole=0.1)
+        first = ChaosProxy(url, seed=42, **kwargs)
+        second = ChaosProxy(url, seed=42, **kwargs)
+        decisions = [first._decide() for _ in range(200)]
+        assert decisions == [second._decide() for _ in range(200)]
+        # a mixed schedule actually mixes
+        kinds = {kind for kind, _delay in decisions}
+        assert {"drop", "delay", "error", "forward"} <= kinds
+
+    def test_different_seed_different_schedule(self, upstream):
+        _, url = upstream
+        kwargs = dict(drop=0.25, delay=0.25, error=0.25)
+        first = ChaosProxy(url, seed=1, **kwargs)
+        second = ChaosProxy(url, seed=2, **kwargs)
+        assert [first._decide() for _ in range(100)] != [
+            second._decide() for _ in range(100)
+        ]
+
+    def test_zero_rates_always_forward(self, upstream):
+        _, url = upstream
+        proxy = ChaosProxy(url, drop=0.0, delay=0.0, error=0.0)
+        assert all(
+            proxy._decide() == ("forward", 0.0) for _ in range(50)
+        )
+
+    def test_bad_rates_rejected(self, upstream):
+        _, url = upstream
+        with pytest.raises(ValueError):
+            ChaosProxy(url, drop=1.2)
+        with pytest.raises(ValueError):
+            ChaosProxy(url, drop=0.6, delay=0.6)
+        with pytest.raises(ValueError):
+            ChaosProxy("not-a-url")
+
+
+class TestForwarding:
+    def test_clean_proxy_is_transparent(self, upstream):
+        server, url = upstream
+        with ChaosProxy(url, drop=0.0, delay=0.0, error=0.0) as proxy:
+            status, body = _get(f"{proxy.url}/health?x=1")
+            assert status == 200
+            echoed = json.loads(body)
+            assert echoed == {"method": "GET", "path": "/health?x=1", "body": ""}
+
+            request = urllib.request.Request(
+                f"{proxy.url}/jobs", data=b'{"base": 1}', method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=5.0) as response:
+                echoed = json.loads(response.read())
+            assert echoed["method"] == "POST"
+            assert echoed["body"] == '{"base": 1}'
+        assert [m for m, _p, _b in server.seen] == ["GET", "POST"]
+        assert proxy.stats()["forwarded"] == 2
+
+    def test_injected_500_never_reaches_upstream(self, upstream):
+        server, url = upstream
+        with ChaosProxy(url, drop=0.0, delay=0.0, error=1.0) as proxy:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                _get(f"{proxy.url}/jobs")
+            assert caught.value.code == 500
+            assert b"chaos" in caught.value.read()
+        assert server.seen == []  # a retried POST could not double-execute
+        assert proxy.stats()["errors"] == 1
+
+    def test_drop_is_a_transport_error(self, upstream):
+        _, url = upstream
+        with ChaosProxy(url, drop=1.0, delay=0.0, error=0.0) as proxy:
+            with pytest.raises(
+                (urllib.error.URLError, ConnectionError,
+                 http.client.RemoteDisconnected)
+            ):
+                _get(f"{proxy.url}/health")
+        assert proxy.stats()["dropped"] == 1
+
+    def test_delay_still_delivers(self, upstream):
+        _, url = upstream
+        with ChaosProxy(
+            url, drop=0.0, delay=1.0, error=0.0, delay_s=(0.05, 0.05)
+        ) as proxy:
+            started = time.monotonic()
+            status, _body = _get(f"{proxy.url}/health")
+            elapsed = time.monotonic() - started
+        assert status == 200
+        assert elapsed >= 0.05
+        assert proxy.stats()["delayed"] == 1
+
+
+class TestClientDeadline:
+    def test_deadline_bounds_a_black_hole(self, upstream):
+        """The acceptance pathology: the coordinator accepts and never
+        answers. Socket timeouts plus retries would wait ~forever; the
+        total deadline caps the loss at ~deadline seconds."""
+        _, url = upstream
+        with ChaosProxy(
+            url, drop=0.0, delay=0.0, error=0.0, blackhole=1.0, blackhole_s=30.0
+        ) as proxy:
+            client = ServiceClient(
+                proxy.url, timeout=10.0, retries=5, deadline=1.0
+            )
+            started = time.monotonic()
+            with pytest.raises(TimeoutError) as caught:
+                client.health()
+            elapsed = time.monotonic() - started
+        assert "deadline" in str(caught.value)
+        assert elapsed < 5.0  # bounded by the deadline, not 10s x 6 attempts
+
+    def test_deadline_forbids_retries_past_it(self, upstream):
+        """Drops are retryable, but never past the deadline."""
+        _, url = upstream
+        with ChaosProxy(url, drop=1.0, delay=0.0, error=0.0) as proxy:
+            client = ServiceClient(
+                proxy.url, timeout=5.0, retries=50, backoff=0.2, deadline=0.8
+            )
+            started = time.monotonic()
+            with pytest.raises((TimeoutError, urllib.error.URLError, ConnectionError)):
+                client.health()
+            elapsed = time.monotonic() - started
+        assert elapsed < 4.0
+
+    def test_deadline_leaves_fast_calls_alone(self, upstream):
+        _, url = upstream
+        with ChaosProxy(url, drop=0.0, delay=0.0, error=0.0) as proxy:
+            client = ServiceClient(proxy.url, deadline=5.0)
+            echoed = client._json("/anything", idempotent=True)
+        assert echoed["path"] == "/anything"

@@ -212,7 +212,9 @@ class TestExpiry:
 
 
 class TestFailure:
-    def test_fail_requeues_then_gives_up(self, coordinator):
+    def test_fail_requeues_then_quarantines(self, coordinator):
+        """Scenarios that fail MAX_ATTEMPTS times are quarantined; a job
+        with nothing completed at all ends ``failed``."""
         job = _job(seeds=range(2))
         coordinator.add_job(job)
         worker = coordinator.register("a")["worker"]
@@ -221,9 +223,69 @@ class TestFailure:
             assert lease is not None, f"no lease on attempt {attempt}"
             coordinator.fail(lease["id"], worker, "boom")
         assert job.status == "failed"
-        assert "boom" in job.error
-        # a failed job's scenarios are no longer leased out
+        assert "quarantined" in job.error
+        assert set(job.quarantined) == set(job.cache_keys)
+        assert all("boom" in error for error in job.quarantined.values())
+        # quarantined scenarios are no longer leased out
         assert coordinator.lease(worker) is None
+
+    def test_poison_scenario_quarantined_job_finishes_partial(
+        self, coordinator
+    ):
+        """One poison scenario no longer sinks the job: the rest
+        complete and the job ends ``partial`` with the error mapped."""
+        job = _job(seeds=range(2))
+        coordinator.add_job(job)
+        worker = coordinator.register("a")["worker"]
+        # fail the first scenario alone MAX_ATTEMPTS times
+        for _ in range(MAX_ATTEMPTS):
+            lease = coordinator.lease(worker, max_scenarios=1)
+            assert lease["scenarios"][0]["seed"] == 0
+            coordinator.fail(lease["id"], worker, "poison")
+        # the survivor completes normally
+        lease = coordinator.lease(worker)
+        scenarios = [Scenario.from_dict(s) for s in lease["scenarios"]]
+        assert [s.seed for s in scenarios] == [1]
+        coordinator.complete(lease["id"], worker, _reports_for(scenarios))
+        assert job.status == "partial"
+        assert job.completed == 1
+        assert list(job.quarantined) == [job.cache_keys[0]]
+        snapshot = coordinator.snapshot()
+        assert snapshot["queue"]["quarantined_scenarios"] == 1
+        assert snapshot["quarantined"] == [
+            {"job": job.id, "key": job.cache_keys[0], "error": "poison"}
+        ]
+
+    def test_late_success_beats_quarantine(self, coordinator):
+        """A report landing for a quarantined scenario un-quarantines
+        it — the store holds the bytes, so the scenario is simply done."""
+        job = _job(seeds=range(1))
+        coordinator.add_job(job)
+        worker = coordinator.register("a")["worker"]
+        for _ in range(MAX_ATTEMPTS):
+            lease = coordinator.lease(worker)
+            coordinator.fail(lease["id"], worker, "flaky")
+        assert job.status == "failed"
+        # job status is terminal, but the scenario record still heals
+        coordinator.complete(
+            "lease-bogus", worker, _reports_for(job.scenarios)
+        )
+        assert job.quarantined == {}
+        assert job.completed == 1
+        assert coordinator.snapshot()["queue"]["quarantined_scenarios"] == 0
+
+    def test_expiry_never_quarantines(self, coordinator, clock):
+        """Lost leases requeue without prejudice: only *reported*
+        failures count toward MAX_ATTEMPTS."""
+        job = _job(seeds=range(2))
+        coordinator.add_job(job)
+        worker = coordinator.register("a")["worker"]
+        for _ in range(MAX_ATTEMPTS + 2):
+            lease = coordinator.lease(worker)
+            assert lease is not None
+            clock.advance(11.0)  # expire it
+        assert job.quarantined == {}
+        assert job.status == "running"
 
     def test_fail_unknown_lease_raises(self, coordinator):
         worker = coordinator.register("a")["worker"]

@@ -1,0 +1,202 @@
+"""Worker abandon-on-410: stop computing a chunk whose lease is gone.
+
+The heartbeat thread learns the lease died (expiry under an injected
+coordinator clock, or a coordinator restart) and signals the executing
+chunk, which stops at the next scenario boundary instead of finishing
+work the coordinator will only count as duplicates. The coordinator is
+driven in-process through a shim client, so no sockets and no real
+lease timing are involved — the only real-time element is the heartbeat
+thread itself, synchronized through events.
+"""
+
+import threading
+
+import pytest
+
+import repro.farm.worker as worker_module
+from repro.core.faults import FaultConfig
+from repro.farm import Coordinator
+from repro.runner import Scenario, expand_grid
+from repro.service.client import ServiceError
+from repro.service.jobs import Job
+from repro.store import ResultStore
+
+BASE = Scenario(
+    algorithm="decay",
+    topology="path",
+    topology_params={"n": 12},
+    faults=FaultConfig.receiver(0.2),
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class InProcessClient:
+    """A ServiceClient stand-in that talks to a Coordinator directly,
+    translating farm exceptions to the HTTP statuses the worker sees."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self.coordinator = coordinator
+
+    def _call(self, method, *args, **kwargs):
+        from repro.farm import UnknownLease, UnknownWorker
+
+        try:
+            return method(*args, **kwargs)
+        except UnknownLease as error:
+            raise ServiceError(410, str(error)) from None
+        except UnknownWorker as error:
+            raise ServiceError(404, str(error)) from None
+
+    def register_worker(self, name=""):
+        return self._call(self.coordinator.register, name)
+
+    def lease(self, worker_id, max_scenarios=None):
+        return self._call(
+            self.coordinator.lease, worker_id, max_scenarios=max_scenarios
+        )
+
+    def heartbeat(self, lease_id, worker_id):
+        return self._call(self.coordinator.heartbeat, lease_id, worker_id)
+
+    def complete(self, lease_id, worker_id, reports, executed=0, cached=0):
+        return self._call(
+            self.coordinator.complete, lease_id, worker_id, reports,
+            executed=executed, cached=cached,
+        )
+
+    def fail(self, lease_id, worker_id, message):
+        return self._call(self.coordinator.fail, lease_id, worker_id, message)
+
+    def workers(self):
+        return self._call(self.coordinator.snapshot)
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "farm.db")) as opened:
+        yield opened
+
+
+@pytest.fixture()
+def coordinator(store, clock):
+    wall = FakeClock(1_000_000.0)
+    return Coordinator(
+        store, lease_scenarios=8, lease_timeout=10.0, clock=clock, wall=wall
+    )
+
+
+def _worker(coordinator) -> worker_module.FarmWorker:
+    worker = worker_module.FarmWorker("http://in-process", name="t")
+    worker.client = InProcessClient(coordinator)
+    worker.register()
+    worker.heartbeat_s = 0.005  # tick fast; the loop is the only real time
+    return worker
+
+
+def test_heartbeat_410_sets_the_abandon_signal(coordinator, clock):
+    """The wiring: heartbeat meets an expired lease -> abandon is set."""
+    coordinator.add_job(Job("job-0001", expand_grid(BASE, seeds=range(4))))
+    worker = _worker(coordinator)
+    lease = worker.client.lease(worker.worker_id)
+    clock.advance(11.0)  # the lease dies under the injected clock
+    stop = threading.Event()
+    abandon = threading.Event()
+    worker._heartbeat_loop(lease["id"], stop, abandon)  # runs inline
+    assert abandon.is_set()
+
+
+def test_execute_stops_at_the_next_scenario_boundary(coordinator, monkeypatch):
+    """_execute checks the signal between scenarios, not after the
+    whole chunk: a mid-chunk abandon returns the finished prefix only."""
+    scenarios = expand_grid(BASE, seeds=range(6))
+    worker = _worker(coordinator)
+    abandon = threading.Event()
+    real_run_batch = worker_module.run_batch
+    calls = []
+
+    def run_batch_then_abandon(batch, **kwargs):
+        calls.append(len(batch))
+        reports = real_run_batch(batch, **kwargs)
+        if len(calls) == 2:
+            abandon.set()
+        return reports
+
+    monkeypatch.setattr(worker_module, "run_batch", run_batch_then_abandon)
+    reports, executed, cached = worker._execute(scenarios, abandon)
+    # two sub-chunks ran (stride 1), then the signal stopped the rest
+    assert calls == [1, 1]
+    assert len(reports) == 2
+    assert executed == 2
+    assert cached == 0
+
+
+def test_abandoned_chunk_is_requeued_and_finished_by_rerun(
+    coordinator, clock, store, monkeypatch
+):
+    """End to end under the injected clock: the lease expires mid-chunk,
+    the heartbeat thread flags it, the worker pushes only its finished
+    prefix (absorbed as late), and a re-lease completes the job with
+    zero duplicates."""
+    job = Job("job-0001", expand_grid(BASE, seeds=range(8)))
+    coordinator.add_job(job)
+    worker = _worker(coordinator)
+
+    real_run_batch = worker_module.run_batch
+    abandon_observed = threading.Event()
+    calls = []
+
+    def run_batch_with_expiry(batch, **kwargs):
+        reports = real_run_batch(batch, **kwargs)
+        calls.append(len(batch))
+        if len(calls) == 2:
+            # the lease's deadline lapses while scenario 2 is in flight;
+            # wait for the heartbeat thread to notice before returning,
+            # so the boundary check is deterministic
+            clock.advance(11.0)
+            assert abandon_observed.wait(timeout=10.0), "heartbeat never saw 410"
+        return reports
+
+    real_loop = worker_module.FarmWorker._heartbeat_loop
+
+    def loop_then_flag(self, lease_id, stop, abandon=None):
+        real_loop(self, lease_id, stop, abandon)
+        if abandon is not None and abandon.is_set():
+            abandon_observed.set()
+
+    monkeypatch.setattr(worker_module, "run_batch", run_batch_with_expiry)
+    monkeypatch.setattr(
+        worker_module.FarmWorker, "_heartbeat_loop", loop_then_flag
+    )
+
+    lease = worker.client.lease(worker.worker_id)
+    assert len(lease["scenarios"]) == 8
+    worker.run_lease(lease)
+    assert worker.leases_abandoned == 1
+    assert calls == [1, 1]  # six scenarios were never computed
+    assert job.completed == 2  # the late prefix was absorbed
+
+    # the expired chunk's remainder is re-leased and finished cleanly
+    monkeypatch.setattr(worker_module, "run_batch", real_run_batch)
+    monkeypatch.setattr(worker_module.FarmWorker, "_heartbeat_loop", real_loop)
+    lease2 = worker.client.lease(worker.worker_id)
+    assert len(lease2["scenarios"]) == 6
+    worker.run_lease(lease2)
+    assert job.status == "done"
+    assert job.completed == 8
+    assert coordinator.duplicates == 0
+    assert all(key in store for key in job.cache_keys)
