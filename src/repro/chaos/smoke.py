@@ -59,6 +59,17 @@ CHAOS_SEED = 7
 WORKER_DEADLINE = 5.0
 
 
+def _stage_line(elapsed_s: float, message: str) -> str:
+    """One timestamped stage line (``[chaos +  12.3s] message``).
+
+    The smoke runs minutes under CI with long silent stretches (the
+    SIGKILL-to-recovery window especially); stamping every stage makes a
+    hang in the log attributable to a specific step instead of "somewhere
+    after the kill".
+    """
+    return f"[chaos +{elapsed_s:6.1f}s] {message}"
+
+
 def _chaos_scenarios() -> list[Scenario]:
     base = Scenario(
         algorithm="decay",
@@ -132,6 +143,12 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
     url = f"http://127.0.0.1:{port}"
     scenarios = _chaos_scenarios()
     recovery_seconds = 0.0
+    t0 = time.monotonic()
+
+    def stage(message: str) -> None:
+        if verbose:
+            print(_stage_line(time.monotonic() - t0, message), flush=True)
+
     with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as tmp:
         store_path = str(Path(tmp) / "farm")
         server = _spawn_server(store_path, port)
@@ -150,7 +167,9 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
         try:
             client = ServiceClient(url)  # the driver bypasses the proxy
             _wait_for_health(client)
+            stage(f"coordinator up on port {port} (store: {store_path})")
             job = client.submit(scenarios=scenarios)
+            stage(f"job {job['id']} submitted: {len(scenarios)} scenarios")
 
             # all worker traffic goes through the chaos proxy
             workers["kamikaze"] = _spawn_worker(proxy.url, "kamikaze", kill_after=1)
@@ -158,25 +177,34 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
                 proxy.url, "slowbeat", heartbeat_factor=8.0
             )
             workers["steady"] = _spawn_worker(proxy.url, "steady")
+            stage("3 workers spawned through the chaos proxy")
 
             # let the sweep get underway, then kill the coordinator dead
             _wait_for_progress(
                 client, job["id"], threshold=len(scenarios) // 6,
                 total=len(scenarios),
             )
+            stage(
+                f"progress >= {len(scenarios) // 6}/{len(scenarios)}; "
+                "SIGKILLing the coordinator"
+            )
             server.send_signal(signal.SIGKILL)
             server.wait(timeout=10.0)
-            if verbose:
-                print("coordinator SIGKILLed mid-sweep; restarting with --recover")
+            stage("coordinator dead; restarting with --recover on the same port")
 
             restart_at = time.monotonic()
             server2 = _spawn_server(store_path, port, recover=True)
             _wait_for_health(client)
             recovery_seconds = time.monotonic() - restart_at
+            stage(f"restarted coordinator healthy after {recovery_seconds:.1f}s")
 
             snapshot = client.workers()
             assert snapshot["recovered"] is not None, snapshot
             assert snapshot["recovered"]["jobs"] >= 1, snapshot
+            stage(
+                f"journal recovery confirmed: {snapshot['recovered']['jobs']} "
+                f"job(s), {snapshot['recovered']['leases']} in-flight lease(s)"
+            )
 
             # the original job id finishes on the restarted coordinator
             done = None
@@ -189,6 +217,7 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
                 time.sleep(0.1)
             assert done is not None and done["status"] == "done", done
             assert done["completed"] == len(scenarios), done
+            stage(f"job {job['id']} done: {done['completed']}/{len(scenarios)}")
 
             # zero hung workers: everyone exits inside the timeout — the
             # kamikaze with its self-kill status, the others cleanly
@@ -199,6 +228,7 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
             assert exit_codes["kamikaze"] == 42, exit_codes
             assert exit_codes["slowbeat"] == 0, exit_codes
             assert exit_codes["steady"] == 0, exit_codes
+            stage(f"all workers exited: {exit_codes}")
         finally:
             for process in workers.values():
                 if process.poll() is None:
@@ -220,6 +250,10 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
             + faults["blackholed"]
         )
         assert injected > 0, faults
+        stage(
+            f"proxy stats: {faults['requests']} calls, {injected} faults "
+            "injected; checking byte identity against serial run_batch"
+        )
 
         # the farm's store vs a serial run of the same grid: byte identity
         direct = run_batch(scenarios)
@@ -241,7 +275,7 @@ def run_chaos_smoke(verbose: bool = True) -> dict[str, Any]:
             "exit_codes": exit_codes,
         }
         if verbose:
-            print(
+            stage(
                 f"chaos smoke OK: {evidence['scenarios']} scenarios through "
                 f"{faults['requests']} proxied calls ({faults['dropped']} "
                 f"dropped, {faults['delayed']} delayed, {faults['errors']} "

@@ -29,6 +29,10 @@ Usage::
         --lease-scenarios 8 --lease-timeout 30
     repro worker --connect http://127.0.0.1:8765 --processes 4
     repro store farm.db --stats
+    repro store farm.db --stats --format json
+    repro top --connect http://127.0.0.1:8765
+    repro trace show spans.jsonl --limit 20
+    repro trace summarize spans.jsonl
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
@@ -306,6 +310,54 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    top = sub.add_parser(
+        "top",
+        help=(
+            "live dashboard for a running service: workers, queue depth, "
+            "throughput, and selected metrics, refreshed in place"
+        ),
+    )
+    top.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="the service's base URL (e.g. http://127.0.0.1:8765)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="render N frames then exit (0: refresh until interrupted)",
+    )
+
+    trc = sub.add_parser(
+        "trace",
+        help="inspect JSONL span files written by the telemetry TraceSink",
+    )
+    trc_sub = trc.add_subparsers(dest="action", required=True)
+    shw = trc_sub.add_parser("show", help="print spans, one line each")
+    shw.add_argument("path", help="a TraceSink JSONL file")
+    shw.add_argument(
+        "--limit", type=int, default=50, help="spans printed (default 50)"
+    )
+    shw.add_argument(
+        "--trace",
+        default=None,
+        metavar="PREFIX",
+        help="only spans whose trace id starts with PREFIX",
+    )
+    smz = trc_sub.add_parser(
+        "summarize", help="per-span-name counts and durations"
+    )
+    smz.add_argument("path", help="a TraceSink JSONL file")
+
     sto = sub.add_parser(
         "store",
         help="inspect a result store, or export matching reports to JSON",
@@ -318,6 +370,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "human-readable store summary: per-shard row counts and the "
             "dedup ratio (duplicate put offers absorbed by content "
             "addressing)"
+        ),
+    )
+    sto.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "with --stats: text (table) or json (machine-readable "
+            "shard/dedup/quarantine stats for scraping)"
         ),
     )
     sto.add_argument(
@@ -990,7 +1051,10 @@ def _command_store(args: argparse.Namespace) -> int:
             print(f"exported {written} reports to {args.export}")
             return 0
         if args.stats:
-            print(_store_stats_text(store))
+            if args.format == "json":
+                print(json.dumps(_store_stats_json(store), indent=2, sort_keys=True))
+            else:
+                print(_store_stats_text(store))
             return 0
         stats = store.stats()
         if filters:
@@ -1043,6 +1107,174 @@ def _store_stats_text(store) -> str:
     return "\n".join(lines)
 
 
+def _store_stats_json(store) -> dict[str, Any]:
+    """The machine-readable twin of ``--stats`` (``--format json``)."""
+    from repro.farm.coordinator import read_quarantined
+
+    return {
+        **store.stats(),
+        "shard_stats": store.shard_stats(),
+        "quarantined": read_quarantined(store),
+    }
+
+
+def _top_frame(client) -> str:
+    """One rendered frame of the ``repro top`` dashboard."""
+    from repro.util.tables import Table
+
+    health = client.health()
+    lines = [
+        f"repro top — {client.base_url}  "
+        f"store: {health['reports']} reports  (v{health['version']})"
+    ]
+    try:
+        snapshot = client.workers()
+    except Exception:  # noqa: BLE001 - local-worker mode answers 400
+        snapshot = None
+    if snapshot is not None:
+        queue = snapshot["queue"]
+        rates = snapshot.get("rates", {})
+        lines.append(
+            f"queue: {queue['pending_scenarios']} pending, "
+            f"{queue['outstanding_leases']} leased, "
+            f"{queue['scenarios_completed']} completed "
+            f"({queue['duplicates']} duplicate(s), "
+            f"{queue['quarantined_scenarios']} quarantined); "
+            f"throughput {rates.get('scenarios_per_s', 0.0)}/s over "
+            f"{rates.get('window_s', 0)}s"
+        )
+        if snapshot["workers"]:
+            table = Table(
+                ("worker", "name", "idle_s", "leases", "lost",
+                 "executed", "cached"),
+            )
+            for worker in snapshot["workers"]:
+                table.add_row(
+                    worker["id"],
+                    worker["name"],
+                    worker["idle_s"],
+                    worker["leases_completed"],
+                    worker["leases_lost"],
+                    worker["executed"],
+                    worker["cached"],
+                )
+            lines.append(table.to_text())
+        else:
+            lines.append("no workers registered")
+    else:
+        jobs = client.jobs()
+        running = sum(1 for job in jobs if job["status"] == "running")
+        finished = sum(
+            1 for job in jobs if job["status"] in ("done", "partial")
+        )
+        lines.append(
+            f"local-worker service: {len(jobs)} job(s), "
+            f"{running} running, {finished} finished"
+        )
+    try:
+        metrics = client.metrics_json().get("metrics", {})
+    except Exception:  # noqa: BLE001 - older service without /metrics.json
+        metrics = {}
+    parts = []
+    for name in (
+        "repro_store_put_rows_total",
+        "repro_farm_leases_granted_total",
+        "repro_farm_leases_expired_total",
+        "repro_client_retries_total",
+    ):
+        metric = metrics.get(name)
+        if metric and metric.get("value"):
+            parts.append(f"{name[len('repro_'):]}={metric['value']}")
+    http = metrics.get("repro_http_requests_total") or {}
+    total_http = sum(entry["value"] for entry in http.get("labeled", []))
+    if total_http:
+        parts.append(f"http_requests={total_http}")
+    if parts:
+        lines.append("metrics: " + "  ".join(parts))
+    return "\n".join(lines)
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.connect, timeout=10.0, retries=1)
+    frames = 0
+    try:
+        while True:
+            try:
+                frame = _top_frame(client)
+            except Exception as error:  # noqa: BLE001 - keep refreshing
+                frame = f"cannot reach {args.connect}: {error}"
+            if sys.stdout.isatty() and args.count != 1:
+                # clear + home between frames, only when interactive
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            frames += 1
+            if args.count and frames >= args.count:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry import read_trace_file
+
+    if not os.path.exists(args.path):
+        print(f"no trace file at {args.path!r}", file=sys.stderr)
+        return 2
+    records = read_trace_file(args.path)
+    if args.action == "show":
+        if args.trace:
+            records = [
+                record for record in records
+                if record["trace"].startswith(args.trace)
+            ]
+        for record in records[: args.limit]:
+            attrs = record.get("attrs", {})
+            extra = " ".join(
+                f"{key}={value}" for key, value in sorted(attrs.items())
+            )
+            print(
+                f"{record['trace'][:12]} {record['span']} "
+                f"{record['name']:<16} "
+                f"{record['duration_s'] * 1000.0:10.3f}ms  {extra}"
+            )
+        if len(records) > args.limit:
+            print(f"... {len(records) - args.limit} more (raise --limit)")
+        return 0
+    # summarize
+    from repro.util.tables import Table
+
+    by_name: dict[str, list[float]] = {}
+    traces = set()
+    for record in records:
+        traces.add(record["trace"])
+        entry = by_name.setdefault(record["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record["duration_s"]
+        entry[2] = max(entry[2], record["duration_s"])
+    table = Table(
+        ("span", "count", "total_s", "mean_ms", "max_ms"),
+        title=f"{args.path}: {len(records)} span(s), {len(traces)} trace(s)",
+    )
+    for name in sorted(by_name):
+        count, total, peak = by_name[name]
+        table.add_row(
+            name,
+            int(count),
+            round(total, 3),
+            round(total / count * 1000.0, 3),
+            round(peak * 1000.0, 3),
+        )
+    print(table.to_text())
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.perf import consistency_check, run_hotpath_benchmarks, write_report
 
@@ -1085,6 +1317,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "store":
         return _command_store(args)
+
+    if args.command == "top":
+        return _command_top(args)
+
+    if args.command == "trace":
+        return _command_trace(args)
 
     if args.command == "analyze":
         return _command_analyze(args)

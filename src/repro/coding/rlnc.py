@@ -29,9 +29,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.coding.gf256 import GF256
+from repro.telemetry.metrics import METRICS as _METRICS
 from repro.util.rng import RandomSource
 
 __all__ = ["CodedPacket", "RLNCDecoder", "RLNCEncoder", "random_coefficients"]
+
+_M_RECEIVES = _METRICS.counter(
+    "repro_rlnc_receives_total", "coded packets absorbed by decoders"
+)
+_M_INNOVATIVE = _METRICS.counter(
+    "repro_rlnc_innovative_total", "receptions that advanced decoder rank"
+)
+_M_DECODES = _METRICS.counter(
+    "repro_rlnc_decodes_total", "full-rank message-matrix recoveries"
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +144,8 @@ class RLNCDecoder:
             )
         self.received_count += 1
         if self._rank == self.k and not self._reference:
+            if _METRICS.enabled:
+                _M_RECEIVES.inc()
             return False  # full rank: nothing can be innovative
         row = self._row_scratch
         row[: self.k] = packet.coefficient_array()
@@ -140,6 +153,10 @@ class RLNCDecoder:
         innovative = self._eliminate(row)
         if innovative:
             self.innovative_count += 1
+        if _METRICS.enabled:
+            _M_RECEIVES.inc()
+            if innovative:
+                _M_INNOVATIVE.inc()
         return innovative
 
     def receive_raw(self, coefficients: np.ndarray, payload: np.ndarray) -> bool:
@@ -153,6 +170,8 @@ class RLNCDecoder:
         """
         self.received_count += 1
         if self._rank == self.k and not self._reference:
+            if _METRICS.enabled:
+                _M_RECEIVES.inc()
             return False
         row = self._row_scratch
         row[: self.k] = coefficients
@@ -160,6 +179,10 @@ class RLNCDecoder:
         innovative = self._eliminate(row)
         if innovative:
             self.innovative_count += 1
+        if _METRICS.enabled:
+            _M_RECEIVES.inc()
+            if innovative:
+                _M_INNOVATIVE.inc()
         return innovative
 
     def _reduce_and_insert(self, row: np.ndarray) -> bool:
@@ -237,6 +260,8 @@ class RLNCDecoder:
             above = np.nonzero(m[:pivot_row, col])[0]
             for r in above:
                 m[r] ^= GF256.scale_vec(int(m[r, col]), m[pivot_row])
+        if _METRICS.enabled:
+            _M_DECODES.inc()
         return m[:, self.k :]
 
     def decode_messages(self) -> list[bytes]:

@@ -25,9 +25,25 @@ from repro.core.network import RadioNetwork
 from repro.core.packets import Packet
 from repro.core.protocol import NodeProtocol
 from repro.core.trace import ChannelCounters, TraceRecorder
+from repro.telemetry.metrics import METRICS as _METRICS
 from repro.util.rng import RandomSource, spawn_rng
 
 __all__ = ["Channel", "Delivery", "RoundResult", "Simulator"]
+
+# channel hot-seam metrics: registered once at import, bulk-incremented
+# per round behind the single _METRICS.enabled attribute read
+_M_ROUNDS = _METRICS.counter(
+    "repro_channel_rounds_total", "channel rounds resolved"
+)
+_M_BROADCASTS = _METRICS.counter(
+    "repro_channel_broadcasts_total", "broadcast actions offered to the channel"
+)
+_M_DELIVERIES = _METRICS.counter(
+    "repro_channel_deliveries_total", "successful unique-neighbor deliveries"
+)
+_M_COLLISIONS = _METRICS.counter(
+    "repro_channel_collisions_total", "listeners silenced by collisions"
+)
 
 
 class Delivery(NamedTuple):
@@ -195,6 +211,14 @@ class Channel:
         if actions:
             resolver(actions, result)
         self.round_index += 1
+        if _METRICS.enabled:
+            _M_ROUNDS.inc()
+            if actions:
+                _M_BROADCASTS.inc(len(actions))
+                if result.deliveries:
+                    _M_DELIVERIES.inc(len(result.deliveries))
+                if result.collision_receivers:
+                    _M_COLLISIONS.inc(len(result.collision_receivers))
         return result
 
     def _resolve_auto(self, actions: dict[int, Packet], result: RoundResult) -> None:

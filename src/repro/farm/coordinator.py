@@ -63,6 +63,8 @@ from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.runner import RunReport, Scenario
 from repro.store import ResultStore
+from repro.telemetry.metrics import METRICS as _METRICS
+from repro.telemetry.tracing import trace_id_for_keys
 
 if TYPE_CHECKING:  # pragma: no cover - circular import at type time only
     from repro.service.jobs import Job
@@ -86,6 +88,29 @@ MAX_ATTEMPTS = 3
 
 #: journal appends between in-place compactions
 DEFAULT_COMPACT_EVERY = 256
+
+#: completion timestamps kept for the snapshot's throughput window
+_RATE_WINDOW_S = 60.0
+_RATE_SAMPLES = 4096
+
+_M_LEASES_GRANTED = _METRICS.counter(
+    "repro_farm_leases_granted_total", "leases checked out by workers"
+)
+_M_LEASES_EXPIRED = _METRICS.counter(
+    "repro_farm_leases_expired_total", "leases lost to missed heartbeats"
+)
+_M_SCENARIOS_COMPLETED = _METRICS.counter(
+    "repro_farm_scenarios_completed_total", "scenarios completed via the farm"
+)
+_M_SCENARIOS_REQUEUED = _METRICS.counter(
+    "repro_farm_scenarios_requeued_total", "scenarios returned to the queue"
+)
+_M_SCENARIOS_QUARANTINED = _METRICS.counter(
+    "repro_farm_scenarios_quarantined_total", "scenarios pulled from rotation"
+)
+_M_DUPLICATES = _METRICS.counter(
+    "repro_farm_duplicates_total", "completions for already-done scenarios"
+)
 
 
 class UnknownLease(LookupError):
@@ -226,6 +251,9 @@ class Coordinator:
         self.leases_expired = 0
         #: scenarios completed through the farm (store-cached ones excluded)
         self.scenarios_completed = 0
+        self._started = clock()
+        #: recent completion stamps backing the snapshot's rate window
+        self._completions: deque[float] = deque(maxlen=_RATE_SAMPLES)
         if self._journal_enabled and store.journal_size():
             # a fresh coordinator on a store with a leftover journal:
             # starting clean is the contract (recovery is recover())
@@ -462,6 +490,8 @@ class Coordinator:
                 )
                 self._leases[lease.id] = lease
                 self.leases_issued += 1
+                if _METRICS.enabled:
+                    _M_LEASES_GRANTED.inc()
                 self._append(
                     "grant",
                     {
@@ -481,6 +511,7 @@ class Coordinator:
                     ],
                     "deadline_s": self.lease_timeout,
                     "heartbeat_s": self.lease_timeout / 3.0,
+                    "trace": trace_id_for_keys(lease.keys),
                 }
             return None
 
@@ -601,6 +632,11 @@ class Coordinator:
                 for state in self._jobs.values()
                 for index, error in sorted(state.quarantined.items())
             ]
+            recent = sum(
+                1 for stamp in self._completions
+                if now - stamp <= _RATE_WINDOW_S
+            )
+            window = min(_RATE_WINDOW_S, max(now - self._started, 1e-9))
             return {
                 "workers": [
                     {
@@ -615,6 +651,12 @@ class Coordinator:
                     }
                     for worker in self._workers.values()
                 ],
+                "rates": {
+                    "window_s": _RATE_WINDOW_S,
+                    "recent_completions": recent,
+                    "scenarios_per_s": round(recent / window, 4),
+                    "uptime_s": round(now - self._started, 3),
+                },
                 "queue": {
                     "pending_scenarios": pending,
                     "outstanding_leases": len(self._leases),
@@ -763,6 +805,14 @@ class Coordinator:
                 self._maybe_finish(state)
         self.scenarios_completed += fresh
         self.duplicates += duplicates
+        if fresh:
+            now = self._clock()
+            self._completions.extend([now] * fresh)
+        if _METRICS.enabled:
+            if fresh:
+                _M_SCENARIOS_COMPLETED.inc(fresh)
+            if duplicates:
+                _M_DUPLICATES.inc(duplicates)
         return fresh, duplicates
 
     def _maybe_finish(self, state: _JobState) -> None:
@@ -810,6 +860,8 @@ class Coordinator:
                     continue
             state.pending.appendleft(index)
             requeued += 1
+        if requeued and _METRICS.enabled:
+            _M_SCENARIOS_REQUEUED.inc(requeued)
         self._maybe_finish(state)
         return requeued
 
@@ -818,6 +870,8 @@ class Coordinator:
         key = job.cache_keys[index]
         state.quarantined[index] = error
         job.quarantined[key] = error
+        if _METRICS.enabled:
+            _M_SCENARIOS_QUARANTINED.inc()
         self._append(
             "quarantine",
             {"job": job.id, "index": index, "key": key, "error": error},
@@ -836,6 +890,8 @@ class Coordinator:
             )
             self._requeue(lease)
             self.leases_expired += 1
+            if _METRICS.enabled:
+                _M_LEASES_EXPIRED.inc()
             worker = self._workers.get(lease.worker_id)
             if worker is not None:
                 worker.leases_lost += 1

@@ -52,8 +52,24 @@ from typing import Any, Optional
 from repro.runner import RunReport, Scenario, run_batch
 from repro.service.client import ServiceClient, ServiceError
 from repro.store import ResultStore
+from repro.telemetry.metrics import METRICS as _METRICS
+from repro.telemetry.tracing import TRACER as _TRACER
+from repro.telemetry.tracing import trace_id_for_keys
 
 __all__ = ["FarmWorker", "run_worker"]
+
+_M_EXECUTED = _METRICS.counter(
+    "repro_worker_scenarios_executed_total", "scenarios this worker ran"
+)
+_M_CACHED = _METRICS.counter(
+    "repro_worker_scenarios_cached_total", "scenarios answered from cache"
+)
+_M_LEASES_DONE = _METRICS.counter(
+    "repro_worker_leases_completed_total", "leases completed by this worker"
+)
+_M_LEASES_ABANDONED = _METRICS.counter(
+    "repro_worker_leases_abandoned_total", "leases abandoned mid-run"
+)
 
 
 class FarmWorker:
@@ -102,6 +118,7 @@ class FarmWorker:
         chaos_heartbeat_factor: float = 1.0,
     ) -> None:
         self.client = ServiceClient(url, deadline=deadline)
+        self.client.verbose = verbose
         self.name = name or f"{socket.gethostname()}:{os.getpid()}"
         self.max_scenarios = max_scenarios
         self.processes = processes
@@ -177,10 +194,14 @@ class FarmWorker:
                 # goodbyes — the lease-expiry path must pick up the mess
                 self._log(f"chaos: dying after {self.leases_done} leases")
                 os._exit(42)
-        self._log(
+        summary = (
             f"done: {self.leases_done} leases, {self.executed} executed, "
-            f"{self.cached} cache hits"
+            f"{self.cached} cache hits, "
+            f"{self.client.retries_total} client retries"
         )
+        if self.client.last_error:
+            summary += f" (last transport error: {self.client.last_error})"
+        self._log(summary)
         return self.leases_done
 
     def _reregister(self) -> None:
@@ -211,8 +232,27 @@ class FarmWorker:
             daemon=True,
         )
         heartbeat.start()
+        # in-process clients (tests) lack the transport's last_trace
+        trace_id = getattr(self.client, "last_trace", "") or lease.get("trace", "")
+        if not trace_id:
+            trace_id = trace_id_for_keys(
+                scenario.cache_key()
+                for scenario in scenarios
+                if scenario.cacheable
+            )
         try:
-            reports, executed, cached = self._execute(scenarios, abandon)
+            with _TRACER.span(
+                "worker.lease",
+                trace_id,
+                algorithm=scenarios[0].algorithm if scenarios else None,
+                lease=lease["id"],
+                worker=self.worker_id,
+                scenarios=len(scenarios),
+            ) as span_attrs:
+                reports, executed, cached = self._execute(scenarios, abandon)
+                if span_attrs is not None:
+                    span_attrs["executed"] = executed
+                    span_attrs["cached"] = cached
         except Exception as error:  # noqa: BLE001 - report, keep the worker up
             heartbeat_stop.set()
             heartbeat.join(timeout=2.0)
@@ -222,6 +262,8 @@ class FarmWorker:
         heartbeat.join(timeout=2.0)
         if abandon.is_set():
             self.leases_abandoned += 1
+            if _METRICS.enabled:
+                _M_LEASES_ABANDONED.inc()
             self._log(
                 f"{lease['id']}: abandoned after {len(reports)}/"
                 f"{len(scenarios)} scenarios (lease gone)"
@@ -250,8 +292,15 @@ class FarmWorker:
             return
         if not abandon.is_set():
             self.leases_done += 1
+            if _METRICS.enabled:
+                _M_LEASES_DONE.inc()
         self.executed += executed
         self.cached += cached
+        if _METRICS.enabled:
+            if executed:
+                _M_EXECUTED.inc(executed)
+            if cached:
+                _M_CACHED.inc(cached)
         self._log(
             f"{lease['id']}: {len(reports)} reports "
             f"({executed} executed, {cached} cached"

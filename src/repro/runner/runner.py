@@ -31,6 +31,9 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional, Sequence
 from repro.runner.registry import get_algorithm
 from repro.runner.report import RunReport
 from repro.runner.scenario import Scenario
+from repro.telemetry.metrics import METRICS as _METRICS
+from repro.telemetry.tracing import TRACER as _TRACER
+from repro.telemetry.tracing import trace_id_for_key
 
 if TYPE_CHECKING:  # pragma: no cover - repro.store imports the runner
     from repro.store import ResultStore
@@ -40,6 +43,11 @@ __all__ = ["run", "run_batch", "sweep", "expand_grid"]
 #: grid keys that address Scenario fields rather than algorithm params
 _SCENARIO_FIELD_KEYS = frozenset(
     {"algorithm", "topology", "faults", "adversary", "max_rounds"}
+)
+
+_M_RUNS = _METRICS.counter("repro_runner_runs_total", "scenarios executed")
+_M_RUN_SECONDS = _METRICS.histogram(
+    "repro_runner_run_seconds", "single-scenario wall time"
 )
 
 
@@ -57,6 +65,21 @@ def run(scenario: Scenario) -> RunReport:
         adversary=scenario.adversary,
     )
     elapsed = time.perf_counter() - start
+    key = scenario.cache_key() if scenario.cacheable else ""
+    if _METRICS.enabled:
+        _M_RUNS.inc()
+        _M_RUN_SECONDS.observe(elapsed)
+    if _TRACER.enabled and key:
+        _TRACER.record_span(
+            "runner.run",
+            trace_id_for_key(key),
+            elapsed,
+            algorithm=scenario.algorithm,
+            n=network.n,
+            seed=scenario.seed,
+            rounds=result.rounds,
+            success=result.success,
+        )
     return RunReport(
         scenario=scenario.describe(),
         algorithm=scenario.algorithm,
@@ -69,7 +92,7 @@ def run(scenario: Scenario) -> RunReport:
         network_n=network.n,
         network_name=network.name,
         wall_time_s=elapsed,
-        cache_key=scenario.cache_key() if scenario.cacheable else "",
+        cache_key=key,
     )
 
 

@@ -29,6 +29,7 @@ import http.client
 import json
 import random
 import socket
+import sys
 import time
 import urllib.error
 import urllib.request
@@ -36,8 +37,18 @@ from typing import Any, Optional, Sequence
 from urllib.parse import quote
 
 from repro.runner import RunReport, Scenario
+from repro.telemetry.metrics import METRICS as _METRICS
+from repro.telemetry.tracing import TRACE_HEADER
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+_M_RETRIES = _METRICS.counter(
+    "repro_client_retries_total", "transport retries on idempotent calls"
+)
+_M_LAST_ERROR_AT = _METRICS.gauge(
+    "repro_client_last_error_timestamp_seconds",
+    "wall clock of the most recent transport error",
+)
 
 #: transport-level failures worth retrying on idempotent calls
 _RETRYABLE = (
@@ -98,6 +109,13 @@ class ServiceClient:
         self.backoff_max = backoff_max
         self.deadline = deadline
         self._random = random.Random()
+        #: retry/error observability (see the farm worker's exit summary)
+        self.retries_total = 0
+        self.last_error = ""
+        self.last_error_at = 0.0
+        #: the most recent X-Repro-Trace response header (lease checkouts)
+        self.last_trace = ""
+        self.verbose = False
 
     # -- transport ----------------------------------------------------------
 
@@ -124,9 +142,22 @@ class ServiceClient:
                 return self._request_once(path, payload, method, remaining)
             except ServiceError:
                 raise  # the server answered; retrying cannot help
-            except _RETRYABLE:
+            except _RETRYABLE as error:
+                self.last_error = f"{type(error).__name__}: {error}"
+                self.last_error_at = time.time()
+                if _METRICS.enabled:
+                    _M_LAST_ERROR_AT.set(self.last_error_at)
                 if attempt + 1 >= attempts:
                     raise
+                self.retries_total += 1
+                if _METRICS.enabled:
+                    _M_RETRIES.inc()
+                if self.verbose:
+                    print(
+                        f"[client] retrying {path} after {self.last_error} "
+                        f"(attempt {attempt + 2}/{attempts})",
+                        file=sys.stderr,
+                    )
                 if not self._sleep(attempt, expires):
                     raise TimeoutError(
                         f"call to {path} exceeded its {self.deadline}s "
@@ -156,7 +187,11 @@ class ServiceClient:
             timeout = max(0.001, min(timeout, remaining))
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:
-                return response.read()
+                body = response.read()
+                trace = response.headers.get(TRACE_HEADER)
+                if trace:
+                    self.last_trace = trace
+                return body
         except urllib.error.HTTPError as error:
             body = error.read()
             try:
@@ -198,6 +233,14 @@ class ServiceClient:
     def registry(self, adversaries_only: bool = False) -> dict[str, Any]:
         suffix = "?adversaries=1" if adversaries_only else ""
         return self._get(f"/registry{suffix}")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the Prometheus text exposition."""
+        return self._request("/metrics", idempotent=True).decode("utf-8")
+
+    def metrics_json(self) -> dict[str, Any]:
+        """``GET /metrics.json`` — the registry snapshot as JSON."""
+        return self._get("/metrics.json")
 
     def submit(
         self,

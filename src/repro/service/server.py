@@ -31,6 +31,10 @@ sweeps in the background. Endpoints:
                             (arm filters as ``a_<field>``/``b_<field>``,
                             ``match_on``, ...) -> canonical
                             :class:`~repro.analysis.AnalysisReport` dict
+``GET  /metrics``           the process metrics registry in Prometheus
+                            text exposition format 0.0.4
+``GET  /metrics.json``      the same registry as a JSON snapshot (what
+                            ``repro top`` polls)
 ==========================  =================================================
 
 With ``remote_workers=True`` (``repro serve --workers remote``) the
@@ -58,6 +62,7 @@ thousands of threads.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -68,11 +73,41 @@ from repro.introspect import registry_dump
 from repro.runner import RunReport, Scenario, expand_grid
 from repro.service.jobs import JobManager, coerce_grid
 from repro.store import ResultStore
+from repro.telemetry.metrics import METRICS as _METRICS
+from repro.telemetry.tracing import TRACE_HEADER
 
 __all__ = ["ReproService", "serve"]
 
 #: handler threads in the pooled front end
 DEFAULT_HTTP_THREADS = 32
+
+#: Prometheus text exposition content type (``GET /metrics``)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: first path segments counted as the ``route`` label; anything else is
+#: bucketed as "other" so a scanner cannot explode label cardinality
+_KNOWN_ROUTES = frozenset(
+    {"health", "registry", "jobs", "reports", "analysis",
+     "workers", "leases", "metrics", "metrics.json"}
+)
+
+_M_HTTP_REQUESTS = _METRICS.counter(
+    "repro_http_requests_total",
+    "HTTP requests by method and top-level route",
+    labelnames=("method", "route"),
+)
+_G_STORE_REPORTS = _METRICS.gauge(
+    "repro_store_reports", "reports in the service's result store"
+)
+_G_PENDING = _METRICS.gauge(
+    "repro_farm_pending_scenarios", "scenarios waiting in the farm queue"
+)
+_G_OUTSTANDING = _METRICS.gauge(
+    "repro_farm_outstanding_leases", "leases currently checked out"
+)
+_G_WORKERS = _METRICS.gauge(
+    "repro_farm_workers", "workers registered with the coordinator"
+)
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
@@ -156,19 +191,43 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.service.verbose:
             super().log_message(format, *args)
 
-    def _send_bytes(self, status: int, body: bytes) -> None:
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: Optional[dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         if self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: Any) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Any,
+        extra_headers: Optional[dict[str, str]] = None,
+    ) -> None:
         self._send_bytes(
-            status, json.dumps(payload, sort_keys=True).encode("utf-8")
+            status,
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            extra_headers=extra_headers,
         )
+
+    def _count_request(self, method: str, parts: list[str]) -> None:
+        if not _METRICS.enabled:
+            return
+        route = parts[0] if parts else "/"
+        if route not in _KNOWN_ROUTES and route != "/":
+            route = "other"
+        _M_HTTP_REQUESTS.inc_labels((method, route))
 
     def _error(self, status: int, message: str) -> None:
         # error paths may leave a request body unread; closing the
@@ -191,9 +250,14 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        self._count_request("GET", parts)
         try:
             if parts == ["health"]:
                 self._get_health()
+            elif parts == ["metrics"]:
+                self._get_metrics()
+            elif parts == ["metrics.json"]:
+                self._get_metrics_json()
             elif parts == ["registry"]:
                 query = parse_qs(url.query)
                 self._send_json(
@@ -226,6 +290,7 @@ class _Handler(BaseHTTPRequestHandler):
 
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        self._count_request("POST", parts)
         try:
             if parts == ["jobs"]:
                 self._post_job()
@@ -251,6 +316,7 @@ class _Handler(BaseHTTPRequestHandler):
 
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        self._count_request("PUT", parts)
         try:
             if len(parts) == 3 and parts[0] == "leases" and parts[2] == "heartbeat":
                 body = self._read_body() or {}
@@ -282,6 +348,35 @@ class _Handler(BaseHTTPRequestHandler):
                 "version": __version__,
                 "store_path": service.store.path,
                 "reports": len(service.store),
+            },
+        )
+
+    def _refresh_scrape_gauges(self) -> None:
+        """Point-in-time gauges sampled at scrape, not on the hot path."""
+        service = self.server.service
+        _G_STORE_REPORTS.set(len(service.store))
+        coordinator = service.coordinator
+        if coordinator is not None:
+            snapshot = coordinator.snapshot()
+            _G_PENDING.set(snapshot["queue"]["pending_scenarios"])
+            _G_OUTSTANDING.set(snapshot["queue"]["outstanding_leases"])
+            _G_WORKERS.set(len(snapshot["workers"]))
+
+    def _get_metrics(self) -> None:
+        self._refresh_scrape_gauges()
+        self._send_bytes(
+            200,
+            _METRICS.prometheus_text().encode("utf-8"),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    def _get_metrics_json(self) -> None:
+        self._refresh_scrape_gauges()
+        self._send_json(
+            200,
+            {
+                "enabled": _METRICS.enabled,
+                "metrics": _METRICS.snapshot(),
             },
         )
 
@@ -461,7 +556,11 @@ class _Handler(BaseHTTPRequestHandler):
             lease = coordinator.lease(worker_id, max_scenarios=max_scenarios)
         except ValueError as error:
             raise _BadRequest(str(error)) from error
-        self._send_json(200, {"lease": lease})
+        headers = None
+        if lease is not None and lease.get("trace"):
+            # propagate the lease's deterministic trace id to the worker
+            headers = {TRACE_HEADER: lease["trace"]}
+        self._send_json(200, {"lease": lease}, extra_headers=headers)
 
     def _post_complete(self, lease_id: str) -> None:
         coordinator = self._coordinator()
@@ -562,6 +661,11 @@ class ReproService:
                 "--recover replays the farm journal; it requires "
                 "--workers remote"
             )
+        # the service is a long-lived observed process: metrics on by
+        # default (REPRO_TELEMETRY=0 opts out); simulation hot paths in
+        # worker *processes* are unaffected — they have their own registry
+        if os.environ.get("REPRO_TELEMETRY", "") != "0":
+            _METRICS.enable()
         self.store = ResultStore(store_path, shards=shards)
         self.coordinator = None
         if remote_workers:

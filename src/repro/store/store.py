@@ -29,8 +29,25 @@ from typing import Any, Iterable, Iterator, NamedTuple, Optional
 
 from repro.runner.report import RunReport
 from repro.store.backend import STORE_SCHEMA_VERSION, StoreBackend, open_backend
+from repro.telemetry.metrics import METRICS as _METRICS
 
 __all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]
+
+_M_PUT_SECONDS = _METRICS.histogram(
+    "repro_store_put_seconds", "put_many backend-insert latency"
+)
+_M_PUT_ROWS = _METRICS.counter(
+    "repro_store_put_rows_total", "rows actually written by put_many"
+)
+_M_PUT_OFFERED = _METRICS.counter(
+    "repro_store_put_offered_total", "reports offered to put_many"
+)
+_M_QUERY_SECONDS = _METRICS.histogram(
+    "repro_store_query_seconds", "query() latency including row decode"
+)
+_M_QUERIES = _METRICS.counter("repro_store_queries_total", "query() calls")
+_M_GETS = _METRICS.counter("repro_store_gets_total", "get() lookups")
+_M_GET_HITS = _METRICS.counter("repro_store_get_hits_total", "get() hits")
 
 #: deterministic result order for query()/export_json()
 _DEFAULT_ORDER = ("algorithm", "topology", "network_n", "seed", "cache_key")
@@ -158,7 +175,15 @@ class ResultStore:
             )
         if not rows:
             return 0
-        return self.backend.insert_rows(rows, replace)
+        if not _METRICS.enabled:
+            return self.backend.insert_rows(rows, replace)
+        _M_PUT_OFFERED.inc(len(rows))
+        start = time.perf_counter()
+        written = self.backend.insert_rows(rows, replace)
+        _M_PUT_SECONDS.observe(time.perf_counter() - start)
+        if written:
+            _M_PUT_ROWS.inc(written)
+        return written
 
     # -- reads --------------------------------------------------------------
 
@@ -173,6 +198,10 @@ class ResultStore:
         row = self.backend.fetch_payload(
             cache_key, ("canonical_json", "wall_time_s")
         )
+        if _METRICS.enabled:
+            _M_GETS.inc()
+            if row is not None:
+                _M_GET_HITS.inc()
         if row is None:
             return None
         return self._report_from_row(row[0], row[1])
@@ -227,7 +256,8 @@ class ResultStore:
             algorithm, topology, adversary, fault_model,
             seed_min, seed_max, success,
         )
-        return [
+        start = time.perf_counter() if _METRICS.enabled else 0.0
+        reports = [
             self._report_from_row(text, wall)
             for text, wall in self.backend.iter_select(
                 ("canonical_json", "wall_time_s"),
@@ -238,6 +268,10 @@ class ResultStore:
                 offset=offset,
             )
         ]
+        if _METRICS.enabled:
+            _M_QUERIES.inc()
+            _M_QUERY_SECONDS.observe(time.perf_counter() - start)
+        return reports
 
     def count(
         self,

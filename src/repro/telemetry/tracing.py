@@ -1,0 +1,289 @@
+"""Span tracing with deterministic ids, JSONL sinks, and sampling.
+
+Traces ride on the same identity the store does: a scenario's trace id
+is the first 32 hex digits of its cache key, and a lease's trace id is
+derived from the sorted cache keys it carries — so the coordinator, a
+worker, and a local ``run_batch`` all mint the *same* id for the same
+work without coordinating. Span ids are likewise derived (trace id +
+span name + parent), which keeps a re-run byte-comparable and means a
+trace can be stitched across processes from nothing but the JSONL files
+they wrote.
+
+The coordinator propagates a lease's trace id to its worker in the
+``X-Repro-Trace`` response header (:data:`TRACE_HEADER`) and in the
+lease body's ``trace`` field; the :class:`~repro.service.client
+.ServiceClient` captures the header into ``client.last_trace``.
+
+Writing is handled by a :class:`TraceSink`: one JSONL line per span,
+sampled two ways so million-node sweeps stay bounded:
+
+* ``rate`` — a deterministic per-trace coin (hash of the trace id, not
+  ``random``), so every process samples the *same* subset of traces;
+* ``allow`` — an algorithm allowlist that bypasses the rate, for "trace
+  every ``rlnc_decay`` run no matter what" debugging.
+
+Like metrics, spans never enter canonical report bytes; the global
+:data:`TRACER` is disabled unless configured (``REPRO_TRACE=...`` env
+or :meth:`Tracer.configure`), and the disabled check is one attribute
+read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "TRACE_HEADER",
+    "TraceSink",
+    "Tracer",
+    "TRACER",
+    "configure_from_env",
+    "trace_id_for_key",
+    "trace_id_for_keys",
+    "span_id_for",
+    "read_trace_file",
+]
+
+#: the HTTP header a coordinator answers lease checkouts with
+TRACE_HEADER = "X-Repro-Trace"
+
+#: hex digits in a trace id / span id
+_TRACE_DIGITS = 32
+_SPAN_DIGITS = 16
+
+
+def trace_id_for_key(cache_key: str) -> str:
+    """A scenario's trace id: the cache key's leading 128 bits.
+
+    The cache key is already a SHA-256 of the canonical scenario, so its
+    prefix is uniform and collision-safe at trace-id width; deriving
+    rather than re-hashing keeps the id greppable against store keys.
+    """
+    if not cache_key:
+        return ""
+    return cache_key[:_TRACE_DIGITS]
+
+
+def trace_id_for_keys(cache_keys: Iterable[str]) -> str:
+    """A deterministic trace id for a group of scenarios (a lease).
+
+    Sorted before hashing so every holder of the same scenario set —
+    the coordinator that granted the lease, the worker that ran it —
+    derives the identical id.
+    """
+    keys = sorted(key for key in cache_keys if key)
+    if not keys:
+        return ""
+    digest = hashlib.sha256(",".join(keys).encode("ascii")).hexdigest()
+    return digest[:_TRACE_DIGITS]
+
+
+def span_id_for(trace_id: str, name: str, parent: str = "") -> str:
+    """A deterministic span id within a trace."""
+    digest = hashlib.sha256(
+        f"{trace_id}/{parent}/{name}".encode("utf-8")
+    ).hexdigest()
+    return digest[:_SPAN_DIGITS]
+
+
+class TraceSink:
+    """An append-only JSONL span writer with deterministic sampling.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file (created/appended; one JSON object per line).
+    rate:
+        Fraction of traces written, decided per *trace id* by hashing
+        it — every process with the same rate keeps the same traces.
+    allow:
+        Algorithm names sampled unconditionally (the per-scenario
+        allowlist); empty means rate-only.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        rate: float = 1.0,
+        allow: Sequence[str] = (),
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.path = str(path)
+        self.rate = float(rate)
+        self.allow = frozenset(allow)
+        self._lock = threading.Lock()
+        self._file: Optional[Any] = None
+        self.written = 0
+        self.sampled_out = 0
+
+    def should_sample(
+        self, trace_id: str, algorithm: Optional[str] = None
+    ) -> bool:
+        """The sampling decision for one trace (pure, deterministic)."""
+        if not trace_id:
+            return False
+        if algorithm is not None and algorithm in self.allow:
+            return True
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        # the id is already a hash prefix: its leading 32 bits are a
+        # uniform coin shared by every process tracing this id
+        coin = int(trace_id[:8], 16) / float(1 << 32)
+        return coin < self.rate
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class Tracer:
+    """The process-wide span recorder (one, module-level, off unless
+    configured — mirroring :data:`~repro.telemetry.metrics.METRICS`)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.sink: Optional[TraceSink] = None
+
+    def configure(self, sink: Optional[TraceSink]) -> None:
+        """Install (or remove, with None) the sink; flips ``enabled``."""
+        previous = self.sink
+        self.sink = sink
+        self.enabled = sink is not None
+        if previous is not None and previous is not sink:
+            previous.close()
+
+    def record_span(
+        self,
+        name: str,
+        trace_id: str,
+        duration_s: float,
+        parent: str = "",
+        algorithm: Optional[str] = None,
+        **attrs: Any,
+    ) -> bool:
+        """Write one already-timed span; returns True iff it was kept.
+
+        The non-context-manager form: hot callers (the runner) time
+        work they were timing anyway and record after the fact, so the
+        disabled path stays a single ``TRACER.enabled`` read.
+        """
+        sink = self.sink
+        if sink is None or not sink.should_sample(trace_id, algorithm):
+            if sink is not None:
+                sink.sampled_out += 1
+            return False
+        record = {
+            "trace": trace_id,
+            "span": span_id_for(trace_id, name, parent),
+            "parent": parent,
+            "name": name,
+            "t": round(time.time(), 6),
+            "duration_s": round(duration_s, 9),
+        }
+        if algorithm is not None:
+            attrs = {"algorithm": algorithm, **attrs}
+        if attrs:
+            record["attrs"] = attrs
+        sink.write(record)
+        return True
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: str,
+        parent: str = "",
+        algorithm: Optional[str] = None,
+        **attrs: Any,
+    ) -> Iterator[Optional[dict[str, Any]]]:
+        """Time a block as one span.
+
+        Yields the span's mutable attrs dict when the trace is sampled
+        (append outcome fields to it) and None when it is not — so
+        callers can skip building expensive attributes for dropped
+        spans. The span is written even if the block raises (with
+        ``error`` set), then the exception propagates.
+        """
+        sink = self.sink
+        if sink is None or not sink.should_sample(trace_id, algorithm):
+            if sink is not None:
+                sink.sampled_out += 1
+            yield None
+            return
+        span_attrs: dict[str, Any] = dict(attrs)
+        start = time.perf_counter()
+        try:
+            yield span_attrs
+        except BaseException as error:
+            span_attrs["error"] = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self.record_span(
+                name,
+                trace_id,
+                time.perf_counter() - start,
+                parent=parent,
+                algorithm=algorithm,
+                **span_attrs,
+            )
+
+
+def read_trace_file(path: str) -> list[dict[str, Any]]:
+    """Parse a TraceSink JSONL file (skipping blank lines)."""
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+#: the process-wide tracer; see :func:`configure_from_env`
+TRACER = Tracer()
+
+
+def configure_from_env(environ: Optional[dict[str, str]] = None) -> bool:
+    """Configure :data:`TRACER` from the environment; True if enabled.
+
+    ``REPRO_TRACE=path.jsonl`` turns tracing on; ``REPRO_TRACE_RATE``
+    (default 1.0) and ``REPRO_TRACE_ALLOW`` (comma-separated algorithm
+    names) tune the sink's sampling. Called once at import so every
+    entry point — CLI, worker, service, tests — honors the variables
+    without plumbing.
+    """
+    env = os.environ if environ is None else environ
+    path = env.get("REPRO_TRACE", "")
+    if not path:
+        return False
+    rate = float(env.get("REPRO_TRACE_RATE", "1.0"))
+    allow = [
+        name.strip()
+        for name in env.get("REPRO_TRACE_ALLOW", "").split(",")
+        if name.strip()
+    ]
+    TRACER.configure(TraceSink(path, rate=rate, allow=allow))
+    return True
+
+
+configure_from_env()

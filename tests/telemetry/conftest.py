@@ -1,0 +1,15 @@
+"""Telemetry tests mutate process-wide singletons; restore them."""
+
+import pytest
+
+from repro.telemetry import METRICS, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry_globals():
+    enabled = METRICS.enabled
+    sink = TRACER.sink
+    yield
+    METRICS.enabled = enabled
+    if TRACER.sink is not sink:
+        TRACER.configure(sink)

@@ -1,0 +1,110 @@
+"""The observability invariant: telemetry never changes canonical bytes.
+
+Runs the same scenario grid with the global registry + tracer fully off
+and fully on (rate 1.0, so every span actually writes), through both the
+serial runner and the in-process farm coordinator, and asserts the
+canonical report JSON — and the store contents behind it — are
+byte-identical.
+"""
+
+import pytest
+
+from repro.core.faults import FaultConfig
+from repro.farm import Coordinator
+from repro.runner import Scenario, expand_grid, run_batch
+from repro.service.jobs import Job
+from repro.store import ResultStore
+from repro.telemetry import METRICS, TRACER, TraceSink
+
+
+def _grid():
+    """A small multi-algorithm grid; rlnc_decay exercises the RLNC
+    decode counters, decay the channel counters."""
+    scenarios = []
+    for algorithm, params in (("decay", {}), ("rlnc_decay", {"k": 2})):
+        base = Scenario(
+            algorithm=algorithm,
+            topology="path",
+            topology_params={"n": 16},
+            params=params,
+            faults=FaultConfig.receiver(0.2),
+        )
+        scenarios.extend(expand_grid(base, seeds=range(3)))
+    return scenarios
+
+
+@pytest.fixture()
+def telemetry_on(tmp_path):
+    """Flip the global registry + tracer on; conftest restores them."""
+    METRICS.enable()
+    TRACER.configure(TraceSink(str(tmp_path / "identity.jsonl"), rate=1.0))
+    yield
+    TRACER.configure(None)
+    METRICS.disable()
+
+
+def _canonical_off(scenarios):
+    METRICS.disable()
+    sink = TRACER.sink
+    TRACER.configure(None)
+    try:
+        return [r.to_json(canonical=True) for r in run_batch(scenarios)]
+    finally:
+        TRACER.configure(sink)
+
+
+class TestRunnerPath:
+    def test_report_bytes_identical_with_telemetry_on(self, telemetry_on):
+        scenarios = _grid()
+        off = _canonical_off(scenarios)
+        METRICS.enable()
+        on = [r.to_json(canonical=True) for r in run_batch(scenarios)]
+        assert on == off
+        # the run was actually observed, not silently un-instrumented
+        assert TRACER.sink.written == len(scenarios)
+        assert METRICS.get("repro_runner_runs_total").value >= len(scenarios)
+
+    def test_store_contents_identical(self, telemetry_on, tmp_path):
+        scenarios = _grid()
+        with ResultStore(str(tmp_path / "on.db")) as store:
+            store.put_many(run_batch(scenarios))
+            on = {s.cache_key(): store.get_json(s.cache_key())
+                  for s in scenarios}
+        off = dict(zip((s.cache_key() for s in scenarios),
+                       _canonical_off(scenarios)))
+        assert on == off
+
+
+class TestFarmPath:
+    def _farm_store_bytes(self, tmp_path, tag, scenarios):
+        """Drain the grid through an in-process coordinator."""
+        with ResultStore(str(tmp_path / f"{tag}.db")) as store:
+            coordinator = Coordinator(
+                store, lease_scenarios=4, lease_timeout=30.0
+            )
+            coordinator.add_job(Job(f"job-{tag}", scenarios))
+            worker = coordinator.register(tag)["worker"]
+            while True:
+                lease = coordinator.lease(worker)
+                if lease is None:
+                    break
+                leased = [Scenario.from_dict(s) for s in lease["scenarios"]]
+                coordinator.complete(
+                    lease["id"], worker, run_batch(leased),
+                    executed=len(leased),
+                )
+            return {s.cache_key(): store.get_json(s.cache_key())
+                    for s in scenarios}
+
+    def test_farmed_store_identical_with_telemetry_on(
+        self, telemetry_on, tmp_path
+    ):
+        scenarios = _grid()
+        on = self._farm_store_bytes(tmp_path, "on", scenarios)
+        serial = dict(zip((s.cache_key() for s in scenarios),
+                          _canonical_off(scenarios)))
+        METRICS.disable()
+        TRACER.configure(None)
+        off = self._farm_store_bytes(tmp_path, "off", scenarios)
+        assert on == off == serial
+        assert None not in on.values()

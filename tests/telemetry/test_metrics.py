@@ -1,0 +1,143 @@
+"""Metric primitives: counters, gauges, histograms, and the registry."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_labeled_children_are_separate(self):
+        counter = Counter("c_total", labelnames=("method", "route"))
+        counter.inc_labels(("GET", "health"))
+        counter.inc_labels(("GET", "health"), 2)
+        counter.inc_labels(("POST", "jobs"))
+        samples = dict(counter.samples())
+        assert samples['{method="GET",route="health"}'] == 3
+        assert samples['{method="POST",route="jobs"}'] == 1
+
+    def test_wrong_label_arity_raises(self):
+        counter = Counter("c_total", labelnames=("method",))
+        with pytest.raises(ValueError):
+            counter.inc_labels(("GET", "health"))
+
+    def test_reset_zeroes_value_and_children(self):
+        counter = Counter("c_total", labelnames=("k",))
+        counter.inc()
+        counter.inc_labels(("a",))
+        counter.reset()
+        assert counter.value == 0
+        assert counter.to_dict() == {"kind": "counter", "value": 0}
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("c_total")
+        per_thread = 10_000
+
+        def spin():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8 * per_thread
+
+
+class TestGauge:
+    def test_set_and_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 8
+        assert gauge.to_dict()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram("h_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+        assert histogram.cumulative() == [
+            (0.1, 1), (1.0, 2), (float("inf"), 3),
+        ]
+
+    def test_to_dict_uses_inf_key(self):
+        histogram = Histogram("h_seconds", buckets=(1.0,))
+        histogram.observe(2.0)
+        assert histogram.to_dict()["buckets"] == {"1": 0, "+Inf": 1}
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.5))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        assert MetricsRegistry().enabled is False
+        assert MetricsRegistry(enabled=True).enabled is True
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help text")
+        second = registry.counter("c_total")
+        assert first is second
+        assert registry.names() == ["c_total"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("seam")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("seam")
+
+    def test_gauge_is_not_a_counter_despite_subclassing(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("g")
+
+    def test_enable_disable_flip_the_flag(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        assert registry.enabled
+        registry.disable()
+        assert not registry.enabled
+
+    def test_reset_keeps_registrations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc(9)
+        registry.reset()
+        assert registry.get("c_total") is counter
+        assert counter.value == 0
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"] == {"kind": "counter", "value": 2}
+        assert snapshot["h_seconds"]["count"] == 1

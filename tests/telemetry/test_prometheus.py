@@ -1,0 +1,86 @@
+"""Prometheus text exposition (format 0.0.4): a golden-output test.
+
+The exposition is an interface other software parses; this pins the
+exact bytes a known registry renders so formatting regressions
+(floats growing ``.0``, label ordering, bucket cumulation) fail loudly.
+"""
+
+import re
+
+from repro.telemetry.metrics import MetricsRegistry
+
+GOLDEN = """\
+# HELP t_requests_total Requests handled.
+# TYPE t_requests_total counter
+t_requests_total{method="GET",route="health"} 2
+t_requests_total{method="POST",route="jobs"} 1
+# HELP t_queue_depth Scenarios pending.
+# TYPE t_queue_depth gauge
+t_queue_depth 7
+# HELP t_put_seconds Store put latency.
+# TYPE t_put_seconds histogram
+t_put_seconds_bucket{le="0.1"} 1
+t_put_seconds_bucket{le="1"} 2
+t_put_seconds_bucket{le="+Inf"} 3
+t_put_seconds_sum 2.5625
+t_put_seconds_count 3
+"""
+
+#: one exposition sample: name{labels} value
+_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})?'
+    r" -?[0-9.e+-]+$"
+)
+
+
+def _golden_registry():
+    registry = MetricsRegistry(enabled=True)
+    requests = registry.counter(
+        "t_requests_total", "Requests handled.", labelnames=("method", "route")
+    )
+    requests.inc_labels(("GET", "health"))
+    requests.inc_labels(("GET", "health"))
+    requests.inc_labels(("POST", "jobs"))
+    registry.gauge("t_queue_depth", "Scenarios pending.").set(7)
+    latency = registry.histogram(
+        "t_put_seconds", "Store put latency.", buckets=(0.1, 1.0)
+    )
+    # dyadic observations: the sum (2.5625) is float-exact, so the
+    # golden text is stable across platforms
+    for value in (0.0625, 0.5, 2.0):
+        latency.observe(value)
+    return registry
+
+
+class TestExposition:
+    def test_golden_output(self):
+        assert _golden_registry().prometheus_text() == GOLDEN
+
+    def test_every_sample_line_is_well_formed(self):
+        for line in _golden_registry().prometheus_text().splitlines():
+            if line.startswith("#"):
+                continue
+            assert _SAMPLE.match(line), line
+
+    def test_ends_with_single_newline(self):
+        text = _golden_registry().prometheus_text()
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        weird = registry.counter("t_weird_total", labelnames=("path",))
+        weird.inc_labels(('a"b\\c\nd',))
+        text = registry.prometheus_text()
+        assert 't_weird_total{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_integer_floats_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.gauge("t_whole").set(3.0)
+        assert "t_whole 3\n" in registry.prometheus_text()
+
+    def test_help_omitted_when_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("t_bare_total").inc()
+        text = registry.prometheus_text()
+        assert "# HELP" not in text
+        assert "# TYPE t_bare_total counter" in text

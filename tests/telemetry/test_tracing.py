@@ -1,0 +1,186 @@
+"""Span tracing: deterministic ids, sampling, JSONL sinks, env config."""
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import (
+    TRACER,
+    TraceSink,
+    Tracer,
+    configure_from_env,
+    read_trace_file,
+    span_id_for,
+    trace_id_for_key,
+    trace_id_for_keys,
+)
+
+KEY = "ab" * 32  # a plausible 64-hex cache key
+
+
+class TestIds:
+    def test_trace_id_is_cache_key_prefix(self):
+        assert trace_id_for_key(KEY) == KEY[:32]
+        assert trace_id_for_key("") == ""
+
+    def test_group_id_is_order_insensitive(self):
+        assert trace_id_for_keys(["b" * 64, "a" * 64]) == trace_id_for_keys(
+            ["a" * 64, "b" * 64]
+        )
+        assert trace_id_for_keys([]) == ""
+        assert trace_id_for_keys(["", ""]) == ""
+
+    def test_group_id_differs_from_member_ids(self):
+        group = trace_id_for_keys([KEY])
+        assert len(group) == 32
+        assert group != trace_id_for_key(KEY)
+
+    def test_span_ids_are_deterministic_and_distinct(self):
+        trace = trace_id_for_key(KEY)
+        assert span_id_for(trace, "runner.run") == span_id_for(
+            trace, "runner.run"
+        )
+        assert span_id_for(trace, "runner.run") != span_id_for(
+            trace, "worker.lease"
+        )
+        assert span_id_for(trace, "a", parent="p") != span_id_for(trace, "a")
+        assert len(span_id_for(trace, "a")) == 16
+
+
+class TestSampling:
+    def test_rate_extremes(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"), rate=1.0)
+        assert sink.should_sample("deadbeef" * 4)
+        sink = TraceSink(str(tmp_path / "t.jsonl"), rate=0.0)
+        assert not sink.should_sample("deadbeef" * 4)
+
+    def test_rate_coin_is_the_trace_id_prefix(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"), rate=0.5)
+        for trace_id in ("00000000" + "0" * 24, "ffffffff" + "0" * 24):
+            coin = int(trace_id[:8], 16) / float(1 << 32)
+            assert sink.should_sample(trace_id) == (coin < 0.5)
+
+    def test_two_sinks_keep_the_same_traces(self, tmp_path):
+        ids = [trace_id_for_key(f"{i:064x}") for i in range(64)]
+        a = TraceSink(str(tmp_path / "a.jsonl"), rate=0.3)
+        b = TraceSink(str(tmp_path / "b.jsonl"), rate=0.3)
+        assert [a.should_sample(t) for t in ids] == [
+            b.should_sample(t) for t in ids
+        ]
+
+    def test_allowlist_bypasses_the_rate(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"), rate=0.0, allow=("decay",))
+        trace = trace_id_for_key(KEY)
+        assert sink.should_sample(trace, algorithm="decay")
+        assert not sink.should_sample(trace, algorithm="fastbc")
+        assert not sink.should_sample(trace)
+
+    def test_empty_trace_id_never_sampled(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "t.jsonl"), rate=1.0)
+        assert not sink.should_sample("")
+
+    def test_bad_rate_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceSink(str(tmp_path / "t.jsonl"), rate=1.5)
+
+
+class TestTracer:
+    def test_record_span_writes_jsonl(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.configure(TraceSink(path))
+        trace = trace_id_for_key(KEY)
+        assert tracer.record_span(
+            "runner.run", trace, 0.25, algorithm="decay", rounds=12
+        )
+        tracer.configure(None)
+        (record,) = read_trace_file(path)
+        assert record["trace"] == trace
+        assert record["span"] == span_id_for(trace, "runner.run")
+        assert record["duration_s"] == 0.25
+        assert record["attrs"] == {"algorithm": "decay", "rounds": 12}
+
+    def test_unsampled_span_counts_but_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.configure(TraceSink(path, rate=0.0))
+        assert not tracer.record_span("x", trace_id_for_key(KEY), 0.1)
+        assert tracer.sink.sampled_out == 1
+        assert tracer.sink.written == 0
+        tracer.configure(None)
+
+    def test_span_context_manager_times_and_takes_attrs(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.configure(TraceSink(path))
+        with tracer.span("work", trace_id_for_key(KEY), lease="L1") as attrs:
+            assert attrs is not None
+            attrs["executed"] = 3
+        tracer.configure(None)
+        (record,) = read_trace_file(path)
+        assert record["name"] == "work"
+        assert record["attrs"]["lease"] == "L1"
+        assert record["attrs"]["executed"] == 3
+        assert record["duration_s"] >= 0.0
+
+    def test_span_records_errors_and_reraises(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.configure(TraceSink(path))
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom", trace_id_for_key(KEY)):
+                raise RuntimeError("simulated")
+        tracer.configure(None)
+        (record,) = read_trace_file(path)
+        assert record["attrs"]["error"] == "RuntimeError: simulated"
+
+    def test_unsampled_context_yields_none(self, tmp_path):
+        tracer = Tracer()
+        tracer.configure(TraceSink(str(tmp_path / "t.jsonl"), rate=0.0))
+        with tracer.span("x", trace_id_for_key(KEY)) as attrs:
+            assert attrs is None
+        tracer.configure(None)
+
+    def test_disabled_tracer_has_no_sink(self):
+        tracer = Tracer()
+        assert not tracer.enabled
+        assert tracer.sink is None
+
+    def test_jsonl_lines_are_sorted_and_parseable(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.configure(TraceSink(path))
+        tracer.record_span("a", trace_id_for_key(KEY), 0.1)
+        tracer.record_span("b", trace_id_for_key(KEY), 0.2)
+        tracer.configure(None)
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert list(record) == sorted(record)
+
+
+class TestEnvConfig:
+    def test_disabled_without_variable(self):
+        previous = TRACER.sink
+        try:
+            assert configure_from_env({}) is False
+        finally:
+            TRACER.configure(previous)
+
+    def test_path_rate_and_allowlist(self, tmp_path):
+        previous = TRACER.sink
+        path = str(tmp_path / "env.jsonl")
+        try:
+            assert configure_from_env({
+                "REPRO_TRACE": path,
+                "REPRO_TRACE_RATE": "0.25",
+                "REPRO_TRACE_ALLOW": "decay, rlnc_decay",
+            })
+            assert TRACER.enabled
+            assert TRACER.sink.path == path
+            assert TRACER.sink.rate == 0.25
+            assert TRACER.sink.allow == {"decay", "rlnc_decay"}
+        finally:
+            TRACER.configure(previous)
