@@ -89,6 +89,7 @@ from repro.runner import (
     sweep,
 )
 from repro.store import ResultStore
+from repro.timeline import Timeline, TimelineConfig
 from repro.topologies import (
     grid,
     gnp,
@@ -115,6 +116,8 @@ __all__ = [
     "RunReport",
     "Scenario",
     "Simulator",
+    "Timeline",
+    "TimelineConfig",
     "adaptive_sweep",
     "aggregate",
     "all_adversaries",

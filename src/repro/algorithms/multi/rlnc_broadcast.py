@@ -39,6 +39,7 @@ from repro.core.protocol import NodeProtocol
 from repro.core.trace import ChannelCounters
 from repro.gbst.gbst import build_gbst
 from repro.gbst.ranked_bfs import RankedBFSTree
+from repro.timeline.recorder import NULL_TIMELINE
 from repro.util.rng import RandomSource, spawn_rng
 from repro.util.validation import check_positive
 
@@ -92,6 +93,9 @@ class RLNCGossipProtocol(NodeProtocol):
         self.encoder = encoder
         self.rng = rng
         self.active = encoder.can_transmit()
+        # flight recorder for rank progress; _run_gossip swaps in the
+        # bound recorder when a timeline capture is armed
+        self.timeline = NULL_TIMELINE
 
     def act(self, round_index: int) -> Optional[CodedPacket]:
         if not self.encoder.can_transmit():
@@ -101,8 +105,10 @@ class RLNCGossipProtocol(NodeProtocol):
         return self.encoder.emit(self.rng)
 
     def on_receive(self, round_index: int, packet, sender: int) -> None:
-        self.encoder.receive(packet)
+        innovative = self.encoder.receive(packet)
         self.active = True
+        if innovative and self.timeline.enabled:
+            self.timeline.note_innovative()
 
     def is_done(self) -> bool:
         return self.encoder.is_complete()
@@ -213,6 +219,13 @@ def _run_gossip(
             RLNCGossipProtocol(patterns[v], encoder, rng.spawn())
         )
     sim = Simulator(network, protocols, faults, rng.spawn(), adversary=adversary)
+    timeline = sim.channel.timeline
+    if timeline.enabled:
+        # rank progress rides the same recorder the channel feeds; the
+        # open bucket absorbs innovative receptions of the round just
+        # resolved (deliveries dispatch after the channel epilogue)
+        for protocol in protocols:
+            protocol.timeline = timeline
     executed = sim.run(max_rounds)
     return MultiMessageOutcome(
         success=sim.all_done(),

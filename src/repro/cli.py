@@ -33,6 +33,9 @@ Usage::
     repro top --connect http://127.0.0.1:8765
     repro trace show spans.jsonl --limit 20
     repro trace summarize spans.jsonl
+    repro timeline show results.db --key CACHE_KEY
+    repro timeline curve timeline.json --format markdown
+    repro timeline diff results.db --key-a KEY_A --key-b KEY_B
     repro bench --scale smoke --output BENCH_hotpaths.json
 """
 
@@ -357,6 +360,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "summarize", help="per-span-name counts and durations"
     )
     smz.add_argument("path", help="a TraceSink JSONL file")
+
+    tml = sub.add_parser(
+        "timeline",
+        help=(
+            "inspect flight-recorder timelines: scalar summary, informed "
+            "wavefront, and run-divergence diffing"
+        ),
+    )
+    tml_sub = tml.add_subparsers(dest="action", required=True)
+    format_kwargs = {
+        "choices": ("text", "markdown", "json"),
+        "default": "text",
+        "help": "output format (default text)",
+    }
+    tshw = tml_sub.add_parser(
+        "show", help="scalar progress summary + loss attribution"
+    )
+    tcrv = tml_sub.add_parser(
+        "curve", help="the informed wavefront, one row per bucket"
+    )
+    for parser_ in (tshw, tcrv):
+        parser_.add_argument(
+            "source",
+            help="a timeline JSON file, or a result store path with --key",
+        )
+        parser_.add_argument(
+            "--key",
+            default=None,
+            metavar="CACHE_KEY",
+            help=(
+                "treat SOURCE as a result store and load the timeline "
+                "sidecar stored under this report cache key"
+            ),
+        )
+        parser_.add_argument("--format", **format_kwargs)
+    tcrv.add_argument(
+        "--limit", type=int, default=None, help="buckets printed (default all)"
+    )
+    tdif = tml_sub.add_parser(
+        "diff",
+        help="align two timelines and bisect the first diverging round",
+    )
+    tdif.add_argument(
+        "a", help="first timeline: a JSON file, or a store path with --key-a"
+    )
+    tdif.add_argument(
+        "b",
+        nargs="?",
+        default=None,
+        help=(
+            "second timeline; omit to load both sidecars from the first "
+            "source's store (requires --key-a and --key-b)"
+        ),
+    )
+    tdif.add_argument(
+        "--key-a", default=None, metavar="CACHE_KEY",
+        help="treat A as a result store; load this report's sidecar",
+    )
+    tdif.add_argument(
+        "--key-b", default=None, metavar="CACHE_KEY",
+        help="treat B (or A when B is omitted) as a result store",
+    )
+    tdif.add_argument("--format", **format_kwargs)
 
     sto = sub.add_parser(
         "store",
@@ -1227,7 +1293,13 @@ def _command_trace(args: argparse.Namespace) -> int:
     if not os.path.exists(args.path):
         print(f"no trace file at {args.path!r}", file=sys.stderr)
         return 2
-    records = read_trace_file(args.path)
+    try:
+        records = read_trace_file(args.path)
+    except (ValueError, KeyError, TypeError) as error:
+        print(
+            f"cannot parse trace file {args.path!r}: {error}", file=sys.stderr
+        )
+        return 2
     if args.action == "show":
         if args.trace:
             records = [
@@ -1272,6 +1344,122 @@ def _command_trace(args: argparse.Namespace) -> int:
             round(peak * 1000.0, 3),
         )
     print(table.to_text())
+    return 0
+
+
+def _load_timeline(path: str, key: Optional[str]):
+    """Load a Timeline from a JSON file (or a store sidecar with ``key``).
+
+    Prints a one-line error and returns None on any failure, so callers
+    can turn it straight into exit code 2.
+    """
+    import os
+
+    from repro.timeline import Timeline
+
+    if key is not None:
+        if not os.path.exists(path):
+            print(f"no store at {path!r}", file=sys.stderr)
+            return None
+        store = _open_store(path)
+        if store is None:
+            return None
+        with store:
+            timeline = store.get_timeline(key)
+        if timeline is None:
+            print(
+                f"no timeline stored under {key!r} in {path!r}",
+                file=sys.stderr,
+            )
+            return None
+        return timeline
+    if not os.path.exists(path):
+        print(f"no timeline file at {path!r}", file=sys.stderr)
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return Timeline.from_json(handle.read())
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"cannot parse timeline {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def _command_timeline(args: argparse.Namespace) -> int:
+    from repro.timeline.analyze import progress_curve, summarize
+    from repro.timeline.diff import diff_timelines
+    from repro.util.tables import Table
+
+    if args.action == "diff":
+        if args.b is None and (args.key_a is None or args.key_b is None):
+            print(
+                "timeline diff needs two sources: two files, two "
+                "store/--key pairs, or one store with --key-a and --key-b",
+                file=sys.stderr,
+            )
+            return 2
+        a = _load_timeline(args.a, args.key_a)
+        if a is None:
+            return 2
+        b = _load_timeline(args.b if args.b is not None else args.a, args.key_b)
+        if b is None:
+            return 2
+        try:
+            diff = diff_timelines(a, b)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(diff.to_json(indent=2))
+        else:
+            print(_render(diff.to_table(), args.format))
+        return 0
+
+    timeline = _load_timeline(args.source, args.key)
+    if timeline is None:
+        return 2
+
+    if args.action == "curve":
+        points = progress_curve(timeline)
+        if args.limit is not None:
+            points = points[: args.limit]
+        if args.format == "json":
+            print(json.dumps(points, indent=2, sort_keys=True))
+            return 0
+        table = Table(
+            ("round", "informed", "fraction", "new_informed", "deliveries"),
+            title=(
+                f"informed wavefront: n={timeline.n} every={timeline.every}"
+            ),
+        )
+        for point in points:
+            table.add_row(
+                point["round"],
+                point["informed"],
+                round(point["fraction"], 4),
+                point["new_informed"],
+                point["deliveries"],
+            )
+        print(_render(table, args.format))
+        return 0
+
+    # show
+    summary = summarize(timeline)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        ("metric", "value"),
+        title=(
+            f"timeline: n={timeline.n} rounds={timeline.rounds} "
+            f"every={timeline.every}"
+        ),
+    )
+    for name in sorted(summary):
+        value = summary[name]
+        if isinstance(value, float):
+            value = round(value, 4)
+        table.add_row(name, value)
+    print(_render(table, args.format))
     return 0
 
 
@@ -1323,6 +1511,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "trace":
         return _command_trace(args)
+
+    if args.command == "timeline":
+        return _command_timeline(args)
 
     if args.command == "analyze":
         return _command_analyze(args)

@@ -26,6 +26,8 @@ from repro.core.packets import Packet
 from repro.core.protocol import NodeProtocol
 from repro.core.trace import ChannelCounters, TraceRecorder
 from repro.telemetry.metrics import METRICS as _METRICS
+from repro.timeline.capture import maybe_bind_simulator
+from repro.timeline.recorder import NULL_TIMELINE
 from repro.util.rng import RandomSource, spawn_rng
 
 __all__ = ["Channel", "Delivery", "RoundResult", "Simulator"]
@@ -43,6 +45,13 @@ _M_DELIVERIES = _METRICS.counter(
 )
 _M_COLLISIONS = _METRICS.counter(
     "repro_channel_collisions_total", "listeners silenced by collisions"
+)
+_M_SENDER_FAULTS = _METRICS.counter(
+    "repro_channel_sender_faults_total", "broadcaster-rounds that sent noise"
+)
+_M_RECEIVER_FAULTS = _METRICS.counter(
+    "repro_channel_receiver_faults_total",
+    "unique receptions replaced by noise at the receiver",
 )
 
 
@@ -141,6 +150,10 @@ class Channel:
         self.faults = faults
         self.rng = spawn_rng(rng)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        # flight recorder (repro.timeline): the disabled default is a
+        # module-level null object, so the round epilogue pays one
+        # attribute read + branch when no timeline capture is armed
+        self.timeline = NULL_TIMELINE
         self.kernel = kernel
         self.counters = ChannelCounters()
         self.round_index = 0
@@ -206,12 +219,21 @@ class Channel:
                     f"broadcast action for invalid node {b!r} (n={n})"
                 )
         result = RoundResult(round_index=self.round_index)
-        self.counters.rounds += 1
-        self.counters.broadcasts += len(actions)
+        counters = self.counters
+        metrics_on = _METRICS.enabled
+        # receiver faults are folded into result.noise_receivers together
+        # with sender-silenced listeners; the exact per-round split only
+        # exists as a counter delta
+        faults_before = counters.receiver_faults if metrics_on else 0
+        counters.rounds += 1
+        counters.broadcasts += len(actions)
         if actions:
             resolver(actions, result)
         self.round_index += 1
-        if _METRICS.enabled:
+        timeline = self.timeline
+        if timeline.enabled:
+            timeline.on_round(result.round_index, counters, result.deliveries)
+        if metrics_on:
             _M_ROUNDS.inc()
             if actions:
                 _M_BROADCASTS.inc(len(actions))
@@ -219,6 +241,11 @@ class Channel:
                     _M_DELIVERIES.inc(len(result.deliveries))
                 if result.collision_receivers:
                     _M_COLLISIONS.inc(len(result.collision_receivers))
+                if result.faulty_senders:
+                    _M_SENDER_FAULTS.inc(len(result.faulty_senders))
+                receiver_faults = counters.receiver_faults - faults_before
+                if receiver_faults:
+                    _M_RECEIVER_FAULTS.inc(receiver_faults)
         return result
 
     def _resolve_auto(self, actions: dict[int, Packet], result: RoundResult) -> None:
@@ -462,6 +489,9 @@ class Simulator:
         self.channel = Channel(
             network, faults, rng, trace, kernel=kernel, adversary=adversary
         )
+        # an armed timeline capture (repro.timeline.capture) binds its
+        # flight recorder to the first simulator built inside the context
+        maybe_bind_simulator(self)
 
     @property
     def counters(self) -> ChannelCounters:

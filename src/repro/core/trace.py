@@ -7,6 +7,7 @@ would otherwise accumulate millions of event records.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -69,14 +70,18 @@ class TraceRecorder:
         When False (default) the recorder is a no-op and costs one branch
         per call site.
     max_events:
-        Safety cap; recording silently stops past the cap (the counters in
-        :class:`ChannelCounters` stay exact regardless).
+        Safety cap; recording stops past the cap (the counters in
+        :class:`ChannelCounters` stay exact regardless). Overflow is
+        accounted, not silent: ``dropped`` counts the events lost to the
+        cap, :meth:`as_dict` exposes it, and the first drop emits one
+        :class:`RuntimeWarning`.
     """
 
     def __init__(self, enabled: bool = False, max_events: int = 1_000_000) -> None:
         self.enabled = enabled
         self.max_events = max_events
         self.events: list[TraceEvent] = []
+        self.dropped = 0
 
     def record(
         self,
@@ -86,9 +91,30 @@ class TraceRecorder:
         peer: Optional[int] = None,
         detail: Any = None,
     ) -> None:
-        if not self.enabled or len(self.events) >= self.max_events:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"TraceRecorder hit its {self.max_events}-event cap; "
+                    "further events are dropped (counted in .dropped). "
+                    "Raise max_events or use a Scenario.timeline config "
+                    "for bounded per-round recording.",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self.dropped += 1
             return
         self.events.append(TraceEvent(round_index, kind, node, peer, detail))
+
+    def as_dict(self) -> dict[str, Any]:
+        """Recording status summary (capacity, recorded, dropped)."""
+        return {
+            "enabled": self.enabled,
+            "max_events": self.max_events,
+            "recorded": len(self.events),
+            "dropped": self.dropped,
+        }
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -98,6 +124,7 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)

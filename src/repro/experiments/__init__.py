@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401  (import = registration)
     e19_single_link_gap,
     e20_adversary_gap,
     e21_certified_gap,
+    e22_timeline_wavefront,
     x1_open_problem,
 )
 from repro.experiments.common import Experiment, all_experiments, get_experiment

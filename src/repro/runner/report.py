@@ -42,6 +42,12 @@ class RunReport:
     It is empty — and omitted from :meth:`to_dict` — for reports that
     predate the store or ran an explicit (non-serializable) network, so
     their canonical bytes are unchanged.
+
+    ``timeline`` is the run's flight-recorder payload (the canonical
+    dict of a :class:`~repro.timeline.Timeline`), attached when the
+    scenario opted in. Like ``wall_time_s`` it stays outside the
+    canonical form — the store persists it as a sidecar keyed by
+    ``cache_key``, not inside the report bytes.
     """
 
     scenario: dict
@@ -56,6 +62,7 @@ class RunReport:
     network_name: str = ""
     wall_time_s: float = 0.0
     cache_key: str = ""
+    timeline: "dict | None" = None
 
     @property
     def informed_fraction(self) -> float:
@@ -79,6 +86,8 @@ class RunReport:
             data["cache_key"] = self.cache_key
         if include_timing:
             data["wall_time_s"] = self.wall_time_s
+            if self.timeline is not None:
+                data["timeline"] = dict(self.timeline)
         return data
 
     def to_json(self, indent: "int | None" = None, canonical: bool = False) -> str:
@@ -106,4 +115,5 @@ class RunReport:
             network_name=data.get("network_name", ""),
             wall_time_s=float(data.get("wall_time_s", 0.0)),
             cache_key=data.get("cache_key", ""),
+            timeline=data.get("timeline"),
         )

@@ -34,6 +34,8 @@ from repro.runner.scenario import Scenario
 from repro.telemetry.metrics import METRICS as _METRICS
 from repro.telemetry.tracing import TRACER as _TRACER
 from repro.telemetry.tracing import trace_id_for_key
+from repro.timeline.artifact import Timeline
+from repro.timeline.capture import capture_timeline
 
 if TYPE_CHECKING:  # pragma: no cover - repro.store imports the runner
     from repro.store import ResultStore
@@ -52,18 +54,43 @@ _M_RUN_SECONDS = _METRICS.histogram(
 
 
 def run(scenario: Scenario) -> RunReport:
-    """Run one scenario to completion and report it."""
+    """Run one scenario to completion and report it.
+
+    When the scenario carries a ``timeline`` config, the run executes
+    inside an armed :func:`~repro.timeline.capture.capture_timeline`
+    context: the simulator binds a flight recorder to its channel, and
+    the frozen :class:`~repro.timeline.Timeline` artifact is attached to
+    the report (outside its canonical bytes). Recording reads the same
+    counters the run maintains anyway — the simulated outcome is
+    unchanged, which the timeline test suite checks byte-for-byte.
+    """
     algorithm = get_algorithm(scenario.algorithm)
     network = scenario.build_network()
+    timeline_payload: "dict | None" = None
     start = time.perf_counter()
-    result = algorithm.run(
-        network,
-        scenario.faults,
-        scenario.seed,
-        max_rounds=scenario.max_rounds,
-        params=scenario.params,
-        adversary=scenario.adversary,
-    )
+    if scenario.timeline is not None:
+        with capture_timeline(scenario.timeline) as capture:
+            result = algorithm.run(
+                network,
+                scenario.faults,
+                scenario.seed,
+                max_rounds=scenario.max_rounds,
+                params=scenario.params,
+                adversary=scenario.adversary,
+            )
+        if capture.recorder is not None:
+            timeline_payload = Timeline.from_recorder(
+                capture.recorder
+            ).to_dict()
+    else:
+        result = algorithm.run(
+            network,
+            scenario.faults,
+            scenario.seed,
+            max_rounds=scenario.max_rounds,
+            params=scenario.params,
+            adversary=scenario.adversary,
+        )
     elapsed = time.perf_counter() - start
     key = scenario.cache_key() if scenario.cacheable else ""
     if _METRICS.enabled:
@@ -93,6 +120,7 @@ def run(scenario: Scenario) -> RunReport:
         network_name=network.name,
         wall_time_s=elapsed,
         cache_key=key,
+        timeline=timeline_payload,
     )
 
 

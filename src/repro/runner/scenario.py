@@ -27,6 +27,7 @@ from repro.adversary.registry import get_adversary_type
 from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.core.network import RadioNetwork
 from repro.runner.registry import get_algorithm
+from repro.timeline.config import TimelineConfig
 from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
 
 __all__ = ["Scenario", "DEFAULT_TOPOLOGY_SIZE", "CACHE_KEY_SCHEMA"]
@@ -71,6 +72,13 @@ class Scenario:
         Top-level RNG seed; the whole run reproduces from it.
     max_rounds:
         Round budget override (``None``: the algorithm's own bound).
+    timeline:
+        Optional :class:`~repro.timeline.TimelineConfig`: opt the run
+        into the per-round flight recorder. Recording never changes the
+        simulation (same RNG streams, same report contents) but the
+        config does participate in :meth:`cache_key` — a stored
+        timeline-less report must never satisfy a request that asked
+        for the timeline sidecar. Only channel-based algorithms record.
     """
 
     algorithm: str
@@ -81,6 +89,7 @@ class Scenario:
     adversary: Optional[AdversaryConfig] = None
     seed: int = 0
     max_rounds: Optional[int] = None
+    timeline: Optional[TimelineConfig] = None
 
     def __post_init__(self) -> None:
         # normalize the mappings to plain dicts (picklable, JSON-friendly)
@@ -120,6 +129,19 @@ class Scenario:
             )
         if self.adversary is not None:
             self._normalize_adversary(algorithm)
+        if self.timeline is not None:
+            if not isinstance(self.timeline, TimelineConfig):
+                raise TypeError(
+                    "timeline must be a TimelineConfig, got "
+                    f"{type(self.timeline).__name__}"
+                )
+            # the flight recorder lives in the channel round epilogue;
+            # supports_adversary marks exactly the channel-based kinds
+            if not algorithm.supports_adversary:
+                raise ValueError(
+                    f"algorithm {self.algorithm!r} does not run on the "
+                    "collision channel, so it cannot record a timeline"
+                )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise TypeError(f"seed must be an int, got {type(self.seed).__name__}")
         if self.max_rounds is not None and self.max_rounds < 1:
@@ -233,6 +255,9 @@ class Scenario:
         # (and canonical report bytes) they had before adversaries existed
         if self.adversary is not None:
             data["adversary"] = self.adversary.to_dict()
+        # same rule: recorder-less scenarios keep their pre-timeline bytes
+        if self.timeline is not None:
+            data["timeline"] = self.timeline.to_dict()
         return data
 
     @classmethod
@@ -245,6 +270,12 @@ class Scenario:
             if adversary_data is not None
             else None
         )
+        timeline_data = data.get("timeline")
+        timeline = (
+            TimelineConfig.from_dict(timeline_data)
+            if timeline_data is not None
+            else None
+        )
         return cls(
             algorithm=data["algorithm"],
             topology=data.get("topology", "path"),
@@ -254,4 +285,5 @@ class Scenario:
             adversary=adversary,
             seed=int(data.get("seed", 0)),
             max_rounds=data.get("max_rounds"),
+            timeline=timeline,
         )

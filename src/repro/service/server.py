@@ -87,7 +87,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: first path segments counted as the ``route`` label; anything else is
 #: bucketed as "other" so a scanner cannot explode label cardinality
 _KNOWN_ROUTES = frozenset(
-    {"health", "registry", "jobs", "reports", "analysis",
+    {"health", "registry", "jobs", "reports", "timelines", "analysis",
      "workers", "leases", "metrics", "metrics.json"}
 )
 
@@ -278,6 +278,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self._coordinator().snapshot())
             elif len(parts) == 2 and parts[0] == "reports":
                 self._get_report(parts[1])
+            elif len(parts) == 2 and parts[0] == "timelines":
+                self._get_timeline(parts[1])
             else:
                 self._error(404, f"unknown path {url.path!r}")
         except _BadRequest as error:
@@ -393,6 +395,15 @@ class _Handler(BaseHTTPRequestHandler):
         text = self.server.service.store.get_json(cache_key)
         if text is None:
             self._error(404, f"no report stored under {cache_key!r}")
+        else:
+            self._send_bytes(200, text.encode("utf-8"))
+
+    def _get_timeline(self, cache_key: str) -> None:
+        # timelines are sidecars keyed by the *report* cache key; the
+        # stored canonical bytes are served verbatim, same as reports
+        text = self.server.service.store.get_timeline_json(cache_key)
+        if text is None:
+            self._error(404, f"no timeline stored under {cache_key!r}")
         else:
             self._send_bytes(200, text.encode("utf-8"))
 

@@ -74,6 +74,12 @@ CREATE TABLE IF NOT EXISTS farm_journal (
     kind    TEXT NOT NULL,
     payload TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS timelines (
+    cache_key      TEXT PRIMARY KEY,
+    timeline_key   TEXT NOT NULL,
+    canonical_json TEXT NOT NULL,
+    created_at     REAL NOT NULL
+);
 """
 
 _SHARD_PATTERN = re.compile(r"^shard-(\d{2,})\.db$")
@@ -173,6 +179,29 @@ class StoreBackend(abc.ABC):
     # reports table *is* the coordinator's durable state. The sharded
     # engine keeps exactly one journal (on shard 0) — the journal is
     # coordinator state, not content-addressed data, so it never routes.
+
+    # -- timeline sidecars ---------------------------------------------------
+    #
+    # Flight-recorder payloads (repro.timeline) ride next to the reports
+    # table, keyed by the same scenario cache key — a sidecar, not a row
+    # column, because timelines are orders of magnitude larger than the
+    # canonical report and most stored runs never record one. The table
+    # is created via ``IF NOT EXISTS``, so pre-timeline stores gain it on
+    # open without a schema-version bump. Sharded engines route by the
+    # report's cache key, keeping a report and its timeline co-located.
+
+    @abc.abstractmethod
+    def timeline_put(self, rows: Sequence[tuple[str, str, str, float]]) -> int:
+        """Insert ``(cache_key, timeline_key, canonical_json, created_at)``
+        sidecars; existing keys are left untouched. Returns rows written."""
+
+    @abc.abstractmethod
+    def timeline_fetch(self, cache_key: str) -> Optional[tuple[str, str]]:
+        """``(timeline_key, canonical_json)`` for one report key, or None."""
+
+    @abc.abstractmethod
+    def timeline_count(self) -> int:
+        """How many timeline sidecars the store holds."""
 
     @abc.abstractmethod
     def journal_append(self, records: Sequence[tuple[str, str]]) -> None:
@@ -336,6 +365,35 @@ class SQLiteBackend(StoreBackend):
                 "attempted": self.attempted(),
             }
         ]
+
+    # -- timeline sidecars ---------------------------------------------------
+
+    def timeline_put(self, rows: Sequence[tuple[str, str, str, float]]) -> int:
+        if not rows:
+            return 0
+        with self._lock, self._connection as connection:
+            before = connection.total_changes
+            connection.executemany(
+                "INSERT OR IGNORE INTO timelines "
+                "(cache_key, timeline_key, canonical_json, created_at) "
+                "VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            return connection.total_changes - before
+
+    def timeline_fetch(self, cache_key: str) -> Optional[tuple[str, str]]:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT timeline_key, canonical_json FROM timelines "
+                "WHERE cache_key = ?",
+                (cache_key,),
+            ).fetchone()
+
+    def timeline_count(self) -> int:
+        with self._lock:
+            return self._connection.execute(
+                "SELECT COUNT(*) FROM timelines"
+            ).fetchone()[0]
 
     # -- the farm journal ----------------------------------------------------
 
@@ -516,6 +574,23 @@ class ShardedSQLiteBackend(StoreBackend):
             }
             for index, backend in enumerate(self._backends)
         ]
+
+    # -- timeline sidecars (routed like reports, by cache key) ---------------
+
+    def timeline_put(self, rows: Sequence[tuple[str, str, str, float]]) -> int:
+        by_shard: dict[int, list[tuple[str, str, str, float]]] = {}
+        for row in rows:
+            by_shard.setdefault(shard_index(row[0], self.shards), []).append(row)
+        return sum(
+            self._backends[index].timeline_put(shard_rows)
+            for index, shard_rows in sorted(by_shard.items())
+        )
+
+    def timeline_fetch(self, cache_key: str) -> Optional[tuple[str, str]]:
+        return self._route(cache_key).timeline_fetch(cache_key)
+
+    def timeline_count(self) -> int:
+        return sum(backend.timeline_count() for backend in self._backends)
 
     # -- the farm journal (one journal per store, kept on shard 0) -----------
 

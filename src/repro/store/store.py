@@ -30,6 +30,7 @@ from typing import Any, Iterable, Iterator, NamedTuple, Optional
 from repro.runner.report import RunReport
 from repro.store.backend import STORE_SCHEMA_VERSION, StoreBackend, open_backend
 from repro.telemetry.metrics import METRICS as _METRICS
+from repro.timeline.artifact import Timeline
 
 __all__ = ["ResultStore", "StoreRow", "ORDERABLE_COLUMNS", "STORE_SCHEMA_VERSION"]
 
@@ -144,9 +145,15 @@ class ResultStore:
         explicit-network scenarios are not content-addressable). Existing
         keys are left untouched — the stored bytes are already the
         canonical answer — unless ``replace`` is true.
+
+        Reports carrying a flight-recorder payload (``report.timeline``)
+        also write a timeline sidecar under the same cache key; sidecars
+        are content-addressed like reports, so a duplicate offer is one
+        ignored insert.
         """
         now = time.time()
         rows = []
+        timeline_rows = []
         for report in reports:
             if not report.cache_key:
                 raise ValueError(
@@ -173,13 +180,28 @@ class ResultStore:
                     now,
                 )
             )
+            if report.timeline is not None:
+                timeline = Timeline.from_dict(report.timeline)
+                timeline_rows.append(
+                    (
+                        report.cache_key,
+                        timeline.cache_key(),
+                        timeline.to_json(),
+                        now,
+                    )
+                )
         if not rows:
             return 0
         if not _METRICS.enabled:
-            return self.backend.insert_rows(rows, replace)
+            written = self.backend.insert_rows(rows, replace)
+            if timeline_rows:
+                self.backend.timeline_put(timeline_rows)
+            return written
         _M_PUT_OFFERED.inc(len(rows))
         start = time.perf_counter()
         written = self.backend.insert_rows(rows, replace)
+        if timeline_rows:
+            self.backend.timeline_put(timeline_rows)
         _M_PUT_SECONDS.observe(time.perf_counter() - start)
         if written:
             _M_PUT_ROWS.inc(written)
@@ -193,7 +215,9 @@ class ResultStore:
         The returned report renders byte-identically to the run that was
         stored: ``report.to_json(canonical=True)`` equals the stored
         canonical JSON exactly. ``wall_time_s`` is the original run's
-        (timing is outside the canonical form).
+        (timing is outside the canonical form). A stored timeline
+        sidecar is re-attached as ``report.timeline``, so a cache hit
+        returns exactly what the original run produced.
         """
         row = self.backend.fetch_payload(
             cache_key, ("canonical_json", "wall_time_s")
@@ -204,12 +228,37 @@ class ResultStore:
                 _M_GET_HITS.inc()
         if row is None:
             return None
-        return self._report_from_row(row[0], row[1])
+        report = self._report_from_row(row[0], row[1])
+        sidecar = self.backend.timeline_fetch(cache_key)
+        if sidecar is not None:
+            report = dataclasses.replace(
+                report, timeline=json.loads(sidecar[1])
+            )
+        return report
 
     def get_json(self, cache_key: str) -> Optional[str]:
         """The stored canonical JSON text itself (None when absent)."""
         row = self.backend.fetch_payload(cache_key, ("canonical_json",))
         return None if row is None else row[0]
+
+    # -- timeline sidecars ---------------------------------------------------
+
+    def get_timeline(self, cache_key: str) -> Optional[Timeline]:
+        """The flight-recorder sidecar stored for a report's cache key."""
+        sidecar = self.backend.timeline_fetch(cache_key)
+        return None if sidecar is None else Timeline.from_json(sidecar[1])
+
+    def get_timeline_json(self, cache_key: str) -> Optional[str]:
+        """The stored canonical timeline JSON itself (None when absent).
+
+        These are the exact bytes ``GET /timelines/<key>`` serves.
+        """
+        sidecar = self.backend.timeline_fetch(cache_key)
+        return None if sidecar is None else sidecar[1]
+
+    def timeline_count(self) -> int:
+        """How many reports carry a timeline sidecar."""
+        return self.backend.timeline_count()
 
     def __contains__(self, cache_key: str) -> bool:
         return self.backend.fetch_payload(cache_key, ("1",)) is not None
@@ -319,6 +368,7 @@ class ResultStore:
             "by_topology": breakdown["topology"],
             "by_adversary": breakdown["adversary"],
             "stored_wall_time_s": backend.sum_column("wall_time_s"),
+            "timelines": backend.timeline_count(),
             "puts_attempted": attempted,
             "dedup_ratio": (
                 round(1.0 - total / attempted, 4) if attempted else 0.0

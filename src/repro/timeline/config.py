@@ -1,0 +1,69 @@
+"""Timeline capture configuration.
+
+:class:`TimelineConfig` is the opt-in knob carried by
+:class:`~repro.runner.scenario.Scenario`: *whether* and *how coarsely* a
+run records its per-round flight data. It deliberately imports nothing
+heavy — the scenario layer and the engine both depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["TimelineConfig", "DEFAULT_NODE_DETAIL"]
+
+#: per-node detail kept by default before the deterministic reservoir
+#: kicks in (``first_delivery_round`` entries serialized per run)
+DEFAULT_NODE_DETAIL = 4096
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """How a run's flight recorder downsamples.
+
+    Parameters
+    ----------
+    every:
+        Bucket width in rounds: per-round columns are aggregated over
+        consecutive windows of ``every`` rounds (``1`` = exact per-round
+        rows). A 10^6-round run at ``every=100`` keeps 10^4 rows.
+    node_detail:
+        Cap on serialized per-node detail: when the network has more
+        nodes than this, ``first_delivery_round`` is downsampled to a
+        deterministic evenly-strided reservoir of ``node_detail`` nodes
+        (same nodes for every run of a given ``n``, so timelines stay
+        diffable).
+    """
+
+    every: int = 1
+    node_detail: int = DEFAULT_NODE_DETAIL
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.every, int) or isinstance(self.every, bool):
+            raise TypeError(
+                f"every must be an int, got {type(self.every).__name__}"
+            )
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if not isinstance(self.node_detail, int) or isinstance(
+            self.node_detail, bool
+        ):
+            raise TypeError(
+                "node_detail must be an int, got "
+                f"{type(self.node_detail).__name__}"
+            )
+        if self.node_detail < 1:
+            raise ValueError(
+                f"node_detail must be >= 1, got {self.node_detail}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"every": self.every, "node_detail": self.node_detail}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimelineConfig":
+        return cls(
+            every=int(data.get("every", 1)),
+            node_detail=int(data.get("node_detail", DEFAULT_NODE_DETAIL)),
+        )

@@ -1,0 +1,177 @@
+"""Run-divergence diffing: align two timelines, bisect the first split.
+
+Two runs of the *same* scenario are byte-identical by the determinism
+contract — so their timelines are too, and :func:`diff_timelines`
+reports zero divergence. Change anything (the seed, the kernel if it
+were buggy, the adversary) and the timelines split at some round;
+the diff localizes that first diverging round and reports a per-column
+delta profile, which is the round-level evidence end-of-run aggregates
+cannot give.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.timeline.artifact import Timeline
+from repro.timeline.recorder import DATA_COLUMNS
+from repro.util.tables import Table
+
+__all__ = ["TimelineDiff", "diff_timelines"]
+
+
+@dataclass(frozen=True)
+class TimelineDiff:
+    """The alignment of two timelines.
+
+    ``first_diverging_round`` is the first simulated round (bucket
+    granularity: the bucket's start round) where any column differs —
+    ``None`` when the bucket rows agree everywhere. ``columns`` maps
+    each column to ``{first_diverging_round, diverging_buckets,
+    max_abs_delta}``; ``first_delivery`` compares the per-node detail
+    when the two runs sampled the same nodes.
+    """
+
+    identical: bool
+    first_diverging_round: Optional[int]
+    every: int
+    rounds: tuple[int, int]
+    buckets: tuple[int, int]
+    columns: Mapping[str, dict[str, Any]]
+    first_delivery: Mapping[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "identical": self.identical,
+            "first_diverging_round": self.first_diverging_round,
+            "every": self.every,
+            "rounds": list(self.rounds),
+            "buckets": list(self.buckets),
+            "columns": {
+                name: dict(report) for name, report in self.columns.items()
+            },
+            "first_delivery": dict(self.first_delivery),
+        }
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_table(self) -> Table:
+        """Per-column delta report as a renderable table."""
+        if self.identical:
+            title = "timelines identical: zero divergence"
+        else:
+            title = (
+                f"first diverging round: {self.first_diverging_round} "
+                f"(every={self.every})"
+            )
+        table = Table(
+            ["column", "first_diverging_round", "diverging_buckets",
+             "max_abs_delta"],
+            title=title,
+        )
+        for name, report in self.columns.items():
+            table.add_row(
+                name,
+                report["first_diverging_round"],
+                report["diverging_buckets"],
+                report["max_abs_delta"],
+            )
+        fd = self.first_delivery
+        if fd.get("comparable"):
+            table.add_row(
+                "first_delivery",
+                fd.get("first_differing_round"),
+                fd.get("differing_nodes"),
+                fd.get("max_abs_delta"),
+            )
+        return table
+
+
+def diff_timelines(a: Timeline, b: Timeline) -> TimelineDiff:
+    """Align two timelines bucket-for-bucket and localize divergence.
+
+    Both timelines must share the bucket width (``every``) — diffing a
+    per-round recording against a coarsened one would misattribute every
+    bucket. Differing network sizes are allowed (the diff itself reports
+    the split at round 0 via the ``informed`` column, and the per-node
+    comparison is marked non-comparable).
+    """
+    if a.every != b.every:
+        raise ValueError(
+            f"cannot diff timelines with different bucket widths "
+            f"(every={a.every} vs every={b.every}); re-record with a "
+            "matching Scenario.timeline config"
+        )
+    every = a.every
+
+    columns: dict[str, dict[str, Any]] = {}
+    first_bucket: Optional[int] = None
+    for name in DATA_COLUMNS:
+        va = a.columns[name]
+        vb = b.columns[name]
+        shared = min(len(va), len(vb))
+        diverging = [i for i in range(shared) if va[i] != vb[i]]
+        max_abs_delta = max(
+            (abs(va[i] - vb[i]) for i in diverging), default=0
+        )
+        first: Optional[int] = diverging[0] if diverging else None
+        extra = abs(len(va) - len(vb))
+        if extra and first is None:
+            first = shared
+        report = {
+            "first_diverging_round": None if first is None else first * every,
+            "diverging_buckets": len(diverging) + extra,
+            "max_abs_delta": max_abs_delta,
+        }
+        columns[name] = report
+        if first is not None and (first_bucket is None or first < first_bucket):
+            first_bucket = first
+
+    fd: dict[str, Any] = {"comparable": False}
+    nodes_a = a.first_delivery.get("nodes")
+    nodes_b = b.first_delivery.get("nodes")
+    if a.n == b.n and nodes_a == nodes_b:
+        ra = a.first_delivery["rounds"]
+        rb = b.first_delivery["rounds"]
+        differing = [i for i in range(len(ra)) if ra[i] != rb[i]]
+        nodes = nodes_a if nodes_a is not None else tuple(range(a.n))
+        fd = {
+            "comparable": True,
+            "differing_nodes": len(differing),
+            "first_differing_node": (
+                nodes[differing[0]] if differing else None
+            ),
+            "first_differing_round": (
+                min(
+                    (r for i in differing for r in (ra[i], rb[i]) if r >= 0),
+                    default=None,
+                )
+                if differing
+                else None
+            ),
+            "max_abs_delta": max(
+                (abs(ra[i] - rb[i]) for i in differing), default=0
+            ),
+        }
+
+    identical = (
+        first_bucket is None
+        and a.rounds == b.rounds
+        and a.n == b.n
+        and (not fd.get("comparable") or fd.get("differing_nodes") == 0)
+        and a.first_delivery == b.first_delivery
+    )
+    return TimelineDiff(
+        identical=identical,
+        first_diverging_round=(
+            None if first_bucket is None else first_bucket * every
+        ),
+        every=every,
+        rounds=(a.rounds, b.rounds),
+        buckets=(a.buckets, b.buckets),
+        columns=columns,
+        first_delivery=fd,
+    )

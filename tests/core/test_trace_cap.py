@@ -1,0 +1,60 @@
+"""TraceRecorder overflow is accounted, not silent."""
+
+import warnings
+
+import pytest
+
+from repro.core.trace import TraceRecorder
+
+
+def test_below_the_cap_nothing_is_dropped():
+    recorder = TraceRecorder(enabled=True, max_events=10)
+    for round_index in range(10):
+        recorder.record(round_index, "broadcast", 0)
+    assert len(recorder) == 10
+    assert recorder.dropped == 0
+    assert recorder.as_dict() == {
+        "enabled": True,
+        "max_events": 10,
+        "recorded": 10,
+        "dropped": 0,
+    }
+
+
+def test_overflow_counts_drops_and_warns_once():
+    recorder = TraceRecorder(enabled=True, max_events=3)
+    with pytest.warns(RuntimeWarning, match="3-event cap"):
+        for round_index in range(5):
+            recorder.record(round_index, "broadcast", 0)
+    # the warning fires exactly once, on the first drop
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        recorder.record(9, "broadcast", 0)
+    assert len(recorder) == 3
+    assert recorder.dropped == 3
+    assert recorder.as_dict()["dropped"] == 3
+    # recorded events are untouched by the overflow
+    assert [event.round_index for event in recorder.events] == [0, 1, 2]
+
+
+def test_disabled_recorder_never_drops():
+    recorder = TraceRecorder(enabled=False, max_events=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for round_index in range(5):
+            recorder.record(round_index, "broadcast", 0)
+    assert len(recorder) == 0
+    assert recorder.dropped == 0
+
+
+def test_clear_resets_the_drop_count():
+    recorder = TraceRecorder(enabled=True, max_events=1)
+    with pytest.warns(RuntimeWarning):
+        recorder.record(0, "broadcast", 0)
+        recorder.record(1, "broadcast", 0)
+    recorder.clear()
+    assert recorder.dropped == 0
+    # and the one-time warning re-arms after a clear
+    with pytest.warns(RuntimeWarning):
+        recorder.record(0, "broadcast", 0)
+        recorder.record(1, "broadcast", 0)

@@ -1,0 +1,60 @@
+"""``GET /timelines/<key>`` serves stored sidecar bytes verbatim."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner import Scenario, run
+from repro.service import ReproService
+from repro.store import ResultStore
+from repro.timeline import TimelineConfig
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    store_path = str(tmp_path_factory.mktemp("timeline-http") / "results.db")
+    report = run(
+        Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": 24},
+            seed=3,
+            timeline=TimelineConfig(every=1),
+        )
+    )
+    with ResultStore(store_path) as store:
+        store.put_many([report])
+        stored = store.get_timeline_json(report.cache_key)
+    with ReproService(store_path, port=0) as service:
+        yield service, report, stored
+
+
+def test_served_bytes_are_the_stored_canonical_json(served):
+    service, report, stored = served
+    with urllib.request.urlopen(
+        f"{service.url}/timelines/{report.cache_key}"
+    ) as response:
+        body = response.read().decode("utf-8")
+        assert response.status == 200
+    assert body == stored
+    assert json.loads(body) == report.timeline
+
+
+def test_unknown_key_is_a_404(served):
+    service, _, _ = served
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(f"{service.url}/timelines/{'0' * 64}")
+    assert excinfo.value.code == 404
+    assert "no timeline stored under" in excinfo.value.read().decode("utf-8")
+
+
+def test_report_endpoint_still_excludes_the_sidecar(served):
+    service, report, _ = served
+    with urllib.request.urlopen(
+        f"{service.url}/reports/{report.cache_key}"
+    ) as response:
+        body = json.loads(response.read().decode("utf-8"))
+    assert "timeline" not in body
+    assert body["scenario"]["timeline"] == {"every": 1, "node_detail": 4096}

@@ -1,0 +1,58 @@
+"""Fault attribution reaches /metrics: sender and receiver fault counters."""
+
+from repro.core.faults import FaultConfig
+from repro.runner import Scenario, run
+from repro.telemetry import METRICS
+
+
+def _value(name):
+    metric = METRICS.get(name)
+    assert metric is not None, name
+    return metric.value
+
+
+def _run(fault_config, seed=3):
+    return run(
+        Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": 24},
+            faults=fault_config,
+            seed=seed,
+        )
+    )
+
+
+class TestChannelFaultCounters:
+    def test_sender_faults_feed_their_counter(self):
+        METRICS.enable()
+        before = _value("repro_channel_sender_faults_total")
+        report = _run(FaultConfig.sender(0.4))
+        METRICS.disable()
+        delta = _value("repro_channel_sender_faults_total") - before
+        assert delta == report.counters["sender_faults"]
+        assert delta > 0
+
+    def test_receiver_faults_feed_their_counter(self):
+        METRICS.enable()
+        before = _value("repro_channel_receiver_faults_total")
+        report = _run(FaultConfig.receiver(0.4))
+        METRICS.disable()
+        delta = _value("repro_channel_receiver_faults_total") - before
+        assert delta == report.counters["receiver_faults"]
+        assert delta > 0
+
+    def test_faultless_runs_leave_both_untouched(self):
+        METRICS.enable()
+        sender_before = _value("repro_channel_sender_faults_total")
+        receiver_before = _value("repro_channel_receiver_faults_total")
+        _run(FaultConfig.faultless())
+        METRICS.disable()
+        assert _value("repro_channel_sender_faults_total") == sender_before
+        assert _value("repro_channel_receiver_faults_total") == receiver_before
+
+    def test_disabled_metrics_cost_no_counts(self):
+        METRICS.disable()
+        before = _value("repro_channel_sender_faults_total")
+        _run(FaultConfig.sender(0.4), seed=9)
+        assert _value("repro_channel_sender_faults_total") == before

@@ -1,0 +1,103 @@
+"""Timeline artifact: canonical bytes, round-trips, and the reservoir."""
+
+import json
+
+import pytest
+
+from repro.runner import Scenario, run
+from repro.timeline import TIMELINE_SCHEMA, Timeline, TimelineConfig
+
+
+def _timeline(seed=3, every=1, node_detail=4096, n=24):
+    report = run(
+        Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": n},
+            seed=seed,
+            timeline=TimelineConfig(every=every, node_detail=node_detail),
+        )
+    )
+    assert report.timeline is not None
+    return Timeline.from_dict(report.timeline)
+
+
+class TestCanonicalForm:
+    def test_dict_json_round_trip(self):
+        timeline = _timeline()
+        assert Timeline.from_dict(timeline.to_dict()) == timeline
+        assert Timeline.from_json(timeline.to_json()) == timeline
+
+    def test_equal_runs_render_byte_identical(self):
+        a, b = _timeline(seed=5), _timeline(seed=5)
+        assert a.to_json() == b.to_json()
+        assert a.cache_key() == b.cache_key()
+
+    def test_json_is_compact_and_sorted(self):
+        timeline = _timeline()
+        text = timeline.to_json()
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+        body = json.loads(text)
+        assert body["schema"] == TIMELINE_SCHEMA
+        assert "version" in body
+
+    def test_different_seeds_get_different_keys(self):
+        assert _timeline(seed=1).cache_key() != _timeline(seed=2).cache_key()
+
+    def test_unsupported_schema_is_rejected(self):
+        data = _timeline().to_dict()
+        data["schema"] = TIMELINE_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            Timeline.from_dict(data)
+
+    def test_missing_columns_are_rejected(self):
+        data = _timeline().to_dict()
+        del data["columns"]["collisions"]
+        with pytest.raises(ValueError, match="missing columns"):
+            Timeline.from_dict(data)
+
+
+class TestNodeDetail:
+    def test_small_runs_keep_full_per_node_detail(self):
+        timeline = _timeline(node_detail=4096, n=24)
+        assert set(timeline.first_delivery) == {"rounds"}
+        assert len(timeline.first_delivery["rounds"]) == 24
+
+    def test_reservoir_caps_per_node_detail_deterministically(self):
+        a = _timeline(seed=1, node_detail=8, n=24)
+        b = _timeline(seed=2, node_detail=8, n=24)
+        assert set(a.first_delivery) == {"nodes", "rounds"}
+        assert len(a.first_delivery["nodes"]) == 8
+        assert len(a.first_delivery["rounds"]) == 8
+        # same (n, node_detail) -> same sampled nodes across runs, so
+        # capped timelines stay node-for-node diffable
+        assert a.first_delivery["nodes"] == b.first_delivery["nodes"]
+        assert a.first_delivery["nodes"] == tuple(sorted(set(a.first_delivery["nodes"])))
+
+    def test_config_is_recovered_up_to_the_applied_cap(self):
+        capped = _timeline(node_detail=8, n=24)
+        assert capped.config() == TimelineConfig(every=1, node_detail=8)
+        uncapped = _timeline(every=2, node_detail=4096, n=24)
+        recovered = uncapped.config()
+        assert recovered.every == 2
+        assert recovered.node_detail >= 24
+
+
+class TestDerivedViews:
+    def test_buckets_and_informed_final(self):
+        timeline = _timeline(every=4)
+        assert timeline.buckets == len(timeline.columns["round_start"])
+        assert timeline.buckets == -(-timeline.rounds // 4)
+        assert timeline.informed_final == timeline.columns["informed"][-1]
+
+    def test_every_k_preserves_totals(self):
+        fine = _timeline(seed=9, every=1)
+        coarse = _timeline(seed=9, every=3)
+        assert fine.rounds == coarse.rounds
+        for name in ("broadcasts", "deliveries", "collisions", "new_informed"):
+            assert sum(fine.columns[name]) == sum(coarse.columns[name]), name
+        assert fine.informed_final == coarse.informed_final
+        # per-node detail is bucket-independent
+        assert fine.first_delivery == coarse.first_delivery

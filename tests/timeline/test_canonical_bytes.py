@@ -1,0 +1,109 @@
+"""Recording is an observer: it never changes what the run reports.
+
+The determinism contract says the canonical report is a pure function of
+the scenario. Opting into the flight recorder changes the *scenario*
+(the config participates in the cache key) but must not change anything
+the simulation computed — same rounds, counters, extras, byte for byte
+once the scenario's own ``timeline`` entry is set aside.
+"""
+
+import json
+
+from repro.core.faults import AdversaryConfig, FaultConfig
+from repro.runner import RunReport, Scenario, run
+from repro.timeline import TimelineConfig
+
+_VARIANTS = [
+    dict(algorithm="decay", topology="gnp", topology_params={"n": 24}, seed=3),
+    dict(
+        algorithm="fastbc",
+        topology="path",
+        topology_params={"n": 16},
+        faults=FaultConfig.receiver(0.3),
+        seed=7,
+    ),
+    dict(
+        algorithm="rlnc_decay",
+        topology="path",
+        topology_params={"n": 12},
+        params={"k": 2},
+        adversary=AdversaryConfig(
+            "budgeted_jammer",
+            {"per_round": 1, "budget": 24, "policy": "frontier"},
+        ),
+        seed=5,
+    ),
+]
+
+
+def test_recording_leaves_the_simulated_outcome_unchanged():
+    for fields in _VARIANTS:
+        plain = run(Scenario(**fields))
+        recorded = run(
+            Scenario(**fields, timeline=TimelineConfig(every=1))
+        )
+        a = json.loads(plain.to_json(canonical=True))
+        b = json.loads(recorded.to_json(canonical=True))
+        # the only canonical difference is the scenario's own opt-in
+        assert "timeline" not in a["scenario"]
+        assert b["scenario"].pop("timeline") == {"every": 1, "node_detail": 4096}
+        assert a.pop("cache_key") != b.pop("cache_key")
+        assert a == b, fields
+
+
+def test_timeline_stays_outside_the_canonical_bytes():
+    report = run(
+        Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": 24},
+            seed=3,
+            timeline=TimelineConfig(),
+        )
+    )
+    assert report.timeline is not None
+    canonical = json.loads(report.to_json(canonical=True))
+    assert "timeline" not in canonical
+    full = report.to_dict(include_timing=True)
+    assert full["timeline"] == report.timeline
+
+
+def test_report_round_trip_preserves_the_attachment():
+    report = run(
+        Scenario(
+            algorithm="decay",
+            topology="gnp",
+            topology_params={"n": 24},
+            seed=4,
+            timeline=TimelineConfig(every=2),
+        )
+    )
+    revived = RunReport.from_dict(report.to_dict(include_timing=True))
+    assert revived.timeline == report.timeline
+    assert revived.to_json(canonical=True) == report.to_json(canonical=True)
+
+
+def test_scenario_round_trip_and_cache_key_cover_the_config():
+    base = dict(algorithm="decay", topology="path", topology_params={"n": 8})
+    plain = Scenario(**base)
+    recorded = Scenario(**base, timeline=TimelineConfig(every=5))
+    assert Scenario.from_dict(recorded.to_dict()) == recorded
+    assert "timeline" not in plain.to_dict()
+    assert plain.cache_key() != recorded.cache_key()
+    # a different downsampling is a different scenario
+    assert (
+        Scenario(**base, timeline=TimelineConfig(every=1)).cache_key()
+        != recorded.cache_key()
+    )
+
+
+def test_non_channel_algorithms_reject_the_config():
+    import pytest
+
+    with pytest.raises(ValueError, match="cannot record a timeline"):
+        Scenario(
+            algorithm="star_routing",
+            topology="star",
+            topology_params={"n": 8},
+            timeline=TimelineConfig(),
+        )

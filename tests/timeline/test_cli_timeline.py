@@ -1,0 +1,167 @@
+"""``repro timeline show|curve|diff`` and its friendly error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import Scenario, run
+from repro.store import ResultStore
+from repro.timeline import TimelineConfig
+
+
+@pytest.fixture(scope="module")
+def seeded(tmp_path_factory):
+    """A store with two recorded runs, plus one timeline JSON file."""
+    root = tmp_path_factory.mktemp("timeline-cli")
+    path = str(root / "results.db")
+    keys = []
+    with ResultStore(path) as store:
+        for seed in (3, 4):
+            report = run(
+                Scenario(
+                    algorithm="decay",
+                    topology="gnp",
+                    topology_params={"n": 24},
+                    seed=seed,
+                    timeline=TimelineConfig(every=1),
+                )
+            )
+            store.put_many([report])
+            keys.append(report.cache_key)
+        file_path = str(root / "timeline.json")
+        with open(file_path, "w", encoding="utf-8") as handle:
+            handle.write(store.get_timeline_json(keys[0]))
+    return path, keys, file_path
+
+
+class TestShowAndCurve:
+    def test_show_from_store_key(self, capsys, seeded):
+        path, keys, _ = seeded
+        assert main(["timeline", "show", path, "--key", keys[0]]) == 0
+        out = capsys.readouterr().out
+        assert "informed" in out and "loss_fraction" in out
+
+    def test_show_json_from_file(self, capsys, seeded):
+        _, _, file_path = seeded
+        assert main(["timeline", "show", file_path, "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n"] == 24
+        assert summary["informed"] == 24
+
+    def test_curve_renders_per_bucket_rows(self, capsys, seeded):
+        _, _, file_path = seeded
+        assert main(["timeline", "curve", file_path, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction" in out
+
+    def test_curve_markdown(self, capsys, seeded):
+        _, _, file_path = seeded
+        assert (
+            main(["timeline", "curve", file_path, "--format", "markdown"])
+            == 0
+        )
+        assert capsys.readouterr().out.lstrip().startswith("|")
+
+
+class TestDiff:
+    def test_one_store_two_keys(self, capsys, seeded):
+        path, keys, _ = seeded
+        assert (
+            main(
+                [
+                    "timeline", "diff", path,
+                    "--key-a", keys[0], "--key-b", keys[1],
+                ]
+            )
+            == 0
+        )
+        assert "first diverging round" in capsys.readouterr().out
+
+    def test_identical_keys_report_zero_divergence(self, capsys, seeded):
+        path, keys, _ = seeded
+        assert (
+            main(
+                [
+                    "timeline", "diff", path,
+                    "--key-a", keys[0], "--key-b", keys[0],
+                ]
+            )
+            == 0
+        )
+        assert "zero divergence" in capsys.readouterr().out
+
+    def test_json_format(self, capsys, seeded):
+        path, keys, _ = seeded
+        assert (
+            main(
+                [
+                    "timeline", "diff", path, "--format", "json",
+                    "--key-a", keys[0], "--key-b", keys[1],
+                ]
+            )
+            == 0
+        )
+        body = json.loads(capsys.readouterr().out)
+        assert body["identical"] is False
+        assert isinstance(body["first_diverging_round"], int)
+
+
+class TestFriendlyErrors:
+    def test_missing_timeline_file(self, capsys, tmp_path):
+        assert main(["timeline", "show", str(tmp_path / "nope.json")]) == 2
+        assert "no timeline file" in capsys.readouterr().err
+
+    def test_malformed_timeline_file(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        assert main(["timeline", "show", path]) == 2
+        assert "cannot parse timeline" in capsys.readouterr().err
+
+    def test_missing_store(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.db")
+        assert main(["timeline", "show", missing, "--key", "abc"]) == 2
+        assert "no store at" in capsys.readouterr().err
+
+    def test_unknown_key(self, capsys, seeded):
+        path, _, _ = seeded
+        assert main(["timeline", "show", path, "--key", "0" * 64]) == 2
+        assert "no timeline stored under" in capsys.readouterr().err
+
+    def test_diff_needs_two_sources(self, capsys, seeded):
+        path, _, _ = seeded
+        assert main(["timeline", "diff", path]) == 2
+        assert "two sources" in capsys.readouterr().err
+
+    def test_diff_mismatched_widths(self, capsys, seeded, tmp_path):
+        _, _, file_path = seeded
+        report = run(
+            Scenario(
+                algorithm="decay",
+                topology="gnp",
+                topology_params={"n": 24},
+                seed=3,
+                timeline=TimelineConfig(every=2),
+            )
+        )
+        from repro.timeline import Timeline
+
+        coarse = str(tmp_path / "coarse.json")
+        with open(coarse, "w", encoding="utf-8") as handle:
+            handle.write(Timeline.from_dict(report.timeline).to_json())
+        assert main(["timeline", "diff", file_path, coarse]) == 2
+        assert "bucket widths" in capsys.readouterr().err
+
+
+class TestTraceErrors:
+    def test_missing_trace_file(self, capsys, tmp_path):
+        assert main(["trace", "show", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+    def test_malformed_trace_file(self, capsys, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        assert main(["trace", "show", path]) == 2
+        assert "cannot parse trace file" in capsys.readouterr().err

@@ -1,0 +1,75 @@
+"""Run-divergence diffing: identical runs align, different seeds split."""
+
+import pytest
+
+from repro.runner import Scenario, run
+from repro.timeline import Timeline, TimelineConfig, diff_timelines
+
+
+def _timeline(seed, every=1, n=24, algorithm="decay"):
+    report = run(
+        Scenario(
+            algorithm=algorithm,
+            topology="gnp",
+            topology_params={"n": n},
+            seed=seed,
+            timeline=TimelineConfig(every=every),
+        )
+    )
+    return Timeline.from_dict(report.timeline)
+
+
+class TestIdenticalRuns:
+    def test_same_scenario_reports_zero_divergence(self):
+        diff = diff_timelines(_timeline(seed=3), _timeline(seed=3))
+        assert diff.identical is True
+        assert diff.first_diverging_round is None
+        for report in diff.columns.values():
+            assert report["first_diverging_round"] is None
+            assert report["diverging_buckets"] == 0
+            assert report["max_abs_delta"] == 0
+        assert diff.first_delivery["comparable"] is True
+        assert diff.first_delivery["differing_nodes"] == 0
+        assert "zero divergence" in diff.to_table().title
+
+    def test_json_rendering_round_trips(self):
+        import json
+
+        diff = diff_timelines(_timeline(seed=3), _timeline(seed=3))
+        assert json.loads(diff.to_json())["identical"] is True
+
+
+class TestDivergingRuns:
+    def test_different_seeds_localize_the_first_diverging_round(self):
+        a, b = _timeline(seed=3), _timeline(seed=4)
+        diff = diff_timelines(a, b)
+        assert diff.identical is False
+        assert isinstance(diff.first_diverging_round, int)
+        assert 0 <= diff.first_diverging_round < max(a.rounds, b.rounds)
+        # the overall first split is the min over per-column splits
+        firsts = [
+            report["first_diverging_round"]
+            for report in diff.columns.values()
+            if report["first_diverging_round"] is not None
+        ]
+        assert diff.first_diverging_round == min(firsts)
+        assert f"{diff.first_diverging_round}" in diff.to_table().title
+
+    def test_bucketed_diff_reports_bucket_start_rounds(self):
+        diff = diff_timelines(
+            _timeline(seed=3, every=4), _timeline(seed=4, every=4)
+        )
+        assert diff.every == 4
+        if diff.first_diverging_round is not None:
+            assert diff.first_diverging_round % 4 == 0
+
+    def test_different_sizes_are_diffable_but_not_node_comparable(self):
+        diff = diff_timelines(_timeline(seed=3, n=24), _timeline(seed=3, n=16))
+        assert diff.identical is False
+        assert diff.first_delivery["comparable"] is False
+
+
+class TestGuards:
+    def test_mismatched_bucket_widths_are_rejected(self):
+        with pytest.raises(ValueError, match="bucket widths"):
+            diff_timelines(_timeline(seed=3), _timeline(seed=3, every=2))

@@ -1,0 +1,151 @@
+"""Recorder semantics: bucketing, deltas, growth, and the disabled path."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import ChannelCounters
+from repro.timeline import NULL_TIMELINE, TimelineConfig, TimelineRecorder
+from repro.timeline.recorder import DATA_COLUMNS
+
+
+class _Delivery:
+    """The recorder only reads ``.receiver``."""
+
+    def __init__(self, receiver: int) -> None:
+        self.receiver = receiver
+
+
+def _drive(recorder, rounds, deliveries_per_round=0, n=8):
+    """Feed synthetic rounds: one broadcast + optional deliveries each."""
+    counters = ChannelCounters()
+    for round_index in range(rounds):
+        counters.rounds += 1
+        counters.broadcasts += 1
+        deliveries = [
+            _Delivery((round_index + k) % n)
+            for k in range(deliveries_per_round)
+        ]
+        counters.deliveries += len(deliveries)
+        recorder.on_round(round_index, counters, deliveries)
+    recorder.finish()
+
+
+class TestDisabledPath:
+    def test_null_timeline_is_disabled_and_inert(self):
+        assert NULL_TIMELINE.enabled is False
+        NULL_TIMELINE.on_round(0, ChannelCounters(), [])
+        NULL_TIMELINE.note_innovative()
+        NULL_TIMELINE.mark_informed(3)
+
+    def test_recorder_reports_enabled(self):
+        recorder = TimelineRecorder(4, TimelineConfig())
+        assert recorder.enabled is True
+
+
+class TestBucketing:
+    def test_per_round_rows_are_counter_deltas(self):
+        recorder = TimelineRecorder(8, TimelineConfig(every=1))
+        _drive(recorder, rounds=5, deliveries_per_round=2)
+        rows = recorder.rows()
+        assert rows.shape == (5, len(DATA_COLUMNS))
+        assert list(rows[:, DATA_COLUMNS.index("round_start")]) == [0, 1, 2, 3, 4]
+        # one broadcast and two deliveries per round, as deltas not totals
+        assert set(rows[:, DATA_COLUMNS.index("broadcasts")]) == {1}
+        assert set(rows[:, DATA_COLUMNS.index("deliveries")]) == {2}
+
+    def test_every_k_buckets_sum_the_same_totals(self):
+        fine = TimelineRecorder(8, TimelineConfig(every=1))
+        coarse = TimelineRecorder(8, TimelineConfig(every=3))
+        _drive(fine, rounds=7, deliveries_per_round=2)
+        _drive(coarse, rounds=7, deliveries_per_round=2)
+        assert len(coarse) == 3  # rounds 0-2, 3-5, 6
+        assert list(
+            coarse.rows()[:, DATA_COLUMNS.index("round_start")]
+        ) == [0, 3, 6]
+        for name in ("broadcasts", "deliveries", "new_informed"):
+            index = DATA_COLUMNS.index(name)
+            assert (
+                coarse.rows()[:, index].sum() == fine.rows()[:, index].sum()
+            ), name
+
+    def test_informed_column_is_cumulative(self):
+        recorder = TimelineRecorder(8, TimelineConfig(every=1))
+        _drive(recorder, rounds=4, deliveries_per_round=2)
+        informed = recorder.rows()[:, DATA_COLUMNS.index("informed")]
+        assert list(informed) == sorted(informed)
+        assert recorder.informed == informed[-1]
+
+    def test_mark_informed_excludes_seeded_nodes_from_new_informed(self):
+        recorder = TimelineRecorder(8, TimelineConfig(every=1))
+        recorder.mark_informed(0)
+        recorder.mark_informed(0)  # idempotent
+        assert recorder.informed == 1
+        counters = ChannelCounters()
+        counters.rounds += 1
+        counters.broadcasts += 1
+        counters.deliveries += 2
+        recorder.on_round(0, counters, [_Delivery(0), _Delivery(5)])
+        recorder.finish()
+        row = recorder.rows()[0]
+        assert row[DATA_COLUMNS.index("new_informed")] == 1  # node 5 only
+        assert row[DATA_COLUMNS.index("informed")] == 2
+
+    def test_first_delivery_records_the_first_round_only(self):
+        recorder = TimelineRecorder(8, TimelineConfig(every=1))
+        _drive(recorder, rounds=3, deliveries_per_round=1)
+        # round r delivers to node r % 8, so node 1 first hears at round 1
+        assert recorder.first_delivery[0] == 0
+        assert recorder.first_delivery[1] == 1
+        assert recorder.first_delivery[5] == -1
+
+    def test_innovative_lands_in_the_open_bucket(self):
+        recorder = TimelineRecorder(8, TimelineConfig(every=2))
+        counters = ChannelCounters()
+        for round_index in range(4):
+            counters.rounds += 1
+            counters.broadcasts += 1
+            recorder.on_round(round_index, counters, [])
+            if round_index == 3:
+                # arrives after the epilogue, like Simulator.step dispatch
+                recorder.note_innovative(2)
+        recorder.finish()
+        innovative = recorder.rows()[:, DATA_COLUMNS.index("innovative")]
+        assert list(innovative) == [0, 2]
+
+
+class TestGrowth:
+    def test_rows_grow_past_initial_capacity(self):
+        recorder = TimelineRecorder(4, TimelineConfig(every=1))
+        _drive(recorder, rounds=600)
+        assert len(recorder) == 600
+        rows = recorder.rows()
+        assert list(rows[:, 0]) == list(range(600))
+        assert rows.dtype == np.int64
+
+    def test_finish_is_idempotent(self):
+        recorder = TimelineRecorder(4, TimelineConfig(every=4))
+        _drive(recorder, rounds=2)
+        length = len(recorder)
+        recorder.finish()
+        recorder.finish()
+        assert len(recorder) == length
+
+
+class TestConfig:
+    def test_defaults_round_trip(self):
+        config = TimelineConfig()
+        assert TimelineConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize("every", [0, -1, 1.5, True])
+    def test_rejects_bad_every(self, every):
+        with pytest.raises((ValueError, TypeError)):
+            TimelineConfig(every=every)
+
+    @pytest.mark.parametrize("detail", [0, -3, "many", False])
+    def test_rejects_bad_node_detail(self, detail):
+        with pytest.raises((ValueError, TypeError)):
+            TimelineConfig(node_detail=detail)
+
+    def test_recorder_rejects_empty_network(self):
+        with pytest.raises(ValueError):
+            TimelineRecorder(0, TimelineConfig())
