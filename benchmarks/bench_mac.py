@@ -1,0 +1,256 @@
+"""Contention-MAC kernel benchmark: vectorized slots must beat scalar.
+
+``python benchmarks/bench_mac.py [--scale smoke|full] [--output PATH]``
+emits ``BENCH_mac.json`` with three measurements:
+
+* ``mac_kernel`` — saturated ContentionChannel slots timed through the
+  vectorized ``transmit`` and the scalar ``transmit_reference`` on a
+  dense (complete) and a sparse (G(n, p)) collision domain, reported as
+  node-slots/s with the vectorized/scalar speedup. Outcome parity
+  (byte-identical counters) is asserted before any timing, so the two
+  legs provably run the same simulation.
+* ``bianchi_agreement`` — measured saturation collision probability and
+  throughput against the :mod:`repro.mac.analytic` fixed point, with
+  relative errors (the functional test enforces the 5% bar; the bench
+  records the actual numbers for PERFORMANCE.md).
+* the gate: vectorized must not be slower than scalar on the dense
+  domain (exit 1 otherwise).
+
+``pytest benchmarks/bench_mac.py --benchmark-only
+-o python_files='bench_*.py'`` runs the same measurement under
+pytest-benchmark.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.core.packets import MessagePacket
+from repro.mac import MacConfig, ContentionChannel, bianchi_fixed_point
+from repro.mac.saturation import saturation_sim
+from repro.telemetry.metrics import METRICS
+from repro.topologies import random_graphs
+from repro.topologies.basic import complete
+
+SCHEMA = "repro.bench_mac/1"
+
+#: vectorized must at least match the scalar reference on the dense domain
+SPEEDUP_BAR = 1.0
+
+_SCALES = {
+    "smoke": {"slots": 400, "repeats": 5, "dense_n": 256, "sparse_n": 1024},
+    "full": {"slots": 1500, "repeats": 9, "dense_n": 512, "sparse_n": 4096},
+}
+
+_CONFIG = MacConfig(cw_min=8, cw_max=64)
+
+
+def _saturated_actions(network):
+    packet = MessagePacket(0)
+    return {v: packet for v in network.nodes()}
+
+
+def _leg_run(network, actions, slots, kernel, seed=7):
+    channel = ContentionChannel(
+        network, rng=seed, kernel="vectorized", config=_CONFIG
+    )
+    step = channel.transmit if kernel == "vectorized" else (
+        channel.transmit_reference
+    )
+    for _ in range(slots):
+        step(actions)
+    return channel
+
+
+def _time_leg(network, actions, slots, kernel):
+    start = time.perf_counter()
+    _leg_run(network, actions, slots, kernel)
+    return time.perf_counter() - start
+
+
+def bench_mac_kernel(slots, repeats, dense_n, sparse_n, seed=7):
+    """Best-of-``repeats`` node-slots/s for both kernels on both domains."""
+    domains = {
+        "dense": complete(dense_n),
+        "sparse": random_graphs.gnp(sparse_n, 8.0 / sparse_n, rng=seed),
+    }
+    was_enabled = METRICS.enabled
+    METRICS.enabled = False
+    results = {}
+    try:
+        for name, network in domains.items():
+            actions = _saturated_actions(network)
+            # outcome parity before timing: both kernels must simulate
+            # the exact same slots or the speedup compares different work
+            vec = _leg_run(network, actions, 24, "vectorized", seed=seed)
+            ref = _leg_run(network, actions, 24, "scalar", seed=seed)
+            assert vec.counters.as_dict() == ref.counters.as_dict(), (
+                f"kernel parity broke on the {name} domain"
+            )
+
+            best = {"vectorized": float("inf"), "scalar": float("inf")}
+            for _ in range(repeats):
+                for kernel in best:
+                    best[kernel] = min(
+                        best[kernel],
+                        _time_leg(network, actions, slots, kernel),
+                    )
+            node_slots = network.n * slots
+            results[name] = {
+                "n": network.n,
+                "m": network.edge_count,
+                "legs": {
+                    kernel: {
+                        "seconds": round(seconds, 6),
+                        "node_slots_per_sec": round(node_slots / seconds, 1),
+                    }
+                    for kernel, seconds in best.items()
+                },
+                "speedup": round(
+                    best["scalar"] / best["vectorized"], 2
+                ),
+            }
+    finally:
+        METRICS.enabled = was_enabled
+    return {
+        "name": "mac_kernel",
+        "slots": slots,
+        "repeats": repeats,
+        "config": _CONFIG.to_dict(),
+        "domains": results,
+        "speedup_bar": SPEEDUP_BAR,
+    }
+
+
+def bench_bianchi_agreement(slots=20_000):
+    """Measured saturation stats vs the analytic fixed point."""
+    rows = []
+    for n, cw_min in ((5, 8), (10, 16), (20, 32)):
+        config = MacConfig(cw_min=cw_min, cw_max=8 * cw_min)
+        predicted = bianchi_fixed_point(n, cw_min=cw_min, cw_max=8 * cw_min)
+        measured = saturation_sim(n, config, slots, rng=1)
+        rows.append(
+            {
+                "n": n,
+                "cw_min": cw_min,
+                "collision_p_model": round(predicted.collision_probability, 5),
+                "collision_p_sim": round(measured.collision_probability, 5),
+                "collision_p_rel_err": round(
+                    abs(
+                        measured.collision_probability
+                        - predicted.collision_probability
+                    )
+                    / predicted.collision_probability,
+                    5,
+                ),
+                "throughput_model": round(
+                    predicted.slot_throughput(sense=True), 5
+                ),
+                "throughput_sim": round(measured.throughput, 5),
+                "throughput_rel_err": round(
+                    abs(
+                        measured.throughput
+                        - predicted.slot_throughput(sense=True)
+                    )
+                    / predicted.slot_throughput(sense=True),
+                    5,
+                ),
+            }
+        )
+    return {"name": "bianchi_agreement", "slots": slots, "rows": rows}
+
+
+def run_mac_benchmarks(scale="smoke"):
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {scale!r}")
+    sizes = _SCALES[scale]
+    kernel = bench_mac_kernel(
+        sizes["slots"], sizes["repeats"], sizes["dense_n"], sizes["sparse_n"]
+    )
+    agreement = bench_bianchi_agreement()
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "results": [kernel, agreement],
+    }
+
+
+def _gate(report):
+    """Print the verdicts; return the exit status."""
+    kernel = report["results"][0]
+    for name, domain in kernel["domains"].items():
+        legs = domain["legs"]
+        print(
+            f"mac_kernel {name:>7} (n={domain['n']}): "
+            f"vectorized {legs['vectorized']['node_slots_per_sec']:>12.1f} "
+            f"node-slots/s, scalar "
+            f"{legs['scalar']['node_slots_per_sec']:>12.1f}, "
+            f"speedup {domain['speedup']:.2f}x"
+        )
+    agreement = report["results"][1]
+    for row in agreement["rows"]:
+        print(
+            f"bianchi n={row['n']:<3} W={row['cw_min']:<3} "
+            f"collision_p err {row['collision_p_rel_err'] * 100:.2f}%  "
+            f"throughput err {row['throughput_rel_err'] * 100:.2f}%"
+        )
+    dense = kernel["domains"]["dense"]
+    if dense["speedup"] < SPEEDUP_BAR:
+        print(
+            f"FAIL: vectorized kernel is {dense['speedup']:.2f}x scalar on "
+            f"the dense domain, below the {SPEEDUP_BAR:.1f}x bar"
+        )
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="smoke")
+    parser.add_argument("--output", default="BENCH_mac.json")
+    args = parser.parse_args(argv)
+
+    report = run_mac_benchmarks(scale=args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    status = _gate(report)
+    print(f"wrote {args.output}")
+    return status
+
+
+# -- pytest-benchmark wrappers ----------------------------------------------
+
+
+def test_mac_kernel(benchmark, repro_scale):
+    sizes = _SCALES[repro_scale]
+    result = benchmark.pedantic(
+        lambda: bench_mac_kernel(
+            sizes["slots"], sizes["repeats"], sizes["dense_n"],
+            sizes["sparse_n"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["result"] = result
+    assert result["domains"]["dense"]["speedup"] >= SPEEDUP_BAR
+
+
+def test_bianchi_agreement(benchmark):
+    result = benchmark.pedantic(
+        bench_bianchi_agreement, rounds=1, iterations=1
+    )
+    benchmark.extra_info["result"] = result
+    for row in result["rows"]:
+        assert row["collision_p_rel_err"] <= 0.05
+        assert row["throughput_rel_err"] <= 0.05
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ __all__ = [
     "broadcast_probe",
     "effective_loss_rate",
     "as_adversary",
+    "channel_slowdown",
     "ilog2",
 ]
 
@@ -57,6 +58,17 @@ class BroadcastOutcome:
         return self.informed / self.total
 
 
+def channel_slowdown(channel) -> float:
+    """Budget multiplier for the scenario's channel (1.0 for the default).
+
+    Under contention a broadcast attempt spends ~``(cw_min+1)/2`` slots in
+    backoff plus the transmission slot before it can land, so round budgets
+    sized for the paper's always-deliver channel must stretch by the
+    channel's :meth:`~repro.mac.config.MacConfig.planning_slowdown`.
+    """
+    return 1.0 if channel is None else channel.planning_slowdown()
+
+
 def run_broadcast(
     network: RadioNetwork,
     protocols: Sequence[NodeProtocol],
@@ -64,9 +76,10 @@ def run_broadcast(
     rng: "int | RandomSource | None",
     max_rounds: int,
     adversary: "Adversary | AdversaryConfig | None" = None,
+    channel=None,
 ) -> BroadcastOutcome:
     """Drive ``protocols`` until every node is done or the budget expires."""
-    sim = Simulator(network, protocols, faults, rng, adversary=adversary)
+    sim = Simulator(network, protocols, faults, rng, adversary=adversary, channel=channel)
     executed = sim.run(max_rounds)
     success = sim.all_done()
     return BroadcastOutcome(

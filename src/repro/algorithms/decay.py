@@ -17,6 +17,7 @@ from typing import Optional
 from repro.algorithms.base import (
     BroadcastOutcome,
     as_adversary,
+    channel_slowdown,
     effective_loss_rate,
     ilog2,
     run_broadcast,
@@ -82,6 +83,7 @@ def decay_broadcast(
     rng: "int | RandomSource | None" = None,
     max_rounds: Optional[int] = None,
     adversary=None,
+    channel=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with Decay.
 
@@ -89,7 +91,8 @@ def decay_broadcast(
     ``O(log n / (1-p) · (D + log n))`` so that a timeout signals a real
     anomaly rather than an unlucky run. ``adversary`` swaps the i.i.d.
     fault coins for a registered adversary model (budgets then plan for
-    its nominal loss rate).
+    its nominal loss rate); ``channel`` swaps the always-deliver medium
+    for a contention MAC (budgets stretch by its planning slowdown).
     """
     adversary = as_adversary(adversary)
     source = spawn_rng(rng)
@@ -98,11 +101,18 @@ def decay_broadcast(
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(40 * slowdown * log_n * (depth + log_n)) + 100
     protocols = [
         DecayProtocol(n, source.spawn(), informed=(v == network.source))
         for v in network.nodes()
     ]
     return run_broadcast(
-        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+        network,
+        protocols,
+        faults,
+        source.spawn(),
+        max_rounds,
+        adversary=adversary,
+        channel=channel,
     )

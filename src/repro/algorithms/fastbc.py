@@ -20,6 +20,7 @@ from typing import Optional
 from repro.algorithms.base import (
     BroadcastOutcome,
     as_adversary,
+    channel_slowdown,
     effective_loss_rate,
     ilog2,
     run_broadcast,
@@ -146,6 +147,7 @@ def fastbc_broadcast(
     tree: Optional[RankedBFSTree] = None,
     decay_interleave: bool = True,
     adversary=None,
+    channel=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with FASTBC.
 
@@ -160,6 +162,7 @@ def fastbc_broadcast(
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(60 * slowdown * log_n * (depth + log_n)) + 100
         if not decay_interleave:
             # pure-wave mode pays the full Theta(log n) wave period per
@@ -169,5 +172,11 @@ def fastbc_broadcast(
         network, source, tree=tree, decay_interleave=decay_interleave
     )
     return run_broadcast(
-        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+        network,
+        protocols,
+        faults,
+        source.spawn(),
+        max_rounds,
+        adversary=adversary,
+        channel=channel,
     )

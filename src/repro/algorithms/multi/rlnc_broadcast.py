@@ -26,7 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.algorithms.base import as_adversary, effective_loss_rate, ilog2
+from repro.algorithms.base import (
+    as_adversary,
+    channel_slowdown,
+    effective_loss_rate,
+    ilog2,
+)
 from repro.algorithms.robust_fastbc import (
     DEFAULT_ROUND_MULTIPLIER,
     block_size,
@@ -198,6 +203,7 @@ def _run_gossip(
     rng: RandomSource,
     max_rounds: int,
     adversary=None,
+    channel=None,
 ) -> MultiMessageOutcome:
     if messages is None:
         if payload_length:
@@ -218,7 +224,9 @@ def _run_gossip(
         protocols.append(
             RLNCGossipProtocol(patterns[v], encoder, rng.spawn())
         )
-    sim = Simulator(network, protocols, faults, rng.spawn(), adversary=adversary)
+    sim = Simulator(
+        network, protocols, faults, rng.spawn(), adversary=adversary, channel=channel
+    )
     timeline = sim.channel.timeline
     if timeline.enabled:
         # rank progress rides the same recorder the channel feeds; the
@@ -246,6 +254,7 @@ def rlnc_decay_broadcast(
     messages: Optional[list[bytes]] = None,
     max_rounds: Optional[int] = None,
     adversary=None,
+    channel=None,
 ) -> MultiMessageOutcome:
     """Broadcast k messages with RLNC over the Decay pattern (Lemma 12)."""
     check_positive(k, "k")
@@ -256,6 +265,7 @@ def rlnc_decay_broadcast(
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(
             40 * slowdown * (depth * log_n + k * log_n + log_n * log_n)
         ) + 200
@@ -263,7 +273,7 @@ def rlnc_decay_broadcast(
     patterns = [pattern for _ in network.nodes()]
     return _run_gossip(
         network, patterns, k, payload_length, messages, faults, source,
-        max_rounds, adversary=adversary,
+        max_rounds, adversary=adversary, channel=channel,
     )
 
 
@@ -279,6 +289,7 @@ def rlnc_robust_fastbc_broadcast(
     block: Optional[int] = None,
     round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
     adversary=None,
+    channel=None,
 ) -> MultiMessageOutcome:
     """Broadcast k messages with RLNC over Robust FASTBC (Lemma 13)."""
     check_positive(k, "k")
@@ -292,6 +303,7 @@ def rlnc_robust_fastbc_broadcast(
         log_log_n = block_size(n)
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(
             slowdown
             * (
@@ -306,7 +318,7 @@ def rlnc_robust_fastbc_broadcast(
     ]
     return _run_gossip(
         network, patterns, k, payload_length, messages, faults, source,
-        max_rounds, adversary=adversary,
+        max_rounds, adversary=adversary, channel=channel,
     )
 
 
@@ -320,6 +332,7 @@ def rlnc_dense_wave_broadcast(
     max_rounds: Optional[int] = None,
     tree: Optional[RankedBFSTree] = None,
     adversary=None,
+    channel=None,
 ) -> MultiMessageOutcome:
     """Exploratory: RLNC over the dense-wave pattern (open problem).
 
@@ -337,6 +350,7 @@ def rlnc_dense_wave_broadcast(
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(
             40 * slowdown * (depth + k * log_n + log_n * log_n)
         ) + 400
@@ -345,5 +359,5 @@ def rlnc_dense_wave_broadcast(
     ]
     return _run_gossip(
         network, patterns, k, payload_length, messages, faults, source,
-        max_rounds, adversary=adversary,
+        max_rounds, adversary=adversary, channel=channel,
     )

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.algorithms.base import (
     BroadcastOutcome,
     as_adversary,
+    channel_slowdown,
     effective_loss_rate,
     ilog2,
     run_broadcast,
@@ -80,6 +81,7 @@ def repeated_fastbc_broadcast(
     max_rounds: Optional[int] = None,
     tree: Optional[RankedBFSTree] = None,
     adversary=None,
+    channel=None,
 ) -> BroadcastOutcome:
     """Broadcast with the repetition baseline (factor ``repeat``)."""
     adversary = as_adversary(adversary)
@@ -91,6 +93,7 @@ def repeated_fastbc_broadcast(
         log_n = ilog2(n) + 1
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = int(60 * repeat * slowdown * (depth + log_n * log_n)) + 200
     protocols = [
         RepeatedFastBCProtocol(
@@ -99,5 +102,11 @@ def repeated_fastbc_broadcast(
         for v in network.nodes()
     ]
     return run_broadcast(
-        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+        network,
+        protocols,
+        faults,
+        source.spawn(),
+        max_rounds,
+        adversary=adversary,
+        channel=channel,
     )

@@ -30,6 +30,7 @@ from typing import Optional
 from repro.algorithms.base import (
     BroadcastOutcome,
     as_adversary,
+    channel_slowdown,
     effective_loss_rate,
     ilog2,
     run_broadcast,
@@ -192,6 +193,7 @@ def robust_fastbc_broadcast(
     round_multiplier: int = DEFAULT_ROUND_MULTIPLIER,
     decay_interleave: bool = True,
     adversary=None,
+    channel=None,
 ) -> BroadcastOutcome:
     """Broadcast one message from the source with Robust FASTBC."""
     adversary = as_adversary(adversary)
@@ -202,6 +204,7 @@ def robust_fastbc_broadcast(
         log_log_n = block_size(n)
         depth = max(1, network.source_eccentricity)
         slowdown = 1.0 / (1.0 - effective_loss_rate(faults, adversary))
+        slowdown *= channel_slowdown(channel)
         max_rounds = (
             int(
                 slowdown
@@ -223,5 +226,11 @@ def robust_fastbc_broadcast(
         decay_interleave=decay_interleave,
     )
     return run_broadcast(
-        network, protocols, faults, source.spawn(), max_rounds, adversary=adversary
+        network,
+        protocols,
+        faults,
+        source.spawn(),
+        max_rounds,
+        adversary=adversary,
+        channel=channel,
     )

@@ -80,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list only the registered adversary models",
     )
     lst.add_argument(
+        "--channels",
+        action="store_true",
+        help="list only the registered channel kinds",
+    )
+    lst.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -102,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="output format",
     )
     _add_adversary_arguments(run)
+    _add_channel_arguments(run)
 
     swp = sub.add_parser(
         "sweep",
@@ -138,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="algorithm parameter (repeatable); VALUE parses as JSON when it can",
     )
     _add_adversary_arguments(swp)
+    _add_channel_arguments(swp)
     swp.add_argument(
         "--max-rounds", type=int, default=None, help="round budget override"
     )
@@ -857,6 +864,38 @@ def _parse_adversary(args: argparse.Namespace) -> Optional[AdversaryConfig]:
     return config
 
 
+def _add_channel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--channel",
+        default="default",
+        metavar="KIND",
+        help=(
+            "channel kind: 'default' (the paper's collision channel) or "
+            "'contention' (CSMA/CA MAC; see 'repro list --channels')"
+        ),
+    )
+    parser.add_argument(
+        "--channel-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "channel parameter (repeatable); VALUE parses as JSON when "
+            "it can"
+        ),
+    )
+
+
+def _parse_channel(args: argparse.Namespace) -> tuple[str, dict]:
+    """``--channel``/``--channel-param`` -> a validated (kind, params) pair."""
+    params = _parse_params(args.channel_param)
+    # fail fast on unknown kinds or parameter keys/values
+    from repro.mac.config import make_channel_config
+
+    make_channel_config(args.channel, params)
+    return args.channel, params
+
+
 def _render(table, fmt: str) -> str:
     if fmt == "csv":
         return table.to_csv()
@@ -912,12 +951,29 @@ def _print_adversary_section() -> None:
             print(f"  {'':<24} params: {declared}")
 
 
+def _print_channel_section() -> None:
+    from repro.mac.config import CHANNEL_KINDS
+
+    print("channels (repro sweep --channel KIND):")
+    for name in sorted(CHANNEL_KINDS):
+        kind = CHANNEL_KINDS[name]
+        print(f"  {name:<24} {kind['summary']}")
+        if kind["params"]:
+            declared = ", ".join(
+                f"{key}={value!r}" for key, value in kind["params"].items()
+            )
+            print(f"  {'':<24} params: {declared}")
+
+
 def _command_list(args: argparse.Namespace) -> int:
     if args.format == "json":
         print(json.dumps(registry_dump(args.adversaries), indent=2))
         return 0
     if args.adversaries:
         _print_adversary_section()
+        return 0
+    if args.channels:
+        _print_channel_section()
         return 0
     print("experiments:")
     for experiment in all_experiments():
@@ -937,6 +993,8 @@ def _command_list(args: argparse.Namespace) -> int:
     print(f"topologies (repro sweep --topology NAME): {families}")
     print()
     _print_adversary_section()
+    print()
+    _print_channel_section()
     return 0
 
 
@@ -952,6 +1010,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seeds = _parse_seeds(args.seeds)
         params = _parse_params(args.param)
         adversary = _parse_adversary(args)
+        channel, channel_params = _parse_channel(args)
         if args.fault_model == "none":
             faults = FaultConfig.faultless()
         else:
@@ -969,6 +1028,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             adversary=adversary,
             seed=seeds[0],
             max_rounds=args.max_rounds,
+            channel=channel,
+            channel_params=channel_params,
         )
         scenarios = expand_grid(
             base, seeds=seeds, grid={"algorithm": algorithms}
@@ -1255,6 +1316,18 @@ def _top_frame(client) -> str:
     total_http = sum(entry["value"] for entry in http.get("labeled", []))
     if total_http:
         parts.append(f"http_requests={total_http}")
+    # contention-MAC health: collisions per delivery (only shown once the
+    # service has actually run contention-channel scenarios)
+    mac_collisions = (metrics.get("repro_mac_collisions_total") or {}).get(
+        "value", 0
+    )
+    deliveries = (metrics.get("repro_channel_deliveries_total") or {}).get(
+        "value", 0
+    )
+    if mac_collisions and deliveries:
+        parts.append(
+            f"mac_collisions/deliveries={mac_collisions / deliveries:.3f}"
+        )
     if parts:
         lines.append("metrics: " + "  ".join(parts))
     return "\n".join(lines)
@@ -1523,10 +1596,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         adversary = _parse_adversary(args)
+        channel_kind, channel_params = _parse_channel(args)
     except (KeyError, ValueError, TypeError) as error:
         message = error.args[0] if error.args else error
         print(message, file=sys.stderr)
         return 2
+    # only a non-default channel is an override an experiment must opt into
+    channel = (
+        None
+        if channel_kind == "default" and not channel_params
+        else (channel_kind, channel_params)
+    )
 
     if args.id.lower() == "all":
         experiments = all_experiments()
@@ -1540,7 +1620,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for experiment in experiments:
         try:
             table = experiment(
-                scale=args.scale, seed=args.seed, adversary=adversary
+                scale=args.scale,
+                seed=args.seed,
+                adversary=adversary,
+                channel=channel,
             )
         except ValueError as error:
             print(error, file=sys.stderr)

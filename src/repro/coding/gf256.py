@@ -140,9 +140,44 @@ class GF256:
         products = _MUL_TABLE[a, b]
         return int(np.bitwise_xor.reduce(products)) if products.size else 0
 
+    #: above this many elements the 3-D broadcast in :meth:`matmul` would
+    #: materialize a >16 MiB index tensor; fall back to the per-term loop
+    MATMUL_BROADCAST_LIMIT = 1 << 24
+
     @staticmethod
     def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Matrix product of uint8 matrices over GF(2^8)."""
+        """Matrix product of uint8 matrices over GF(2^8).
+
+        Small products go through a single broadcast table lookup over the
+        full (rows, inner, cols) tensor with one XOR reduction; products
+        whose intermediate would exceed :attr:`MATMUL_BROADCAST_LIMIT`
+        elements fall back to the per-inner-term loop of
+        :meth:`matmul_reference`, which peaks at one (rows, cols) slab.
+        """
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("matmul requires 2-D arrays")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dimensions differ: {a.shape} x {b.shape}")
+        rows, inner = a.shape
+        cols = b.shape[1]
+        if inner == 0:
+            # bitwise_xor.reduce over an empty axis has no identity for the
+            # broadcast path; the empty sum is the zero matrix
+            return np.zeros((rows, cols), dtype=np.uint8)
+        if rows * inner * cols > GF256.MATMUL_BROADCAST_LIMIT:
+            return GF256.matmul_reference(a, b)
+        shifted = a.astype(np.int32) << 8
+        index = b[np.newaxis, :, :] + shifted[:, :, np.newaxis]
+        return np.bitwise_xor.reduce(_MUL_FLAT.take(index), axis=1)
+
+    @staticmethod
+    def matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Loop-over-inner-dimension matrix product; memory stays O(rows*cols).
+
+        The property suite checks :meth:`matmul` against this term-by-term
+        form; ``matmul`` also dispatches here when the broadcast tensor
+        would be too large.
+        """
         if a.ndim != 2 or b.ndim != 2:
             raise ValueError("matmul requires 2-D arrays")
         if a.shape[1] != b.shape[0]:

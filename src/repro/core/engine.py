@@ -468,6 +468,11 @@ class Simulator:
     adversary:
         Optional channel corruption strategy (see :class:`Channel`);
         mutually exclusive with a non-faultless ``faults``.
+    channel:
+        Optional :class:`~repro.mac.config.MacConfig`: run on the
+        contention MAC channel (:class:`~repro.mac.channel.ContentionChannel`)
+        instead of the default collision channel. ``None`` (default)
+        keeps the paper's channel, bit-for-bit.
     """
 
     def __init__(
@@ -479,6 +484,7 @@ class Simulator:
         trace: Optional[TraceRecorder] = None,
         kernel: str = "auto",
         adversary: "Adversary | AdversaryConfig | None" = None,
+        channel: "MacConfig | None" = None,
     ) -> None:
         if len(protocols) != network.n:
             raise SimulationError(
@@ -486,9 +492,24 @@ class Simulator:
             )
         self.network = network
         self.protocols = list(protocols)
-        self.channel = Channel(
-            network, faults, rng, trace, kernel=kernel, adversary=adversary
-        )
+        if channel is None:
+            self.channel = Channel(
+                network, faults, rng, trace, kernel=kernel, adversary=adversary
+            )
+        else:
+            # deferred import: repro.mac.channel subclasses Channel, so a
+            # module-level import here would be circular
+            from repro.mac.channel import ContentionChannel
+
+            self.channel = ContentionChannel(
+                network,
+                faults,
+                rng,
+                trace,
+                kernel=kernel,
+                adversary=adversary,
+                config=channel,
+            )
         # an armed timeline capture (repro.timeline.capture) binds its
         # flight recorder to the first simulator built inside the context
         maybe_bind_simulator(self)

@@ -75,13 +75,56 @@ class TraceRecorder:
         accounted, not silent: ``dropped`` counts the events lost to the
         cap, :meth:`as_dict` exposes it, and the first drop emits one
         :class:`RuntimeWarning`.
+    sample:
+        Fraction of offered events kept, decided per event by a hash of
+        ``(sample_seed, event position)`` — the same idiom as
+        :class:`~repro.telemetry.tracing.TraceSink`'s per-trace coin, so
+        two runs of the same simulation (or the scalar and vectorized
+        channel kernels replaying identical event streams) keep the
+        *same* subset. 1.0 (the default) keeps everything and skips the
+        coin entirely; events skipped by sampling are counted in
+        ``sampled_out`` and never touch the cap.
+    sample_seed:
+        Seed for the per-event coin; vary it to draw a different (still
+        deterministic) subset at the same rate.
     """
 
-    def __init__(self, enabled: bool = False, max_events: int = 1_000_000) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_events: int = 1_000_000,
+        sample: float = 1.0,
+        sample_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be in [0, 1], got {sample}")
         self.enabled = enabled
         self.max_events = max_events
+        self.sample = float(sample)
+        self.sample_seed = int(sample_seed)
         self.events: list[TraceEvent] = []
         self.dropped = 0
+        self.sampled_out = 0
+        self._offered = 0
+
+    def _keeps(self, index: int) -> bool:
+        """The sampling decision for the ``index``-th offered event.
+
+        Pure in ``(sample_seed, index)``: a splitmix64 finalizer turns
+        the position into a uniform coin, so the kept subset depends only
+        on the event order, never on wall time or process state.
+        """
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        x = (
+            self.sample_seed * 0x9E3779B97F4A7C15 + index + 1
+        ) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 31
+        return x / float(1 << 64) < self.sample
 
     def record(
         self,
@@ -92,6 +135,11 @@ class TraceRecorder:
         detail: Any = None,
     ) -> None:
         if not self.enabled:
+            return
+        index = self._offered
+        self._offered += 1
+        if not self._keeps(index):
+            self.sampled_out += 1
             return
         if len(self.events) >= self.max_events:
             if self.dropped == 0:
@@ -114,6 +162,8 @@ class TraceRecorder:
             "max_events": self.max_events,
             "recorded": len(self.events),
             "dropped": self.dropped,
+            "sample": self.sample,
+            "sampled_out": self.sampled_out,
         }
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:
@@ -125,6 +175,8 @@ class TraceRecorder:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self.sampled_out = 0
+        self._offered = 0
 
     def __len__(self) -> int:
         return len(self.events)

@@ -32,6 +32,7 @@ from repro.experiments import (  # noqa: F401  (import = registration)
     e20_adversary_gap,
     e21_certified_gap,
     e22_timeline_wavefront,
+    e23_contention_gap,
     x1_open_problem,
 )
 from repro.experiments.common import Experiment, all_experiments, get_experiment

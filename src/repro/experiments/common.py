@@ -45,7 +45,10 @@ class Experiment:
     ``adversary`` argument (an
     :class:`~repro.core.faults.AdversaryConfig` or None) so the CLI can
     thread ``--adversary`` through; the classic reproductions pin their
-    fault structure and reject the override.
+    fault structure and reject the override. ``accepts_channel`` marks
+    drivers that additionally take a ``channel`` keyword — a validated
+    ``(kind, params)`` pair from ``--channel``/``--channel-param`` — to
+    override the channel knobs the driver would otherwise default.
     """
 
     id: str
@@ -53,13 +56,19 @@ class Experiment:
     claim: str
     run: Callable[..., Table]
     accepts_adversary: bool = False
+    accepts_channel: bool = False
 
     def __call__(
-        self, scale: str = "smoke", seed: int = 0, adversary=None
+        self, scale: str = "smoke", seed: int = 0, adversary=None, channel=None
     ) -> Table:
         if scale not in VALID_SCALES:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {VALID_SCALES}"
+            )
+        if channel is not None and not self.accepts_channel:
+            raise ValueError(
+                f"experiment {self.id} does not accept a channel override "
+                "(its channel model is part of the reproduced claim)"
             )
         if not self.accepts_adversary:
             if adversary is not None:
@@ -68,12 +77,20 @@ class Experiment:
                     "override (its fault structure is part of the "
                     "reproduced claim)"
                 )
+            if self.accepts_channel:
+                return self.run(scale, seed, channel=channel)
             return self.run(scale, seed)
+        if self.accepts_channel:
+            return self.run(scale, seed, adversary, channel=channel)
         return self.run(scale, seed, adversary)
 
 
 def register(
-    id: str, title: str, claim: str, accepts_adversary: bool = False
+    id: str,
+    title: str,
+    claim: str,
+    accepts_adversary: bool = False,
+    accepts_channel: bool = False,
 ) -> Callable[[Callable[..., Table]], Experiment]:
     """Decorator registering an experiment driver under ``id``."""
 
@@ -86,6 +103,7 @@ def register(
             claim=claim,
             run=fn,
             accepts_adversary=accepts_adversary,
+            accepts_channel=accepts_channel,
         )
         _REGISTRY[id] = experiment
         return experiment

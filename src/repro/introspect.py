@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.adversary import all_adversaries
 from repro.experiments import all_experiments
+from repro.mac.config import CHANNEL_KINDS
 from repro.runner import all_algorithms
 from repro.topologies.registry import TOPOLOGY_FAMILIES
 
@@ -40,6 +41,7 @@ def registry_dump(adversaries_only: bool = False) -> dict[str, Any]:
                 "title": e.title,
                 "claim": e.claim,
                 "accepts_adversary": e.accepts_adversary,
+                "accepts_channel": e.accepts_channel,
             }
             for e in all_experiments()
         ],
@@ -59,4 +61,12 @@ def registry_dump(adversaries_only: bool = False) -> dict[str, Any]:
         ],
         "topologies": sorted(TOPOLOGY_FAMILIES),
         "adversaries": adversaries,
+        "channels": [
+            {
+                "name": name,
+                "summary": CHANNEL_KINDS[name]["summary"],
+                "params": dict(CHANNEL_KINDS[name]["params"]),
+            }
+            for name in sorted(CHANNEL_KINDS)
+        ],
     }

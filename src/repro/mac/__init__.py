@@ -1,0 +1,34 @@
+"""Contention-based medium access control (CSMA/CA) for the simulator.
+
+The :mod:`repro.mac` subsystem adds a channel mode where message loss is
+*endogenous* — collisions caused by the protocol's own traffic under
+slotted CSMA/CA medium access — instead of injected by an adversary.
+Select it per scenario with ``Scenario(channel="contention",
+channel_params={...})``; see :class:`~repro.mac.config.MacConfig` for
+the knobs and :class:`~repro.mac.channel.ContentionChannel` for the slot
+semantics. :mod:`repro.mac.analytic` provides the Bianchi-style
+closed-form saturation model the simulation is validated against.
+"""
+
+from repro.mac.analytic import BianchiPrediction, bianchi_fixed_point
+from repro.mac.channel import ContentionChannel, MacCounters
+from repro.mac.config import (
+    CHANNEL_KINDS,
+    MacConfig,
+    all_channels,
+    make_channel_config,
+)
+from repro.mac.saturation import SaturationResult, saturation_sim
+
+__all__ = [
+    "BianchiPrediction",
+    "CHANNEL_KINDS",
+    "ContentionChannel",
+    "MacConfig",
+    "MacCounters",
+    "SaturationResult",
+    "all_channels",
+    "bianchi_fixed_point",
+    "make_channel_config",
+    "saturation_sim",
+]

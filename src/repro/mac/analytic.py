@@ -1,0 +1,129 @@
+"""Bianchi-style closed-form saturation analysis of the contention MAC.
+
+For a *single collision domain* (every node hears every other — the
+``complete`` topology family) under saturation (every node offers a
+packet every slot), the contention channel's per-node backoff process is
+exactly the discrete-time Markov chain of Bianchi's WLAN model: a node
+at backoff stage ``i`` draws its counter uniformly from
+``[0, W_i - 1]``, counts down one slot at a time, transmits when it
+fires, then resets on success or escalates on collision.
+
+Under Bianchi's decoupling approximation — each transmission collides
+with a constant, state-independent probability ``p`` — the chain yields
+a closed-form per-slot transmission probability ``tau``; self-consistency
+with ``p = 1 - (1 - tau)^(n-1)`` gives a fixed point solvable by
+bisection. :func:`bianchi_fixed_point` solves the *generalized* form
+
+``tau = 1 / sum_i q_i * (W_i + 1) / 2``
+
+where ``q_i`` is the stationary fraction of transmission attempts made
+at stage ``i`` (``(1-p) p^i`` below the ceiling, ``p^m`` at it) — this
+reduces to Bianchi's published formula when ``cw_max = cw_min * 2^m``
+and stays exact for clamped windows, with no singularity at ``p = 1/2``.
+
+The simulation cross-check (``tests/mac/test_bianchi_crosscheck.py``)
+drives :func:`~repro.mac.saturation.saturation_sim` against these
+predictions; the only error left is the decoupling approximation itself
+plus Monte-Carlo noise, so the tolerance bar is a few percent (see
+PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.config import MacConfig
+
+__all__ = ["BianchiPrediction", "bianchi_fixed_point"]
+
+
+@dataclass(frozen=True)
+class BianchiPrediction:
+    """The saturation fixed point for one (n, MacConfig) pair.
+
+    ``tau`` is the per-chain-slot transmission probability of one node;
+    ``collision_probability`` the conditional probability that a given
+    transmission collides; ``throughput`` the per-chain-slot probability
+    of a successful slot (exactly one transmitter); ``busy_probability``
+    the probability a chain slot carries at least one transmission.
+    """
+
+    n: int
+    cw_min: int
+    cw_max: int
+    tau: float
+    collision_probability: float
+    throughput: float
+    busy_probability: float
+
+    def slot_throughput(self, sense: bool) -> float:
+        """Successful-slot rate in *simulated* slots.
+
+        Without carrier sensing, simulated slots are chain slots. With
+        sensing, every busy chain slot is followed by one freeze slot in
+        which the whole collision domain defers, so a chain slot costs
+        ``1 + busy_probability`` simulated slots in expectation and the
+        observed rate scales down accordingly. Collision probability is
+        per transmission and therefore unaffected by sensing.
+        """
+        if not sense:
+            return self.throughput
+        return self.throughput / (1.0 + self.busy_probability)
+
+
+def _tau_of_p(p: float, config: MacConfig) -> float:
+    """Per-slot transmission probability given a collision probability.
+
+    Renewal-reward over transmission attempts: an attempt at stage ``i``
+    occupies ``(W_i + 1) / 2`` chain slots in expectation (uniform
+    counter in ``[0, W_i - 1]`` plus the transmission slot), and the
+    stage of a random attempt is geometric in ``p`` with the ceiling
+    stage absorbing the tail.
+    """
+    m = config.max_stage
+    expected_slots = 0.0
+    weight = 1.0  # p**i
+    for stage in range(m + 1):
+        q = weight if stage == m else (1.0 - p) * weight
+        expected_slots += q * (config.window(stage) + 1) / 2.0
+        weight *= p
+    return 1.0 / expected_slots
+
+
+def bianchi_fixed_point(
+    n: int, cw_min: int = 8, cw_max: int = 256
+) -> BianchiPrediction:
+    """Solve the saturation fixed point for ``n`` contenders.
+
+    Bisection on ``g(tau) = tau - tau_model(1 - (1 - tau)^(n-1))``:
+    ``tau_model`` is decreasing in ``p`` and ``p`` increasing in ``tau``,
+    so ``g`` is monotone and the root unique.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    config = MacConfig(cw_min=cw_min, cw_max=cw_max)
+
+    def g(tau: float) -> float:
+        p = 1.0 - (1.0 - tau) ** (n - 1)
+        return tau - _tau_of_p(p, config)
+
+    lo, hi = 0.0, 1.0
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if g(mid) < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    tau = (lo + hi) / 2.0
+    p = 1.0 - (1.0 - tau) ** (n - 1)
+    throughput = n * tau * (1.0 - tau) ** (n - 1)
+    busy = 1.0 - (1.0 - tau) ** n
+    return BianchiPrediction(
+        n=n,
+        cw_min=cw_min,
+        cw_max=cw_max,
+        tau=tau,
+        collision_probability=p,
+        throughput=throughput,
+        busy_probability=busy,
+    )

@@ -1,0 +1,184 @@
+"""Contention-channel configuration.
+
+:class:`MacConfig` is the serializable knob carried by
+:class:`~repro.runner.scenario.Scenario` when ``channel="contention"``:
+how aggressively nodes contend for the medium. Like
+:class:`~repro.timeline.config.TimelineConfig` it deliberately imports
+nothing heavy — the scenario layer validates channel parameters without
+pulling in numpy or the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "MacConfig",
+    "CHANNEL_KINDS",
+    "all_channels",
+    "make_channel_config",
+]
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Slotted CSMA/CA medium-access parameters.
+
+    Parameters
+    ----------
+    cw_min:
+        Initial contention window: a fresh (or just-successful) node
+        draws its backoff counter uniformly from ``[0, cw_min - 1]``.
+    cw_max:
+        Contention-window ceiling for binary exponential backoff: after
+        ``i`` consecutive failures the window is
+        ``min(cw_min * 2**i, cw_max)``.
+    sense:
+        Carrier sensing: when True a contender that heard energy (its own
+        or any neighbor's transmission) in the *previous* slot defers —
+        it neither transmits nor decrements its counter. Sensing is
+        local, which is exactly what makes hidden terminals possible:
+        two transmitters outside each other's sensing range still
+        destroy a shared receiver's reception.
+    capture:
+        Capture-effect threshold ratio (``0.0`` disables). When set
+        (must be ``>= 1.0``), every transmitter draws a per-slot power
+        uniform in [0, 1); a receiver hearing several transmitters still
+        captures the strongest one iff its power is at least ``capture``
+        times the runner-up's.
+    """
+
+    cw_min: int = 8
+    cw_max: int = 256
+    sense: bool = True
+    capture: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cw_min, int) or isinstance(self.cw_min, bool):
+            raise TypeError(
+                f"cw_min must be an int, got {type(self.cw_min).__name__}"
+            )
+        if not isinstance(self.cw_max, int) or isinstance(self.cw_max, bool):
+            raise TypeError(
+                f"cw_max must be an int, got {type(self.cw_max).__name__}"
+            )
+        if self.cw_min < 1:
+            raise ValueError(f"cw_min must be >= 1, got {self.cw_min}")
+        if self.cw_max < self.cw_min:
+            raise ValueError(
+                f"cw_max ({self.cw_max}) must be >= cw_min ({self.cw_min})"
+            )
+        if not isinstance(self.sense, bool):
+            raise TypeError(
+                f"sense must be a bool, got {type(self.sense).__name__}"
+            )
+        if not isinstance(self.capture, (int, float)) or isinstance(
+            self.capture, bool
+        ):
+            raise TypeError(
+                f"capture must be a number, got {type(self.capture).__name__}"
+            )
+        object.__setattr__(self, "capture", float(self.capture))
+        if self.capture != 0.0 and self.capture < 1.0:
+            raise ValueError(
+                "capture is a power-ratio threshold: 0.0 (off) or >= 1.0, "
+                f"got {self.capture}"
+            )
+
+    @property
+    def max_stage(self) -> int:
+        """Backoff stages until the window saturates at ``cw_max``."""
+        stage = 0
+        window = self.cw_min
+        while window < self.cw_max:
+            window = min(window * 2, self.cw_max)
+            stage += 1
+        return stage
+
+    def window(self, stage: int) -> int:
+        """Contention window after ``stage`` consecutive failures."""
+        if stage < 0:
+            raise ValueError(f"stage must be >= 0, got {stage}")
+        return min(self.cw_min << min(stage, self.max_stage), self.cw_max)
+
+    def planning_slowdown(self) -> float:
+        """Round-budget multiplier contention costs a broadcast schedule.
+
+        A node that decides to broadcast waits ``(cw_min + 1) / 2`` slots
+        in expectation before its counter fires (plus defers); budget
+        formulas multiply their fault slowdown by this planning figure so
+        that timeouts keep signaling anomalies, not medium access.
+        """
+        return (self.cw_min + 1) / 2.0 + 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cw_min": self.cw_min,
+            "cw_max": self.cw_max,
+            "sense": self.sense,
+            "capture": self.capture,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MacConfig":
+        unknown = set(data) - {"cw_min", "cw_max", "sense", "capture"}
+        if unknown:
+            raise ValueError(
+                f"unknown contention channel params {sorted(unknown)}; "
+                "allowed: capture, cw_max, cw_min, sense"
+            )
+        return cls(
+            cw_min=int(data.get("cw_min", 8)),
+            cw_max=int(data.get("cw_max", 256)),
+            sense=bool(data.get("sense", True)),
+            capture=float(data.get("capture", 0.0)),
+        )
+
+
+#: registered channel kinds: name -> (summary, declared params with
+#: defaults). "default" is the paper's collision channel; every extra
+#: kind maps to a Channel sibling built by the Simulator.
+CHANNEL_KINDS: dict[str, dict[str, Any]] = {
+    "default": {
+        "summary": (
+            "the paper's collision channel: a listener receives iff "
+            "exactly one neighbor broadcasts"
+        ),
+        "params": {},
+    },
+    "contention": {
+        "summary": (
+            "slotted CSMA/CA medium access: carrier sensing, binary "
+            "exponential backoff, hidden terminals, optional capture"
+        ),
+        "params": MacConfig().to_dict(),
+    },
+}
+
+
+def all_channels() -> list[str]:
+    """Registered channel kind names, sorted."""
+    return sorted(CHANNEL_KINDS)
+
+
+def make_channel_config(
+    kind: str, params: Mapping[str, Any]
+) -> "MacConfig | None":
+    """Validate a (kind, params) pair into a channel config.
+
+    Returns ``None`` for the default channel (which takes no parameters)
+    and a :class:`MacConfig` for ``"contention"``; raises on unknown
+    kinds or parameters.
+    """
+    if kind not in CHANNEL_KINDS:
+        known = ", ".join(all_channels())
+        raise ValueError(f"unknown channel {kind!r}; known: {known}")
+    if kind == "default":
+        if params:
+            raise ValueError(
+                "the default channel takes no channel_params; got "
+                f"{sorted(params)}"
+            )
+        return None
+    return MacConfig.from_dict(params)

@@ -88,7 +88,7 @@ class Param:
 
 Adapter = Callable[
     [RadioNetwork, FaultConfig, int, Optional[int], dict,
-     Optional[AdversaryConfig]],
+     Optional[AdversaryConfig], Optional[Any]],
     AlgorithmResult,
 ]
 
@@ -138,6 +138,7 @@ class BroadcastAlgorithm:
         max_rounds: Optional[int] = None,
         params: Optional[Mapping[str, Any]] = None,
         adversary: Optional[AdversaryConfig] = None,
+        channel=None,
     ) -> AlgorithmResult:
         """Run with declared defaults merged under ``params``."""
         if adversary is not None and not self.supports_adversary:
@@ -146,11 +147,19 @@ class BroadcastAlgorithm:
                 "(only channel-based algorithms do); drop --adversary or "
                 "pick a 'single'/'multi' algorithm"
             )
+        if channel is not None and not self.supports_adversary:
+            raise ValueError(
+                f"algorithm {self.name!r} does not run on the collision "
+                "channel, so a contention MAC does not apply; use the "
+                "default channel or pick a 'single'/'multi' algorithm"
+            )
         merged = self.declared()
         if params:
             self.validate_params(params)
             merged.update(params)
-        return self.adapter(network, faults, seed, max_rounds, merged, adversary)
+        return self.adapter(
+            network, faults, seed, max_rounds, merged, adversary, channel
+        )
 
 
 _REGISTRY: dict[str, BroadcastAlgorithm] = {}
@@ -235,11 +244,11 @@ def _from_multi(outcome: MultiMessageOutcome) -> AlgorithmResult:
     supports_adversary=True,
     summary="Decay broadcast (Lemma 9): fault-robust O(log n/(1-p) (D + log n))",
 )
-def _decay(network, faults, seed, max_rounds, params, adversary=None):
+def _decay(network, faults, seed, max_rounds, params, adversary=None, channel=None):
     return _from_single(
         decay_broadcast(
             network, faults=faults, rng=seed, max_rounds=max_rounds,
-            adversary=adversary,
+            adversary=adversary, channel=channel,
         )
     )
 
@@ -253,7 +262,7 @@ def _decay(network, faults, seed, max_rounds, params, adversary=None):
         Param("decay_interleave", True, "interleave Decay rounds with the wave"),
     ),
 )
-def _fastbc(network, faults, seed, max_rounds, params, adversary=None):
+def _fastbc(network, faults, seed, max_rounds, params, adversary=None, channel=None):
     return _from_single(
         fastbc_broadcast(
             network,
@@ -262,6 +271,7 @@ def _fastbc(network, faults, seed, max_rounds, params, adversary=None):
             max_rounds=max_rounds,
             decay_interleave=params["decay_interleave"],
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -277,7 +287,9 @@ def _fastbc(network, faults, seed, max_rounds, params, adversary=None):
         Param("decay_interleave", True, "interleave Decay rounds with the wave"),
     ),
 )
-def _robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
+def _robust_fastbc(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_single(
         robust_fastbc_broadcast(
             network,
@@ -288,6 +300,7 @@ def _robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
             round_multiplier=params["round_multiplier"],
             decay_interleave=params["decay_interleave"],
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -299,7 +312,9 @@ def _robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
     summary="Repetition baseline: FASTBC with every round repeated `repeat` times",
     params=(Param("repeat", 2, "repetition factor per wave round"),),
 )
-def _repeated_fastbc(network, faults, seed, max_rounds, params, adversary=None):
+def _repeated_fastbc(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_single(
         repeated_fastbc_broadcast(
             network,
@@ -308,6 +323,7 @@ def _repeated_fastbc(network, faults, seed, max_rounds, params, adversary=None):
             rng=seed,
             max_rounds=max_rounds,
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -325,7 +341,9 @@ def _repeated_fastbc(network, faults, seed, max_rounds, params, adversary=None):
         Param("payload_length", 0, "payload bytes per message (0: headers only)"),
     ),
 )
-def _rlnc_decay(network, faults, seed, max_rounds, params, adversary=None):
+def _rlnc_decay(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_multi(
         rlnc_decay_broadcast(
             network,
@@ -335,6 +353,7 @@ def _rlnc_decay(network, faults, seed, max_rounds, params, adversary=None):
             payload_length=params["payload_length"],
             max_rounds=max_rounds,
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -351,7 +370,9 @@ def _rlnc_decay(network, faults, seed, max_rounds, params, adversary=None):
         Param("round_multiplier", DEFAULT_ROUND_MULTIPLIER, "rounds per block step"),
     ),
 )
-def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params, adversary=None):
+def _rlnc_robust_fastbc(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_multi(
         rlnc_robust_fastbc_broadcast(
             network,
@@ -363,6 +384,7 @@ def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params, adversary=Non
             block=params["block"],
             round_multiplier=params["round_multiplier"],
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -377,7 +399,9 @@ def _rlnc_robust_fastbc(network, faults, seed, max_rounds, params, adversary=Non
         Param("payload_length", 0, "payload bytes per message (0: headers only)"),
     ),
 )
-def _rlnc_dense_wave(network, faults, seed, max_rounds, params, adversary=None):
+def _rlnc_dense_wave(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_multi(
         rlnc_dense_wave_broadcast(
             network,
@@ -387,6 +411,7 @@ def _rlnc_dense_wave(network, faults, seed, max_rounds, params, adversary=None):
             payload_length=params["payload_length"],
             max_rounds=max_rounds,
             adversary=adversary,
+            channel=channel,
         )
     )
 
@@ -422,7 +447,9 @@ def _from_star(outcome) -> AlgorithmResult:
     params=(Param("k", 4, "number of messages"),),
     default_topology="star",
 )
-def _star_routing(network, faults, seed, max_rounds, params, adversary=None):
+def _star_routing(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_star(
         star_adaptive_routing(
             max(1, network.n - 1),
@@ -445,7 +472,9 @@ def _star_routing(network, faults, seed, max_rounds, params, adversary=None):
     ),
     default_topology="star",
 )
-def _star_coding(network, faults, seed, max_rounds, params, adversary=None):
+def _star_coding(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_star(
         star_rs_coding(
             max(1, network.n - 1),
@@ -488,7 +517,9 @@ def _from_link(outcome) -> AlgorithmResult:
     params=(Param("k", 8, "number of messages"),),
     default_topology="single_link",
 )
-def _single_link_routing(network, faults, seed, max_rounds, params, adversary=None):
+def _single_link_routing(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_link(
         single_link_adaptive_routing(
             params["k"], faults.p, rng=seed, round_budget=max_rounds
@@ -506,7 +537,9 @@ def _single_link_routing(network, faults, seed, max_rounds, params, adversary=No
     ),
     default_topology="single_link",
 )
-def _single_link_nonadaptive(network, faults, seed, max_rounds, params, adversary=None):
+def _single_link_nonadaptive(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_link(
         single_link_nonadaptive_routing(
             params["k"], faults.p, rng=seed, repetitions=params["repetitions"]
@@ -521,7 +554,9 @@ def _single_link_nonadaptive(network, faults, seed, max_rounds, params, adversar
     params=(Param("k", 8, "number of messages"),),
     default_topology="single_link",
 )
-def _single_link_coding(network, faults, seed, max_rounds, params, adversary=None):
+def _single_link_coding(
+    network, faults, seed, max_rounds, params, adversary=None, channel=None
+):
     return _from_link(
         single_link_coding(params["k"], faults.p, rng=seed, max_rounds=max_rounds)
     )

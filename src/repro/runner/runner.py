@@ -44,7 +44,15 @@ __all__ = ["run", "run_batch", "sweep", "expand_grid"]
 
 #: grid keys that address Scenario fields rather than algorithm params
 _SCENARIO_FIELD_KEYS = frozenset(
-    {"algorithm", "topology", "faults", "adversary", "max_rounds"}
+    {
+        "algorithm",
+        "topology",
+        "faults",
+        "adversary",
+        "max_rounds",
+        "channel",
+        "channel_params",
+    }
 )
 
 _M_RUNS = _METRICS.counter("repro_runner_runs_total", "scenarios executed")
@@ -77,6 +85,7 @@ def run(scenario: Scenario) -> RunReport:
                 max_rounds=scenario.max_rounds,
                 params=scenario.params,
                 adversary=scenario.adversary,
+                channel=scenario.channel_config(),
             )
         if capture.recorder is not None:
             timeline_payload = Timeline.from_recorder(
@@ -90,6 +99,7 @@ def run(scenario: Scenario) -> RunReport:
             max_rounds=scenario.max_rounds,
             params=scenario.params,
             adversary=scenario.adversary,
+            channel=scenario.channel_config(),
         )
     elapsed = time.perf_counter() - start
     key = scenario.cache_key() if scenario.cacheable else ""
@@ -196,7 +206,7 @@ def expand_grid(
 
     Grid keys address, in order of precedence: the Scenario fields
     ``algorithm``, ``topology``, ``faults``, ``adversary``,
-    ``max_rounds``; the topology
+    ``max_rounds``, ``channel``, ``channel_params``; the topology
     size ``n`` (merged into ``topology_params``); anything else is an
     algorithm parameter (merged into ``params``). The expansion is the
     Cartesian product of all grid axes, with seeds varying fastest, in a

@@ -26,6 +26,7 @@ from repro._version import __version__
 from repro.adversary.registry import get_adversary_type
 from repro.core.faults import AdversaryConfig, FaultConfig, FaultModel
 from repro.core.network import RadioNetwork
+from repro.mac.config import MacConfig, make_channel_config
 from repro.runner.registry import get_algorithm
 from repro.timeline.config import TimelineConfig
 from repro.topologies.registry import TOPOLOGY_FAMILIES, make_topology
@@ -79,6 +80,14 @@ class Scenario:
         config does participate in :meth:`cache_key` — a stored
         timeline-less report must never satisfy a request that asked
         for the timeline sidecar. Only channel-based algorithms record.
+    channel:
+        Channel kind: ``"default"`` (the paper's collision channel) or
+        ``"contention"`` (the CSMA/CA MAC of :mod:`repro.mac`). Only
+        channel-based algorithms accept the contention channel.
+    channel_params:
+        Knobs for a non-default channel (see
+        :meth:`~repro.mac.config.MacConfig.to_dict`); must be empty for
+        the default channel.
     """
 
     algorithm: str
@@ -90,14 +99,26 @@ class Scenario:
     seed: int = 0
     max_rounds: Optional[int] = None
     timeline: Optional[TimelineConfig] = None
+    channel: str = "default"
+    channel_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         # normalize the mappings to plain dicts (picklable, JSON-friendly)
         object.__setattr__(self, "topology_params", dict(self.topology_params))
         object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "channel_params", dict(self.channel_params))
 
         algorithm = get_algorithm(self.algorithm)  # raises KeyError if unknown
         algorithm.validate_params(self.params)
+
+        # validates kind and params eagerly (raises on unknown keys); the
+        # built config is re-derived on demand by channel_config()
+        make_channel_config(self.channel, self.channel_params)
+        if self.channel != "default" and not algorithm.supports_adversary:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not run on the "
+                "collision channel, so a contention MAC does not apply"
+            )
 
         if isinstance(self.topology, str):
             if self.topology not in TOPOLOGY_FAMILIES:
@@ -179,6 +200,10 @@ class Scenario:
 
     # -- derived views ------------------------------------------------------
 
+    def channel_config(self) -> Optional[MacConfig]:
+        """The built channel configuration (``None`` for the default)."""
+        return make_channel_config(self.channel, self.channel_params)
+
     def build_network(self) -> RadioNetwork:
         """Materialize the topology (explicit network: returned as-is)."""
         if isinstance(self.topology, RadioNetwork):
@@ -258,6 +283,11 @@ class Scenario:
         # same rule: recorder-less scenarios keep their pre-timeline bytes
         if self.timeline is not None:
             data["timeline"] = self.timeline.to_dict()
+        # same rule again: default-channel scenarios keep their pre-MAC
+        # bytes (and cache keys)
+        if self.channel != "default":
+            data["channel"] = self.channel
+            data["channel_params"] = dict(self.channel_params)
         return data
 
     @classmethod
@@ -286,4 +316,6 @@ class Scenario:
             seed=int(data.get("seed", 0)),
             max_rounds=data.get("max_rounds"),
             timeline=timeline,
+            channel=data.get("channel", "default"),
+            channel_params=data.get("channel_params", {}),
         )

@@ -18,6 +18,7 @@ __all__ = [
     "path",
     "star",
     "cycle",
+    "complete",
     "grid",
     "balanced_tree",
     "caterpillar",
@@ -51,6 +52,17 @@ def cycle(n: int) -> RadioNetwork:
     if n < 3:
         raise ValueError(f"a cycle requires n >= 3 nodes, got {n}")
     return RadioNetwork(nx.cycle_graph(n), source=0, name=f"cycle-{n}")
+
+
+def complete(n: int) -> RadioNetwork:
+    """The complete graph K_n: one collision domain, diameter 1.
+
+    The single-collision-domain topology the Bianchi saturation model
+    (:mod:`repro.mac.analytic`) describes — every node hears, and
+    carrier-senses, every other.
+    """
+    check_positive(n, "n")
+    return RadioNetwork(nx.complete_graph(n), source=0, name=f"complete-{n}")
 
 
 def grid(rows: int, cols: int) -> RadioNetwork:

@@ -33,6 +33,10 @@ def _cycle(n: int, seed: int) -> RadioNetwork:
     return basic.cycle(max(3, n))
 
 
+def _complete(n: int, seed: int) -> RadioNetwork:
+    return basic.complete(n)
+
+
 def _grid(n: int, seed: int) -> RadioNetwork:
     side = max(1, round(n**0.5))
     return basic.grid(side, side)
@@ -73,6 +77,7 @@ TOPOLOGY_FAMILIES: dict[str, Callable[[int, int], RadioNetwork]] = {
     "single_link": _single_link,
     "star": _star,
     "cycle": _cycle,
+    "complete": _complete,
     "grid": _grid,
     "tree": _tree,
     "gnp": _gnp,

@@ -18,6 +18,8 @@ def test_below_the_cap_nothing_is_dropped():
         "max_events": 10,
         "recorded": 10,
         "dropped": 0,
+        "sample": 1.0,
+        "sampled_out": 0,
     }
 
 
@@ -45,6 +47,75 @@ def test_disabled_recorder_never_drops():
             recorder.record(round_index, "broadcast", 0)
     assert len(recorder) == 0
     assert recorder.dropped == 0
+
+
+def _fill(recorder, count):
+    for round_index in range(count):
+        recorder.record(round_index, "broadcast", 0)
+
+
+def test_sampling_is_deterministic_across_runs():
+    kept_runs = []
+    for _ in range(2):
+        recorder = TraceRecorder(enabled=True, sample=0.3, sample_seed=7)
+        _fill(recorder, 500)
+        kept_runs.append([event.round_index for event in recorder.events])
+        assert recorder.sampled_out == 500 - len(recorder.events)
+    assert kept_runs[0] == kept_runs[1]
+    # the coin is roughly fair: 30% +/- a generous tolerance
+    assert 80 <= len(kept_runs[0]) <= 220
+
+
+def test_different_seed_draws_a_different_subset():
+    subsets = []
+    for sample_seed in (1, 2):
+        recorder = TraceRecorder(
+            enabled=True, sample=0.5, sample_seed=sample_seed
+        )
+        _fill(recorder, 400)
+        subsets.append([event.round_index for event in recorder.events])
+    assert subsets[0] != subsets[1]
+
+
+def test_sample_zero_keeps_nothing_and_one_keeps_everything():
+    none = TraceRecorder(enabled=True, sample=0.0)
+    _fill(none, 20)
+    assert len(none) == 0
+    assert none.sampled_out == 20
+
+    everything = TraceRecorder(enabled=True, sample=1.0)
+    _fill(everything, 20)
+    assert len(everything) == 20
+    assert everything.sampled_out == 0
+
+
+def test_sampled_out_events_do_not_touch_the_cap():
+    recorder = TraceRecorder(
+        enabled=True, max_events=1000, sample=0.1, sample_seed=3
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        _fill(recorder, 2000)
+    assert recorder.dropped == 0
+    assert len(recorder) + recorder.sampled_out == 2000
+
+
+def test_sample_validation():
+    with pytest.raises(ValueError, match="sample must be in"):
+        TraceRecorder(sample=1.5)
+    with pytest.raises(ValueError, match="sample must be in"):
+        TraceRecorder(sample=-0.1)
+
+
+def test_clear_resets_the_sampling_position():
+    recorder = TraceRecorder(enabled=True, sample=0.4, sample_seed=11)
+    _fill(recorder, 100)
+    first = [event.round_index for event in recorder.events]
+    recorder.clear()
+    assert recorder.sampled_out == 0
+    _fill(recorder, 100)
+    # position restarts at zero, so the replay keeps the same subset
+    assert [event.round_index for event in recorder.events] == first
 
 
 def test_clear_resets_the_drop_count():

@@ -41,8 +41,13 @@ class TestList:
             "algorithms",
             "topologies",
             "adversaries",
+            "channels",
         }
         assert "E20" in {e["id"] for e in data["experiments"]}
+        assert {c["name"] for c in data["channels"]} == {
+            "default",
+            "contention",
+        }
         by_name = {a["name"]: a for a in data["algorithms"]}
         assert by_name["decay"]["supports_adversary"] is True
         assert by_name["star_coding"]["supports_adversary"] is False

@@ -11,7 +11,7 @@ ALL_IDS = [e.id for e in all_experiments()]
 
 class TestRegistry:
     def test_expected_experiments_registered(self):
-        expected = {f"E{i}" for i in range(1, 23)} | {"A1", "A2", "A3", "X1"}
+        expected = {f"E{i}" for i in range(1, 24)} | {"A1", "A2", "A3", "X1"}
         assert set(ALL_IDS) == expected
 
     def test_get_experiment(self):

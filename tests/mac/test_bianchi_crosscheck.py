@@ -1,0 +1,95 @@
+"""The Bianchi cross-check: simulation vs the analytic fixed point.
+
+The channel's saturation behavior on a single collision domain must
+match :func:`repro.mac.analytic.bianchi_fixed_point` within a stated
+tolerance. The decoupling approximation (constant, state-independent
+collision probability) plus Monte-Carlo noise are the only error
+sources, so the bar is 5% relative — measured errors on these
+configurations sit between 0.02% and ~1.6% (see PERFORMANCE.md).
+"""
+
+import pytest
+
+from repro.mac import MacConfig, bianchi_fixed_point
+from repro.mac.saturation import saturation_sim
+
+#: the functional tolerance: decoupling approximation + MC noise
+REL_TOL = 0.05
+
+#: at least three (n, cw_min) points spanning light to heavy contention
+CONFIGS = [(5, 8), (10, 16), (20, 32)]
+
+
+class TestFixedPointSanity:
+    def test_tau_and_p_are_probabilities(self):
+        for n, cw_min in CONFIGS:
+            pred = bianchi_fixed_point(n, cw_min=cw_min, cw_max=8 * cw_min)
+            assert 0.0 < pred.tau < 1.0
+            assert 0.0 <= pred.collision_probability < 1.0
+            assert 0.0 < pred.throughput <= 1.0
+            assert 0.0 < pred.busy_probability < 1.0
+
+    def test_single_node_never_collides(self):
+        pred = bianchi_fixed_point(1, cw_min=8, cw_max=64)
+        assert pred.collision_probability == pytest.approx(0.0, abs=1e-9)
+        # tau is 1 / E[slots per attempt] = 2 / (cw_min + 1)
+        assert pred.tau == pytest.approx(2.0 / 9.0, rel=1e-6)
+
+    def test_collision_probability_grows_with_contenders(self):
+        ps = [
+            bianchi_fixed_point(n, cw_min=8, cw_max=64).collision_probability
+            for n in (2, 5, 10, 20, 40)
+        ]
+        assert ps == sorted(ps)
+
+    def test_wider_window_reduces_collisions(self):
+        aggressive = bianchi_fixed_point(10, cw_min=2, cw_max=16)
+        patient = bianchi_fixed_point(10, cw_min=32, cw_max=256)
+        assert (
+            patient.collision_probability < aggressive.collision_probability
+        )
+
+    def test_sensing_discounts_throughput(self):
+        pred = bianchi_fixed_point(10, cw_min=8, cw_max=64)
+        assert pred.slot_throughput(sense=True) < pred.slot_throughput(
+            sense=False
+        )
+        assert pred.slot_throughput(sense=False) == pred.throughput
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError, match="n must be"):
+            bianchi_fixed_point(0)
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("n,cw_min", CONFIGS)
+    def test_simulation_matches_model(self, n, cw_min):
+        cw_max = 8 * cw_min
+        predicted = bianchi_fixed_point(n, cw_min=cw_min, cw_max=cw_max)
+        measured = saturation_sim(
+            n, MacConfig(cw_min=cw_min, cw_max=cw_max), slots=15_000, rng=1
+        )
+        assert measured.collision_probability == pytest.approx(
+            predicted.collision_probability, rel=REL_TOL
+        )
+        assert measured.throughput == pytest.approx(
+            predicted.slot_throughput(sense=True), rel=REL_TOL
+        )
+
+    def test_sense_off_matches_chain_slot_throughput(self):
+        # without carrier sensing, simulated slots ARE chain slots and the
+        # undiscounted throughput applies
+        predicted = bianchi_fixed_point(10, cw_min=16, cw_max=128)
+        measured = saturation_sim(
+            10,
+            MacConfig(cw_min=16, cw_max=128, sense=False),
+            slots=15_000,
+            rng=2,
+        )
+        assert measured.throughput == pytest.approx(
+            predicted.slot_throughput(sense=False), rel=REL_TOL
+        )
+
+    def test_saturation_sim_validates_slots(self):
+        with pytest.raises(ValueError, match="slots"):
+            saturation_sim(4, MacConfig(), slots=0)

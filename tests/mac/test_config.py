@@ -1,0 +1,85 @@
+"""MacConfig validation, backoff-window arithmetic, channel registry."""
+
+import pytest
+
+from repro.mac.config import (
+    CHANNEL_KINDS,
+    MacConfig,
+    all_channels,
+    make_channel_config,
+)
+
+
+class TestMacConfig:
+    def test_defaults(self):
+        config = MacConfig()
+        assert config.cw_min == 8
+        assert config.cw_max == 256
+        assert config.sense is True
+        assert config.capture == 0.0
+
+    def test_window_doubles_and_clamps(self):
+        config = MacConfig(cw_min=4, cw_max=32)
+        assert [config.window(s) for s in range(5)] == [4, 8, 16, 32, 32]
+
+    def test_max_stage_counts_doublings_to_ceiling(self):
+        assert MacConfig(cw_min=4, cw_max=32).max_stage == 3
+        assert MacConfig(cw_min=8, cw_max=8).max_stage == 0
+        # non-power-of-two ceiling still terminates at the clamp
+        assert MacConfig(cw_min=3, cw_max=10).max_stage == 2
+
+    def test_window_rejects_negative_stage(self):
+        with pytest.raises(ValueError, match="stage"):
+            MacConfig().window(-1)
+
+    def test_planning_slowdown_grows_with_cw_min(self):
+        assert MacConfig(cw_min=1, cw_max=1).planning_slowdown() == 2.0
+        assert (
+            MacConfig(cw_min=8).planning_slowdown()
+            < MacConfig(cw_min=32).planning_slowdown()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cw_min"):
+            MacConfig(cw_min=0)
+        with pytest.raises(ValueError, match="cw_max"):
+            MacConfig(cw_min=8, cw_max=4)
+        with pytest.raises(TypeError, match="cw_min"):
+            MacConfig(cw_min=2.0)
+        with pytest.raises(TypeError, match="sense"):
+            MacConfig(sense=1)
+        with pytest.raises(ValueError, match="capture"):
+            MacConfig(capture=0.5)
+        # 0.0 disables, >= 1.0 is a valid ratio
+        assert MacConfig(capture=0).capture == 0.0
+        assert MacConfig(capture=2).capture == 2.0
+
+    def test_dict_roundtrip(self):
+        config = MacConfig(cw_min=2, cw_max=64, sense=False, capture=1.5)
+        assert MacConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown contention channel"):
+            MacConfig.from_dict({"cw_min": 4, "slots": 9})
+
+
+class TestChannelRegistry:
+    def test_registry_lists_both_kinds(self):
+        assert all_channels() == sorted(CHANNEL_KINDS)
+        assert {"default", "contention"} <= set(all_channels())
+
+    def test_default_kind_builds_none(self):
+        assert make_channel_config("default", {}) is None
+
+    def test_default_kind_rejects_params(self):
+        with pytest.raises(ValueError, match="no channel_params"):
+            make_channel_config("default", {"cw_min": 4})
+
+    def test_contention_kind_builds_config(self):
+        config = make_channel_config("contention", {"cw_min": 2})
+        assert isinstance(config, MacConfig)
+        assert config.cw_min == 2
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown channel"):
+            make_channel_config("aloha", {})
